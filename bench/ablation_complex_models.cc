@@ -1,0 +1,76 @@
+// Extension experiment (the paper's "Impact on complex models" future-work
+// item): does data-source diversity still help when the forecaster is a
+// neural network instead of a tree ensemble? Compares cross-validated MSE
+// of diverse vs single-category feature sets for RF, XGBoost-style GBDT,
+// and an MLP on scenario 2019_30.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/report.h"
+#include "ml/forest.h"
+#include "ml/gbdt.h"
+#include "ml/mlp.h"
+#include "ml/model_selection.h"
+#include "util/string_util.h"
+
+namespace {
+
+using namespace fab;
+
+double CvMse(const ml::Regressor& model, const ml::Dataset& data,
+             uint64_t seed) {
+  const auto folds = ml::KFold(data.num_rows(), 5, /*shuffle=*/true, seed);
+  return *ml::CrossValMse(model, data, *folds);
+}
+
+}  // namespace
+
+int main() {
+  core::Experiments ex = bench::MakeExperiments(
+      "Ablation: does diversity help complex models too? (scenario 2019_30)");
+  const core::ScenarioDataset* scenario = bench::DieIfError(
+      ex.Scenario(core::StudyPeriod::k2019, 30), "scenario");
+  const core::FinalFeatureVector fvec = bench::DieIfError(
+      ex.FinalVector(core::StudyPeriod::k2019, 30), "final vector");
+  const auto diverse_positions = bench::DieIfError(
+      scenario->data.FeaturePositions(fvec.features), "positions");
+  const ml::Dataset diverse = bench::DieIfError(
+      scenario->data.SelectFeatures(diverse_positions), "select");
+
+  const bool fast = ex.config().fast;
+  ml::RandomForestRegressor rf(ex.config().improvement.rf);
+  ml::GbdtRegressor xgb(ex.config().improvement.xgb);
+  ml::MlpParams mlp_params;
+  mlp_params.hidden = {64, 32};
+  mlp_params.epochs = fast ? 40 : 120;
+  mlp_params.learning_rate = 2e-3;
+  ml::MlpRegressor mlp(mlp_params);
+  const std::vector<const ml::Regressor*> models = {&rf, &xgb, &mlp};
+
+  core::AsciiTable table({"model", "diverse MSE", "technical-only", "improv.",
+                          "onchain-BTC-only", "improv."});
+  for (const ml::Regressor* model : models) {
+    const double diverse_mse = CvMse(*model, diverse, 321);
+    std::vector<std::string> row{model->name(),
+                                 FormatDouble(diverse_mse, 0)};
+    for (sim::DataCategory category : {sim::DataCategory::kTechnical,
+                                       sim::DataCategory::kOnChainBtc}) {
+      const auto positions = scenario->FeaturePositionsInCategory(category);
+      const ml::Dataset single =
+          bench::DieIfError(scenario->data.SelectFeatures(positions), "sel");
+      const double single_mse = CvMse(*model, single, 321);
+      row.push_back(FormatDouble(single_mse, 0));
+      row.push_back(
+          FormatDouble(100.0 * (single_mse - diverse_mse) / diverse_mse, 1) +
+          "%");
+    }
+    table.AddRow(row);
+    std::printf("%s model done\n", model->name().c_str());
+  }
+  std::printf("\n%s\n", table.Render().c_str());
+  std::printf(
+      "Reading: if the improvement columns stay positive for the MLP, "
+      "diversity transfers to complex models (the paper left this open).\n");
+  return 0;
+}

@@ -1,0 +1,37 @@
+#ifndef FAB_BENCH_BENCH_COMMON_H_
+#define FAB_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/experiments.h"
+#include "util/status.h"
+
+namespace fab::bench {
+
+/// Prints a banner and returns the env-configured experiment runner.
+inline core::Experiments MakeExperiments(const char* title) {
+  core::ExperimentConfig config = core::ExperimentConfig::FromEnv();
+  std::printf("=== %s ===\n", title);
+  std::printf("(seed=%llu mode=%s cache=%s)\n\n",
+              static_cast<unsigned long long>(config.seed),
+              config.fast ? "fast" : "full", config.cache_dir.c_str());
+  return core::Experiments(config);
+}
+
+/// Aborts the binary with a readable message on error.
+inline void DieIf(const Status& status, const char* what) {
+  if (status.ok()) return;
+  std::fprintf(stderr, "FATAL %s: %s\n", what, status.ToString().c_str());
+  std::exit(1);
+}
+
+template <typename T>
+T DieIfError(Result<T> result, const char* what) {
+  DieIf(result.status(), what);
+  return std::move(result).value();
+}
+
+}  // namespace fab::bench
+
+#endif  // FAB_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,62 @@
+// Reproduces Figure 4: per-category contribution factors across all
+// prediction windows, set 2019 (includes the USDC on-chain subcategory).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/report.h"
+#include "util/string_util.h"
+
+int main() {
+  using namespace fab;
+  core::Experiments ex = bench::MakeExperiments(
+      "Figure 4: contribution of data sources, set 2019");
+
+  std::vector<std::string> window_labels;
+  std::vector<std::string> category_names;
+  std::vector<std::vector<double>> values;
+
+
+  std::vector<std::string> header{"window"};
+  std::vector<sim::DataCategory> shown;
+  for (sim::DataCategory c : sim::AllCategories()) {
+    if (c == sim::DataCategory::kOnChainEth) continue;  // headline setup
+    shown.push_back(c);
+    header.push_back(sim::CategoryKey(c));
+  }
+  core::AsciiTable table(header);
+  for (int window : core::PredictionWindows()) {
+    window_labels.push_back("w=" + std::to_string(window));
+    const auto contributions = bench::DieIfError(
+        ex.Contributions(core::StudyPeriod::k2019, window), "contributions");
+    if (category_names.empty()) {
+      for (sim::DataCategory c : shown) {
+        category_names.push_back(sim::CategoryName(c));
+        values.emplace_back();
+      }
+    }
+    std::vector<std::string> row{std::to_string(window)};
+    size_t series = 0;
+    for (sim::DataCategory c : shown) {
+      double factor = 0.0;
+      for (const auto& contrib : contributions) {
+        if (contrib.category == c) factor = contrib.contribution_factor;
+      }
+      values[series++].push_back(factor);
+      row.push_back(FormatDouble(factor, 3));
+    }
+    table.AddRow(row);
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("%s\n",
+              core::AsciiGroupedBars("Contribution factor by window",
+                                     window_labels, category_names, values)
+                  .c_str());
+  std::printf(
+      "Paper claims: S5 USDC on-chain metrics matter at every horizon and "
+      "peak mid/long-term; S4 macro is largely crowded out of the 2019 set "
+      "(our reproduction shows it reduced short-term but not eliminated — "
+      "see EXPERIMENTS.md).\n");
+  return 0;
+}

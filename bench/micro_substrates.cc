@@ -1,0 +1,155 @@
+// google-benchmark microbenchmarks over the library's substrates: table
+// ops, technical indicators, simulator throughput, tree/forest/GBDT
+// training, prediction, PFI and TreeSHAP.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "explain/permutation.h"
+#include "explain/shap.h"
+#include "ml/forest.h"
+#include "ml/gbdt.h"
+#include "sim/market_sim.h"
+#include "ta/ta.h"
+#include "table/ops.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace fab;
+
+ml::Dataset MakeDataset(size_t n, size_t f, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> cols(f, std::vector<double>(n));
+  for (auto& c : cols) {
+    for (auto& v : c) v = rng.Normal();
+  }
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    y[i] = 2.0 * cols[0][i] + cols[1][i] * cols[2 % f][i] + 0.3 * rng.Normal();
+  }
+  ml::Dataset d;
+  d.x = *ml::ColMatrix::FromColumns(std::move(cols));
+  d.y = std::move(y);
+  for (size_t j = 0; j < f; ++j) d.feature_names.push_back("f" + std::to_string(j));
+  return d;
+}
+
+void BM_TableInterpolate(benchmark::State& state) {
+  table::Column col(10000);
+  Rng rng(3);
+  for (size_t i = 0; i < col.size(); ++i) {
+    if (rng.Uniform() > 0.2) col.Set(i, rng.Normal());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table::InterpolateLinear(col));
+  }
+}
+BENCHMARK(BM_TableInterpolate);
+
+void BM_TaEma(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<double> close(10000);
+  double p = 100.0;
+  for (auto& v : close) {
+    p *= std::exp(0.01 * rng.Normal());
+    v = p;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ta::Ema(close, static_cast<int>(state.range(0))));
+  }
+}
+BENCHMARK(BM_TaEma)->Arg(20)->Arg(200);
+
+void BM_TaRsi(benchmark::State& state) {
+  Rng rng(6);
+  std::vector<double> close(10000);
+  double p = 100.0;
+  for (auto& v : close) {
+    p *= std::exp(0.01 * rng.Normal());
+    v = p;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ta::Rsi(close, 14));
+  }
+}
+BENCHMARK(BM_TaRsi);
+
+void BM_SimulateMarket(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::MarketSimConfig config;
+    config.latent.end = Date(2018, 12, 31);  // 2.5 simulated years
+    config.seed = 11;
+    auto market = sim::SimulateMarket(config);
+    benchmark::DoNotOptimize(market.ok());
+  }
+}
+BENCHMARK(BM_SimulateMarket)->Unit(benchmark::kMillisecond);
+
+void BM_ForestFit(benchmark::State& state) {
+  const ml::Dataset d =
+      MakeDataset(static_cast<size_t>(state.range(0)), 60, 17);
+  ml::ForestParams params;
+  params.n_trees = 30;
+  params.max_depth = 8;
+  params.max_features = 0.33;
+  for (auto _ : state) {
+    ml::RandomForestRegressor rf(params);
+    benchmark::DoNotOptimize(rf.Fit(d.x, d.y).ok());
+  }
+}
+BENCHMARK(BM_ForestFit)->Arg(500)->Arg(2000)->Unit(benchmark::kMillisecond);
+
+void BM_GbdtFit(benchmark::State& state) {
+  const ml::Dataset d =
+      MakeDataset(static_cast<size_t>(state.range(0)), 60, 19);
+  ml::GbdtParams params;
+  params.n_rounds = 50;
+  params.max_depth = 4;
+  for (auto _ : state) {
+    ml::GbdtRegressor xgb(params);
+    benchmark::DoNotOptimize(xgb.Fit(d.x, d.y).ok());
+  }
+}
+BENCHMARK(BM_GbdtFit)->Arg(500)->Arg(2000)->Unit(benchmark::kMillisecond);
+
+void BM_ForestPredict(benchmark::State& state) {
+  const ml::Dataset d = MakeDataset(2000, 60, 23);
+  ml::RandomForestRegressor rf(
+      ml::ForestParams{.n_trees = 30, .max_depth = 8, .max_features = 0.33});
+  (void)rf.Fit(d.x, d.y);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rf.Predict(d.x));
+  }
+}
+BENCHMARK(BM_ForestPredict)->Unit(benchmark::kMillisecond);
+
+void BM_PermutationImportance(benchmark::State& state) {
+  const ml::Dataset d = MakeDataset(500, 40, 29);
+  ml::RandomForestRegressor rf(
+      ml::ForestParams{.n_trees = 20, .max_depth = 6, .max_features = 0.5});
+  (void)rf.Fit(d.x, d.y);
+  explain::PermutationOptions options;
+  options.n_repeats = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(explain::PermutationImportance(rf, d, options));
+  }
+}
+BENCHMARK(BM_PermutationImportance)->Unit(benchmark::kMillisecond);
+
+void BM_TreeShap(benchmark::State& state) {
+  const ml::Dataset d = MakeDataset(1000, 40, 31);
+  ml::RandomForestRegressor rf(
+      ml::ForestParams{.n_trees = 20, .max_depth = 6, .max_features = 0.5});
+  (void)rf.Fit(d.x, d.y);
+  const ml::ColMatrix sample = d.x.TakeRows({0, 1, 2, 3, 4, 5, 6, 7});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(explain::MeanAbsShapForest(rf, sample));
+  }
+}
+BENCHMARK(BM_TreeShap)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,40 @@
+// Reproduces Table 4: the top-20 features unique to the short-term group
+// (windows 1, 7) and to the long-term group (windows 90, 180), per set.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/report.h"
+
+int main() {
+  using namespace fab;
+  core::Experiments ex = bench::MakeExperiments(
+      "Table 4: top-20 unique features, short-term vs long-term");
+
+  for (core::StudyPeriod period :
+       {core::StudyPeriod::k2017, core::StudyPeriod::k2019}) {
+    const core::HorizonGroup short_term =
+        bench::DieIfError(ex.Group(period, {1, 7}), "short group");
+    const core::HorizonGroup long_term =
+        bench::DieIfError(ex.Group(period, {90, 180}), "long group");
+    const auto unique_short = core::GroupUniqueTopK(short_term, long_term, 20);
+    const auto unique_long = core::GroupUniqueTopK(long_term, short_term, 20);
+
+    core::AsciiTable table({"Rank", "Short-term unique", "Long-term unique"});
+    const size_t rows = std::max(unique_short.size(), unique_long.size());
+    for (size_t i = 0; i < rows; ++i) {
+      table.AddRow({std::to_string(i + 1),
+                    i < unique_short.size() ? unique_short[i] : "-",
+                    i < unique_long.size() ? unique_long[i] : "-"});
+    }
+    std::printf("Set %s\n%s\n", core::PeriodName(period),
+                table.Render().c_str());
+  }
+  std::printf(
+      "Paper's shape: short-term uniques are dominated by recent "
+      "SMAs/EMAs (5-30 day windows) and address-activity counts; long-term "
+      "uniques include trad-fi closes (QQQ, UUP, EURUSD, bonds), supply "
+      "activity (SplyActPct1yr, SER, VelCur1yr, s2f_ratio) and USDC supply "
+      "dynamics in the 2019 set.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Horizon study: how forecast difficulty grows with the prediction window
+// and how much a diverse feature set helps vs technical indicators alone —
+// the paper's core finding, condensed into one runnable example.
+//
+//   ./horizon_study
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/dataset_builder.h"
+#include "core/report.h"
+#include "ml/forest.h"
+#include "ml/metrics.h"
+#include "ml/model_selection.h"
+#include "sim/market_sim.h"
+#include "util/string_util.h"
+
+int main() {
+  using namespace fab;
+
+  sim::MarketSimConfig sim_config;
+  sim_config.seed = 42;
+  auto market = sim::SimulateMarket(sim_config);
+  if (!market.ok() ||
+      !core::AddTechnicalIndicators(&market.value()).ok()) {
+    std::fprintf(stderr, "market setup failed\n");
+    return 1;
+  }
+
+  ml::ForestParams params;
+  params.n_trees = 40;
+  params.max_depth = 8;
+  params.max_features = 0.33;
+
+  core::AsciiTable table({"window", "diverse RMSE", "technical-only RMSE",
+                          "diversity advantage"});
+  for (int window : {1, 7, 30, 90, 180}) {
+    core::ScenarioOptions options;
+    auto scenario = core::BuildScenarioDataset(
+        *market, core::StudyPeriod::k2019, window, options);
+    if (!scenario.ok()) {
+      std::fprintf(stderr, "scenario failed: %s\n",
+                   scenario.status().ToString().c_str());
+      return 1;
+    }
+
+    auto folds = ml::KFold(scenario->data.num_rows(), 5, true, 1234);
+    ml::RandomForestRegressor rf(params);
+    auto diverse_mse = ml::CrossValMse(rf, scenario->data, *folds);
+
+    // Technical indicators only.
+    const std::vector<int> tech_positions =
+        scenario->FeaturePositionsInCategory(sim::DataCategory::kTechnical);
+    auto tech_data = scenario->data.SelectFeatures(tech_positions);
+    auto tech_folds = ml::KFold(tech_data->num_rows(), 5, true, 1234);
+    auto tech_mse = ml::CrossValMse(rf, *tech_data, *tech_folds);
+
+    const double advantage = 100.0 * (*tech_mse - *diverse_mse) / *diverse_mse;
+    table.AddRow({std::to_string(window),
+                  FormatDouble(std::sqrt(*diverse_mse), 1),
+                  FormatDouble(std::sqrt(*tech_mse), 1),
+                  (advantage >= 0 ? "+" : "") + FormatDouble(advantage, 1) +
+                      "%"});
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf("\nReading: error grows with the horizon, and the advantage of "
+              "diverse data grows with it — technical indicators alone "
+              "cannot carry long-horizon forecasts.\n");
+  return 0;
+}

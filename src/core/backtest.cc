@@ -1,0 +1,93 @@
+#include "core/backtest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "ml/metrics.h"
+
+namespace fab::core {
+
+double WalkForwardResult::Mse() const {
+  return ml::MeanSquaredError(actuals, predictions);
+}
+
+Result<WalkForwardResult> WalkForwardEvaluate(
+    const ml::Regressor& prototype, const ml::Dataset& data,
+    const WalkForwardOptions& options) {
+  const size_t n = data.num_rows();
+  if (options.warmup_rows < 10 || options.warmup_rows >= n) {
+    return Status::InvalidArgument("warmup_rows must be in [10, rows)");
+  }
+  if (options.step < 1 || options.refit_every_steps < 1) {
+    return Status::InvalidArgument("step and refit cadence must be >= 1");
+  }
+  WalkForwardResult result;
+  std::unique_ptr<ml::Regressor> model;
+  int steps_since_fit = 0;
+  for (size_t t = options.warmup_rows; t < n;
+       t += static_cast<size_t>(options.step)) {
+    if (model == nullptr || steps_since_fit >= options.refit_every_steps) {
+      std::vector<int> train_rows(t);
+      std::iota(train_rows.begin(), train_rows.end(), 0);
+      const ml::Dataset train = data.TakeRows(train_rows);
+      model = prototype.CloneUnfitted();
+      FAB_RETURN_IF_ERROR(model->Fit(train.x, train.y));
+      ++result.refits;
+      steps_since_fit = 0;
+    }
+    result.rows.push_back(t);
+    result.predictions.push_back(model->PredictOne(data.x, t));
+    result.actuals.push_back(data.y[t]);
+    ++steps_since_fit;
+  }
+  if (result.rows.empty()) {
+    return Status::InvalidArgument("no evaluation points after warmup");
+  }
+  return result;
+}
+
+Result<BacktestResult> RunLongFlatBacktest(
+    const std::vector<double>& predicted_returns,
+    const std::vector<double>& realized_returns, double periods_per_year) {
+  if (predicted_returns.size() != realized_returns.size() ||
+      predicted_returns.empty()) {
+    return Status::InvalidArgument(
+        "predicted/realized return series must be equal-length, non-empty");
+  }
+  if (periods_per_year <= 0.0) {
+    return Status::InvalidArgument("periods_per_year must be positive");
+  }
+  BacktestResult result;
+  result.periods_total = static_cast<int>(predicted_returns.size());
+  double strat_log = 0.0;
+  double hold_log = 0.0;
+  double peak = 0.0;
+  std::vector<double> per_period;
+  per_period.reserve(predicted_returns.size());
+  for (size_t i = 0; i < predicted_returns.size(); ++i) {
+    const bool in_market = predicted_returns[i] > 0.0;
+    const double r = in_market ? realized_returns[i] : 0.0;
+    strat_log += r;
+    hold_log += realized_returns[i];
+    per_period.push_back(r);
+    result.periods_in_market += in_market;
+    peak = std::max(peak, strat_log);
+    result.max_drawdown_log = std::max(result.max_drawdown_log, peak - strat_log);
+  }
+  result.strategy_return = std::exp(strat_log) - 1.0;
+  result.hold_return = std::exp(hold_log) - 1.0;
+  double mean = 0.0;
+  for (double r : per_period) mean += r;
+  mean /= static_cast<double>(per_period.size());
+  double var = 0.0;
+  for (double r : per_period) var += (r - mean) * (r - mean);
+  if (per_period.size() > 1) {
+    var /= static_cast<double>(per_period.size() - 1);
+  }
+  result.annualized_sharpe =
+      var > 0.0 ? mean / std::sqrt(var) * std::sqrt(periods_per_year) : 0.0;
+  return result;
+}
+
+}  // namespace fab::core

@@ -1,0 +1,63 @@
+#ifndef FAB_CORE_BACKTEST_H_
+#define FAB_CORE_BACKTEST_H_
+
+#include <vector>
+
+#include "ml/estimator.h"
+#include "ml/matrix.h"
+#include "util/status.h"
+
+namespace fab::core {
+
+/// Walk-forward evaluation options. Rows must be in time order.
+struct WalkForwardOptions {
+  /// Rows reserved as the initial training window.
+  size_t warmup_rows = 250;
+  /// Refit cadence, in evaluation steps (1 = refit every step).
+  int refit_every_steps = 8;
+  /// Evaluate every `step` rows (e.g. 7 = weekly for daily data).
+  int step = 7;
+};
+
+/// Strictly out-of-sample predictions from an expanding-window refit.
+struct WalkForwardResult {
+  /// Row index of each evaluation point (ascending).
+  std::vector<size_t> rows;
+  /// Model prediction at each evaluation point.
+  std::vector<double> predictions;
+  /// True target at each evaluation point.
+  std::vector<double> actuals;
+  /// Number of model refits performed.
+  int refits = 0;
+
+  /// Out-of-sample mean squared error.
+  double Mse() const;
+};
+
+/// Runs an expanding-window walk-forward: at each evaluation row the model
+/// has only been fitted on strictly earlier rows. The prototype supplies
+/// the hyperparameters; it is cloned on every refit.
+Result<WalkForwardResult> WalkForwardEvaluate(const ml::Regressor& prototype,
+                                              const ml::Dataset& data,
+                                              const WalkForwardOptions& options);
+
+/// Performance of a long/flat strategy versus buy-and-hold.
+struct BacktestResult {
+  double strategy_return = 0.0;   ///< total simple return of the strategy
+  double hold_return = 0.0;       ///< total simple return of buy-and-hold
+  double max_drawdown_log = 0.0;  ///< strategy max drawdown in log points
+  double annualized_sharpe = 0.0;
+  int periods_in_market = 0;
+  int periods_total = 0;
+};
+
+/// Evaluates "long when the predicted return is positive, flat otherwise"
+/// over aligned (predicted, realized) per-period log returns.
+/// `periods_per_year` annualizes the Sharpe ratio (52 for weekly periods).
+Result<BacktestResult> RunLongFlatBacktest(
+    const std::vector<double>& predicted_returns,
+    const std::vector<double>& realized_returns, double periods_per_year);
+
+}  // namespace fab::core
+
+#endif  // FAB_CORE_BACKTEST_H_

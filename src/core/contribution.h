@@ -1,0 +1,32 @@
+#ifndef FAB_CORE_CONTRIBUTION_H_
+#define FAB_CORE_CONTRIBUTION_H_
+
+#include <string>
+#include <vector>
+
+#include "core/dataset_builder.h"
+#include "sim/catalog.h"
+#include "util/status.h"
+
+namespace fab::core {
+
+/// The contribution of one data category to a final feature vector
+/// (paper Section 4.1): selected / candidates, making categories of
+/// different sizes comparable.
+struct CategoryContribution {
+  sim::DataCategory category;
+  size_t candidates = 0;  ///< features of the category before selection
+  size_t selected = 0;    ///< features of the category in the final vector
+  double contribution_factor = 0.0;
+};
+
+/// Per-category contribution factors of one scenario's final vector.
+/// Categories with zero candidates (e.g. USDC in the 2017 set) are
+/// omitted.
+Result<std::vector<CategoryContribution>> ComputeContributions(
+    const ScenarioDataset& scenario,
+    const std::vector<std::string>& final_features);
+
+}  // namespace fab::core
+
+#endif  // FAB_CORE_CONTRIBUTION_H_

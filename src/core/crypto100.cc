@@ -1,0 +1,40 @@
+#include "core/crypto100.h"
+
+#include <cmath>
+
+namespace fab::core {
+
+Result<double> Crypto100Value(double sum_mcap, double power) {
+  if (!(sum_mcap > 1.0)) {
+    return Status::InvalidArgument(
+        "crypto100 requires a market-cap sum > 1 USD");
+  }
+  const double scale = std::pow(std::log10(sum_mcap), power);
+  return sum_mcap / scale;
+}
+
+Result<std::vector<double>> Crypto100Series(const std::vector<double>& sum_mcap,
+                                            double power) {
+  std::vector<double> out(sum_mcap.size());
+  for (size_t i = 0; i < sum_mcap.size(); ++i) {
+    FAB_ASSIGN_OR_RETURN(out[i], Crypto100Value(sum_mcap[i], power));
+  }
+  return out;
+}
+
+Result<double> LogScaleDistance(const std::vector<double>& index_series,
+                                const std::vector<double>& reference_series) {
+  if (index_series.size() != reference_series.size() || index_series.empty()) {
+    return Status::InvalidArgument("series must be equal-length, non-empty");
+  }
+  double acc = 0.0;
+  for (size_t i = 0; i < index_series.size(); ++i) {
+    if (!(index_series[i] > 0.0) || !(reference_series[i] > 0.0)) {
+      return Status::InvalidArgument("series must be strictly positive");
+    }
+    acc += std::fabs(std::log10(index_series[i] / reference_series[i]));
+  }
+  return acc / static_cast<double>(index_series.size());
+}
+
+}  // namespace fab::core

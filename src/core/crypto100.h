@@ -1,0 +1,37 @@
+#ifndef FAB_CORE_CRYPTO100_H_
+#define FAB_CORE_CRYPTO100_H_
+
+#include <vector>
+
+#include "util/status.h"
+
+namespace fab::core {
+
+/// The Crypto100 index (paper Section 3.1.1):
+///
+///   Crypto100 = sum_mcap / (log10(sum_mcap))^power
+///
+/// where `sum_mcap` is the summed market capitalization of the top 100
+/// cryptocurrencies. The paper tunes `power` to 7 so the index's price
+/// scale is directly comparable to BTC; powers <= 6 barely compress the
+/// numerator (index in the billions), 8 over-compresses it.
+inline constexpr double kCrypto100DefaultPower = 7.0;
+
+/// Index value for one day. Requires sum_mcap > 1 (log10 must be > 0).
+Result<double> Crypto100Value(double sum_mcap,
+                              double power = kCrypto100DefaultPower);
+
+/// Index series from a daily top-100 market-cap-sum series.
+Result<std::vector<double>> Crypto100Series(
+    const std::vector<double>& sum_mcap,
+    double power = kCrypto100DefaultPower);
+
+/// Mean absolute log10 distance between two positive price series — the
+/// scale-comparability criterion used to tune the power (0 = identical
+/// scale; 1 = off by 10x on average).
+Result<double> LogScaleDistance(const std::vector<double>& index_series,
+                                const std::vector<double>& reference_series);
+
+}  // namespace fab::core
+
+#endif  // FAB_CORE_CRYPTO100_H_

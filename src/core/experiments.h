@@ -1,0 +1,88 @@
+#ifndef FAB_CORE_EXPERIMENTS_H_
+#define FAB_CORE_EXPERIMENTS_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/contribution.h"
+#include "core/dataset_builder.h"
+#include "core/feature_vector.h"
+#include "core/fra.h"
+#include "core/groups.h"
+#include "core/improvement.h"
+#include "sim/market_sim.h"
+#include "util/status.h"
+
+namespace fab::core {
+
+/// Global configuration of the reproduction pipeline. `FromEnv()` honours:
+///   FAB_SEED       master seed (default 42)
+///   FAB_FAST       1 = small models / row limits for smoke runs
+///   FAB_CACHE_DIR  artifact cache root (default ".fab_cache")
+struct ExperimentConfig {
+  uint64_t seed = 42;
+  bool fast = false;
+  std::string cache_dir = ".fab_cache";
+
+  /// Model settings used by the respective pipeline stages.
+  FraOptions fra;
+  FeatureVectorOptions feature_vector;
+  ImprovementOptions improvement;
+  /// The fine-tuned RF used to score final-vector features (Table 3/4).
+  ml::ForestParams scoring_rf;
+
+  static ExperimentConfig FromEnv();
+};
+
+/// Memoizing orchestrator for every experiment in the paper. Expensive
+/// stages (FRA, SHAP, improvement CV) are cached as CSV artifacts under
+/// `<cache_dir>/seed<seed>_<fast|full>/`, so the nine experiment binaries
+/// compute them once and share the results.
+class Experiments {
+ public:
+  explicit Experiments(ExperimentConfig config);
+
+  const ExperimentConfig& config() const { return config_; }
+
+  /// The simulated market with technical indicators attached (memoized).
+  Result<const sim::SimulatedMarket*> Market();
+
+  /// One scenario's prepared dataset (memoized in RAM).
+  Result<const ScenarioDataset*> Scenario(StudyPeriod period, int window);
+
+  /// FRA output for a scenario (disk-cached).
+  Result<FraResult> Fra(StudyPeriod period, int window);
+
+  /// Final feature vector = FRA ∪ SHAP top-75 (disk-cached).
+  Result<FinalFeatureVector> FinalVector(StudyPeriod period, int window);
+
+  /// Final vector with fine-tuned-RF importances (disk-cached).
+  Result<ScoredFeatureVector> ScoredVector(StudyPeriod period, int window);
+
+  /// Diverse-vs-single-category improvements (disk-cached).
+  Result<ImprovementResult> Improvement(StudyPeriod period, int window,
+                                        ModelKind model);
+
+  /// Contribution factors of a scenario's final vector (cheap; derived).
+  Result<std::vector<CategoryContribution>> Contributions(StudyPeriod period,
+                                                          int window);
+
+  /// Merged horizon group over `windows` (e.g. {1, 7} = short-term).
+  Result<HorizonGroup> Group(StudyPeriod period,
+                             const std::vector<int>& windows);
+
+ private:
+  std::string ScenarioTag(StudyPeriod period, int window) const;
+  std::string CachePath(const std::string& name) const;
+  Status EnsureCacheDir() const;
+
+  ExperimentConfig config_;
+  std::unique_ptr<sim::SimulatedMarket> market_;
+  std::map<std::pair<int, int>, std::unique_ptr<ScenarioDataset>> scenarios_;
+};
+
+}  // namespace fab::core
+
+#endif  // FAB_CORE_EXPERIMENTS_H_

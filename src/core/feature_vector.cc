@@ -1,0 +1,59 @@
+#include "core/feature_vector.h"
+
+#include <algorithm>
+
+#include "explain/ranking.h"
+#include "explain/shap.h"
+#include "util/stats.h"
+
+namespace fab::core {
+
+Result<std::vector<double>> ShapScores(const ml::Dataset& data,
+                                       const FeatureVectorOptions& options) {
+  ml::ForestParams rf_params = options.rf;
+  rf_params.seed = options.seed ^ 0x5AA9ull;
+  ml::RandomForestRegressor rf(rf_params);
+  FAB_RETURN_IF_ERROR(rf.Fit(data.x, data.y));
+
+  // Evenly subsample rows for tractability (SHAP is the costly step).
+  const size_t n = data.num_rows();
+  const size_t limit = options.shap_row_limit == 0
+                           ? n
+                           : std::min(options.shap_row_limit, n);
+  std::vector<int> rows;
+  rows.reserve(limit);
+  for (size_t k = 0; k < limit; ++k) {
+    rows.push_back(static_cast<int>(k * n / limit));
+  }
+  const ml::ColMatrix sample = data.x.TakeRows(rows);
+  return explain::MeanAbsShapForest(rf, sample);
+}
+
+Result<FinalFeatureVector> BuildFinalFeatureVector(
+    const ml::Dataset& data, const FraResult& fra,
+    const FeatureVectorOptions& options) {
+  FAB_ASSIGN_OR_RETURN(std::vector<double> shap, ShapScores(data, options));
+
+  FinalFeatureVector out;
+  out.fra_ranked = fra.selected;
+  out.shap_ranked =
+      explain::TopKNames(shap, data.feature_names, data.num_features());
+
+  std::vector<std::string> fra_top = fra.selected;
+  if (fra_top.size() > options.union_top_k) {
+    fra_top.resize(options.union_top_k);
+  }
+  std::vector<std::string> shap_top = out.shap_ranked;
+  if (shap_top.size() > options.union_top_k) {
+    shap_top.resize(options.union_top_k);
+  }
+  out.features = explain::UnionNames(fra_top, shap_top);
+
+  std::vector<std::string> shap_top100 = out.shap_ranked;
+  if (shap_top100.size() > 100) shap_top100.resize(100);
+  out.overlap_fra_shap_top100 =
+      explain::OverlapCount(fra.selected, shap_top100);
+  return out;
+}
+
+}  // namespace fab::core

@@ -1,0 +1,50 @@
+#ifndef FAB_CORE_FEATURE_VECTOR_H_
+#define FAB_CORE_FEATURE_VECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/dataset_builder.h"
+#include "core/fra.h"
+#include "util/status.h"
+
+namespace fab::core {
+
+/// Options for assembling the final per-scenario feature vector.
+struct FeatureVectorOptions {
+  /// How many top-ranked features each of FRA and SHAP contributes to the
+  /// union (paper: 75).
+  size_t union_top_k = 75;
+  /// Rows subsampled (evenly) for the SHAP computation; 0 = all rows.
+  size_t shap_row_limit = 400;
+  ml::ForestParams rf;
+  uint64_t seed = 31;
+};
+
+/// The final feature vector of one scenario (paper Section 3.2): the
+/// union of FRA's and SHAP's top-`union_top_k` features.
+struct FinalFeatureVector {
+  std::vector<std::string> features;
+  /// FRA survivors (ranked) and the SHAP ranking over all candidates.
+  std::vector<std::string> fra_ranked;
+  std::vector<std::string> shap_ranked;
+  /// |FRA survivors ∩ SHAP top-100| — the validation overlap the paper
+  /// reports (~78 on average).
+  size_t overlap_fra_shap_top100 = 0;
+};
+
+/// Computes mean-|SHAP| scores for every candidate feature using a random
+/// forest fitted on the full scenario (rows subsampled for tractability).
+Result<std::vector<double>> ShapScores(const ml::Dataset& data,
+                                       const FeatureVectorOptions& options);
+
+/// Builds the final feature vector: union of FRA's top features and the
+/// SHAP top features.
+Result<FinalFeatureVector> BuildFinalFeatureVector(
+    const ml::Dataset& data, const FraResult& fra,
+    const FeatureVectorOptions& options);
+
+}  // namespace fab::core
+
+#endif  // FAB_CORE_FEATURE_VECTOR_H_

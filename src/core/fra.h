@@ -1,0 +1,63 @@
+#ifndef FAB_CORE_FRA_H_
+#define FAB_CORE_FRA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/dataset_builder.h"
+#include "ml/forest.h"
+#include "ml/gbdt.h"
+#include "util/status.h"
+
+namespace fab::core {
+
+/// Options for the Feature Reduction Algorithm (paper Algorithm 1).
+struct FraOptions {
+  /// Loop until at most this many features remain.
+  size_t target_size = 100;
+  /// Initial Pearson-correlation threshold and per-iteration increment.
+  double corr_threshold_start = 0.5;
+  double corr_threshold_step = 0.025;
+  /// Rank fraction counted as "bottom" in each importance method.
+  double bottom_fraction = 0.5;
+  /// Validation share held out for permutation importance.
+  double pfi_holdout_fraction = 0.25;
+  int pfi_repeats = 2;
+  /// Models used by the inner evaluation methods.
+  ml::ForestParams rf;
+  ml::GbdtParams xgb;
+  uint64_t seed = 29;
+  /// Hard cap on iterations (termination is guaranteed anyway once the
+  /// correlation threshold exceeds 1, but this bounds wall-clock).
+  int max_iterations = 40;
+};
+
+/// Snapshot of one FRA iteration, for reporting and tests.
+struct FraIteration {
+  int iteration = 0;
+  size_t features_before = 0;
+  size_t features_removed = 0;
+  double corr_threshold = 0.0;
+};
+
+/// Output of the Feature Reduction Algorithm.
+struct FraResult {
+  /// Surviving feature names, ranked by final consensus importance
+  /// (mean normalized rank across RF-MDI, XGB-MDI, RF-PFI, XGB-PFI).
+  std::vector<std::string> selected;
+  /// Consensus importance score per selected feature (higher = better).
+  std::vector<double> selected_scores;
+  std::vector<FraIteration> history;
+};
+
+/// Runs Algorithm 1 on a scenario's candidate features: iteratively
+/// removes features ranking in the bottom `bottom_fraction` of *all four*
+/// importance methods (RF/XGB × MDI/PFI) whose |Pearson| correlation with
+/// the target is below a threshold that tightens by `corr_threshold_step`
+/// each iteration, until at most `target_size` features remain.
+Result<FraResult> RunFra(const ml::Dataset& data, const FraOptions& options);
+
+}  // namespace fab::core
+
+#endif  // FAB_CORE_FRA_H_

@@ -1,0 +1,43 @@
+#ifndef FAB_CORE_GROUPS_H_
+#define FAB_CORE_GROUPS_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace fab::core {
+
+/// One scenario's final feature vector with fine-tuned-RF importances
+/// attached (input to the short/long-term group analysis).
+struct ScoredFeatureVector {
+  int window = 1;
+  std::vector<std::string> features;
+  /// RF importance per feature, parallel to `features`.
+  std::vector<double> importance;
+};
+
+/// A merged horizon group (paper Section 4.2): features from the member
+/// windows' final vectors, importance of duplicates averaged, ranked
+/// descending.
+struct HorizonGroup {
+  std::vector<std::string> features;
+  std::vector<double> importance;
+};
+
+/// Merges the final vectors of several windows into one group: a feature
+/// appearing in multiple vectors gets the mean of its importances.
+/// Result is ranked by importance, descending.
+Result<HorizonGroup> MergeGroup(const std::vector<ScoredFeatureVector>& vectors);
+
+/// Top-k features of a group (Table 3 rows with k = 5).
+std::vector<std::string> GroupTopK(const HorizonGroup& group, size_t k);
+
+/// The k most important features of `group` that do NOT appear in
+/// `other` (Table 4 rows with k = 20).
+std::vector<std::string> GroupUniqueTopK(const HorizonGroup& group,
+                                         const HorizonGroup& other, size_t k);
+
+}  // namespace fab::core
+
+#endif  // FAB_CORE_GROUPS_H_

@@ -1,0 +1,72 @@
+#include "core/improvement.h"
+
+#include "ml/model_selection.h"
+
+namespace fab::core {
+
+double ImprovementResult::MeanImprovementPct() const {
+  if (per_category.empty()) return 0.0;
+  double acc = 0.0;
+  for (const auto& c : per_category) acc += c.improvement_pct;
+  return acc / static_cast<double>(per_category.size());
+}
+
+namespace {
+
+Result<double> CvMseOnFeatures(const ScenarioDataset& scenario,
+                               const std::vector<int>& feature_positions,
+                               ModelKind model,
+                               const ImprovementOptions& options) {
+  FAB_ASSIGN_OR_RETURN(ml::Dataset sub,
+                       scenario.data.SelectFeatures(feature_positions));
+  FAB_ASSIGN_OR_RETURN(
+      std::vector<ml::Fold> folds,
+      ml::KFold(sub.num_rows(), options.cv_folds, /*shuffle=*/true,
+                options.seed ^ 0xC0FFEEull));
+  if (model == ModelKind::kRandomForest) {
+    ml::RandomForestRegressor rf(options.rf);
+    return ml::CrossValMse(rf, sub, folds);
+  }
+  ml::GbdtRegressor xgb(options.xgb);
+  return ml::CrossValMse(xgb, sub, folds);
+}
+
+}  // namespace
+
+Result<ImprovementResult> RunImprovementExperiment(
+    const ScenarioDataset& scenario,
+    const std::vector<std::string>& final_features, ModelKind model,
+    const ImprovementOptions& options) {
+  if (final_features.empty()) {
+    return Status::InvalidArgument("empty final feature vector");
+  }
+  ImprovementResult result;
+  result.period = scenario.period;
+  result.window = scenario.window;
+  result.model = model;
+
+  FAB_ASSIGN_OR_RETURN(std::vector<int> diverse_positions,
+                       scenario.data.FeaturePositions(final_features));
+  FAB_ASSIGN_OR_RETURN(
+      result.diverse_mse,
+      CvMseOnFeatures(scenario, diverse_positions, model, options));
+
+  for (sim::DataCategory category : sim::AllCategories()) {
+    const std::vector<int> positions =
+        scenario.FeaturePositionsInCategory(category);
+    if (positions.empty()) continue;
+    CategoryImprovement ci;
+    ci.category = category;
+    FAB_ASSIGN_OR_RETURN(ci.single_mse,
+                         CvMseOnFeatures(scenario, positions, model, options));
+    ci.diverse_mse = result.diverse_mse;
+    ci.improvement_pct = result.diverse_mse > 0.0
+                             ? 100.0 * (ci.single_mse - result.diverse_mse) /
+                                   result.diverse_mse
+                             : 0.0;
+    result.per_category.push_back(ci);
+  }
+  return result;
+}
+
+}  // namespace fab::core

@@ -1,0 +1,59 @@
+#ifndef FAB_CORE_IMPROVEMENT_H_
+#define FAB_CORE_IMPROVEMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/dataset_builder.h"
+#include "ml/forest.h"
+#include "ml/gbdt.h"
+#include "util/status.h"
+
+namespace fab::core {
+
+/// Options for the diverse-vs-single-category experiment (Section 4.3).
+struct ImprovementOptions {
+  /// Folds for the cross-validated MSE of each feature set.
+  int cv_folds = 5;
+  ml::ForestParams rf;
+  ml::GbdtParams xgb;
+  uint64_t seed = 37;
+};
+
+/// Which model family runs the comparison.
+enum class ModelKind { kRandomForest = 0, kGbdt = 1 };
+
+/// Improvement of the diverse vector over one single-category vector.
+struct CategoryImprovement {
+  sim::DataCategory category;
+  double single_mse = 0.0;
+  double diverse_mse = 0.0;
+  /// Percentage MSE decrease: 100 * (single - diverse) / diverse.
+  double improvement_pct = 0.0;
+};
+
+/// Result of one scenario's improvement experiment.
+struct ImprovementResult {
+  StudyPeriod period;
+  int window = 1;
+  ModelKind model;
+  double diverse_mse = 0.0;
+  std::vector<CategoryImprovement> per_category;
+
+  /// Mean improvement over the represented categories.
+  double MeanImprovementPct() const;
+};
+
+/// Trains `model` on (a) the scenario's diverse final feature vector and
+/// (b) each category's full candidate set, and reports the MSE decrease
+/// the diverse vector delivers (cross-validated). Mirrors the paper's
+/// "performance improvement" definition.
+Result<ImprovementResult> RunImprovementExperiment(
+    const ScenarioDataset& scenario,
+    const std::vector<std::string>& final_features, ModelKind model,
+    const ImprovementOptions& options);
+
+}  // namespace fab::core
+
+#endif  // FAB_CORE_IMPROVEMENT_H_

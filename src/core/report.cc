@@ -1,0 +1,113 @@
+#include "core/report.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace fab::core {
+
+AsciiTable::AsciiTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void AsciiTable::AddRow(std::vector<std::string> row) {
+  assert(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string AsciiTable::Render() const {
+  std::vector<size_t> width(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      line += " " + row[c] + std::string(width[c] - row[c].size(), ' ') + " |";
+    }
+    return line + "\n";
+  };
+  std::string sep = "+";
+  for (size_t c = 0; c < header_.size(); ++c) {
+    sep += std::string(width[c] + 2, '-') + "+";
+  }
+  sep += "\n";
+  std::string out = sep + render_row(header_) + sep;
+  for (const auto& row : rows_) out += render_row(row);
+  out += sep;
+  return out;
+}
+
+std::string AsciiSeries(const std::string& title,
+                        const std::vector<std::string>& labels,
+                        const std::vector<double>& values, size_t max_points,
+                        int height) {
+  if (values.empty() || labels.size() != values.size() || height < 2) {
+    return title + "\n(empty series)\n";
+  }
+  // Downsample evenly.
+  std::vector<size_t> picks;
+  const size_t n = values.size();
+  const size_t count = std::min(max_points, n);
+  for (size_t k = 0; k < count; ++k) picks.push_back(k * n / count);
+
+  double lo = values[picks[0]];
+  double hi = lo;
+  for (size_t idx : picks) {
+    lo = std::min(lo, values[idx]);
+    hi = std::max(hi, values[idx]);
+  }
+  if (hi <= lo) hi = lo + 1.0;
+
+  std::vector<std::string> grid(static_cast<size_t>(height),
+                                std::string(picks.size(), ' '));
+  for (size_t k = 0; k < picks.size(); ++k) {
+    const double frac = (values[picks[k]] - lo) / (hi - lo);
+    const int row =
+        height - 1 - static_cast<int>(std::lround(frac * (height - 1)));
+    grid[static_cast<size_t>(row)][k] = '*';
+  }
+  std::string out = title + "\n";
+  out += "  max " + FormatDouble(hi, 2) + "\n";
+  for (const auto& line : grid) out += "  |" + line + "\n";
+  out += "  min " + FormatDouble(lo, 2) + "   [" + labels[picks.front()] +
+         " .. " + labels[picks.back()] + "]\n";
+  return out;
+}
+
+std::string AsciiGroupedBars(const std::string& title,
+                             const std::vector<std::string>& group_labels,
+                             const std::vector<std::string>& series_names,
+                             const std::vector<std::vector<double>>& values,
+                             int bar_width) {
+  std::string out = title + "\n";
+  double max_v = 0.0;
+  for (const auto& series : values) {
+    for (double v : series) max_v = std::max(max_v, v);
+  }
+  if (max_v <= 0.0) max_v = 1.0;
+  size_t name_width = 0;
+  for (const auto& name : series_names) {
+    name_width = std::max(name_width, name.size());
+  }
+  for (size_t g = 0; g < group_labels.size(); ++g) {
+    out += group_labels[g] + "\n";
+    for (size_t s = 0; s < series_names.size(); ++s) {
+      if (g >= values[s].size()) continue;
+      const double v = values[s][g];
+      const int len = static_cast<int>(
+          std::lround(v / max_v * static_cast<double>(bar_width)));
+      out += "  " + series_names[s] +
+             std::string(name_width - series_names[s].size(), ' ') + " | " +
+             std::string(static_cast<size_t>(len), '#') + " " +
+             FormatDouble(v, 3) + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace fab::core

@@ -1,0 +1,44 @@
+#ifndef FAB_CORE_REPORT_H_
+#define FAB_CORE_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace fab::core {
+
+/// Minimal ASCII table renderer used by the experiment binaries to print
+/// the paper's tables.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  /// Adds one row; must match the header width.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders with column-width alignment, `| a | b |` style.
+  std::string Render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders a numeric series as a fixed-height ASCII sparkline block —
+/// enough to eyeball the figures' shapes in a terminal. `labels` and
+/// `values` must have equal lengths; only ~`max_points` evenly spaced
+/// points are drawn.
+std::string AsciiSeries(const std::string& title,
+                        const std::vector<std::string>& labels,
+                        const std::vector<double>& values,
+                        size_t max_points = 60, int height = 12);
+
+/// Renders several aligned series as horizontal-bar groups, one block per
+/// label (used for the contribution-factor figures).
+std::string AsciiGroupedBars(
+    const std::string& title, const std::vector<std::string>& group_labels,
+    const std::vector<std::string>& series_names,
+    const std::vector<std::vector<double>>& values, int bar_width = 40);
+
+}  // namespace fab::core
+
+#endif  // FAB_CORE_REPORT_H_

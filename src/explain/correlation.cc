@@ -1,0 +1,23 @@
+#include "explain/correlation.h"
+
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace fab::explain {
+
+std::vector<double> FeatureTargetCorrelations(const ml::Dataset& data) {
+  std::vector<double> out(data.num_features(), 0.0);
+  for (size_t j = 0; j < data.num_features(); ++j) {
+    out[j] = stats::PearsonCorrelation(data.x.column(j), data.y);
+  }
+  return out;
+}
+
+std::vector<double> AbsFeatureTargetCorrelations(const ml::Dataset& data) {
+  std::vector<double> out = FeatureTargetCorrelations(data);
+  for (double& v : out) v = std::fabs(v);
+  return out;
+}
+
+}  // namespace fab::explain

@@ -1,0 +1,20 @@
+#ifndef FAB_EXPLAIN_CORRELATION_H_
+#define FAB_EXPLAIN_CORRELATION_H_
+
+#include <vector>
+
+#include "ml/matrix.h"
+
+namespace fab::explain {
+
+/// Pearson correlation of every feature with the target (signed, in
+/// [-1, 1]; 0 for constant features).
+std::vector<double> FeatureTargetCorrelations(const ml::Dataset& data);
+
+/// |Pearson| of every feature with the target — the correlation signal
+/// the Feature Reduction Algorithm thresholds on.
+std::vector<double> AbsFeatureTargetCorrelations(const ml::Dataset& data);
+
+}  // namespace fab::explain
+
+#endif  // FAB_EXPLAIN_CORRELATION_H_

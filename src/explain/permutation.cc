@@ -1,0 +1,39 @@
+#include "explain/permutation.h"
+
+#include "ml/metrics.h"
+#include "util/random.h"
+
+namespace fab::explain {
+
+Result<std::vector<double>> PermutationImportance(
+    const ml::Regressor& model, const ml::Dataset& data,
+    const PermutationOptions& options) {
+  if (options.n_repeats < 1) {
+    return Status::InvalidArgument("n_repeats must be >= 1");
+  }
+  if (data.num_rows() < 2) {
+    return Status::InvalidArgument("need at least two rows");
+  }
+  const std::vector<double> base_pred = model.Predict(data.x);
+  const double base_mse = ml::MeanSquaredError(data.y, base_pred);
+
+  Rng rng(options.seed);
+  ml::ColMatrix scratch = data.x;  // one mutable copy, column restored after use
+  std::vector<double> importance(data.num_features(), 0.0);
+  for (size_t j = 0; j < data.num_features(); ++j) {
+    const std::vector<double> original = data.x.column(j);
+    double acc = 0.0;
+    for (int r = 0; r < options.n_repeats; ++r) {
+      std::vector<double> shuffled = original;
+      rng.Shuffle(shuffled);
+      scratch.mutable_column(j) = std::move(shuffled);
+      const std::vector<double> pred = model.Predict(scratch);
+      acc += ml::MeanSquaredError(data.y, pred) - base_mse;
+    }
+    scratch.mutable_column(j) = original;
+    importance[j] = acc / static_cast<double>(options.n_repeats);
+  }
+  return importance;
+}
+
+}  // namespace fab::explain

@@ -1,0 +1,30 @@
+#ifndef FAB_EXPLAIN_PERMUTATION_H_
+#define FAB_EXPLAIN_PERMUTATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/estimator.h"
+#include "ml/matrix.h"
+#include "util/status.h"
+
+namespace fab::explain {
+
+/// Options for permutation feature importance.
+struct PermutationOptions {
+  int n_repeats = 3;
+  uint64_t seed = 17;
+};
+
+/// Permutation Feature Importance (PFI): the increase in MSE when a
+/// feature column is shuffled on held-out data. Unlike MDI, this measures
+/// the effect on actual predictive performance, which the paper uses to
+/// offset training-bias in impurity importances. Returns one value per
+/// feature (larger = more important; ≈0 or negative = irrelevant).
+Result<std::vector<double>> PermutationImportance(
+    const ml::Regressor& model, const ml::Dataset& data,
+    const PermutationOptions& options);
+
+}  // namespace fab::explain
+
+#endif  // FAB_EXPLAIN_PERMUTATION_H_

@@ -1,0 +1,11 @@
+#include "ml/estimator.h"
+
+namespace fab::ml {
+
+std::vector<double> Regressor::Predict(const ColMatrix& x) const {
+  std::vector<double> out(x.rows());
+  for (size_t r = 0; r < x.rows(); ++r) out[r] = PredictOne(x, r);
+  return out;
+}
+
+}  // namespace fab::ml

@@ -1,0 +1,128 @@
+#include "ml/forest.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <thread>
+
+namespace fab::ml {
+
+Status RandomForestRegressor::Fit(const ColMatrix& x,
+                                  const std::vector<double>& y) {
+  if (y.size() != x.rows()) {
+    return Status::InvalidArgument("x/y size mismatch");
+  }
+  if (x.rows() == 0) return Status::InvalidArgument("empty training set");
+  if (params_.n_trees < 1) {
+    return Status::InvalidArgument("n_trees must be >= 1");
+  }
+  if (params_.max_features <= 0.0 || params_.max_features > 1.0) {
+    return Status::InvalidArgument("max_features must be in (0, 1]");
+  }
+
+  FAB_ASSIGN_OR_RETURN(BinnedMatrix binned, BinnedMatrix::Build(x));
+
+  const size_t n = x.rows();
+  num_features_ = x.cols();
+  trees_.assign(static_cast<size_t>(params_.n_trees), RegressionTree());
+
+  TreeParams tree_params;
+  tree_params.max_depth = params_.max_depth;
+  tree_params.min_child_weight = params_.min_samples_leaf;
+  tree_params.min_split_weight = params_.min_samples_split;
+  tree_params.lambda = 0.0;
+  tree_params.gamma = 0.0;
+  tree_params.colsample_per_node = params_.max_features;
+
+  const int bootstrap_count = std::max(
+      1, static_cast<int>(std::lround(params_.bootstrap_fraction *
+                                      static_cast<double>(n))));
+
+  std::atomic<int> next_tree{0};
+  std::atomic<bool> failed{false};
+  auto worker = [&]() {
+    while (true) {
+      const int t = next_tree.fetch_add(1);
+      if (t >= params_.n_trees || failed.load()) return;
+      Rng rng(params_.seed + 0x9E37u * static_cast<uint64_t>(t + 1));
+      // Bootstrap as per-sample weights; g = -w*y, h = w makes the
+      // second-order tree reduce to weighted-variance CART.
+      std::vector<double> g(n, 0.0), h(n, 0.0);
+      for (int k = 0; k < bootstrap_count; ++k) {
+        const size_t i = rng.UniformInt(n);
+        g[i] -= y[i];
+        h[i] += 1.0;
+      }
+      Status s =
+          trees_[static_cast<size_t>(t)].Fit(binned, g, h, tree_params, &rng);
+      if (!s.ok()) failed.store(true);
+    }
+  };
+
+  int threads = params_.num_threads;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 4;
+  }
+  threads = std::min(threads, params_.n_trees);
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(threads));
+  for (int i = 0; i < threads; ++i) pool.emplace_back(worker);
+  for (auto& th : pool) th.join();
+
+  if (failed.load()) {
+    trees_.clear();
+    return Status::Internal("tree fitting failed");
+  }
+  return Status::OK();
+}
+
+double RandomForestRegressor::PredictOne(const ColMatrix& x,
+                                         size_t row) const {
+  double sum = 0.0;
+  for (const RegressionTree& tree : trees_) sum += tree.PredictOne(x, row);
+  return trees_.empty() ? 0.0 : sum / static_cast<double>(trees_.size());
+}
+
+Status RandomForestRegressor::SetParam(const std::string& name, double value) {
+  if (name == "n_trees") {
+    params_.n_trees = static_cast<int>(value);
+  } else if (name == "max_depth") {
+    params_.max_depth = static_cast<int>(value);
+  } else if (name == "min_samples_leaf") {
+    params_.min_samples_leaf = value;
+  } else if (name == "min_samples_split") {
+    params_.min_samples_split = value;
+  } else if (name == "max_features") {
+    params_.max_features = value;
+  } else if (name == "bootstrap_fraction") {
+    params_.bootstrap_fraction = value;
+  } else if (name == "seed") {
+    params_.seed = static_cast<uint64_t>(value);
+  } else {
+    return Status::InvalidArgument("unknown rf parameter: " + name);
+  }
+  return Status::OK();
+}
+
+std::unique_ptr<Regressor> RandomForestRegressor::CloneUnfitted() const {
+  return std::make_unique<RandomForestRegressor>(params_);
+}
+
+std::vector<double> RandomForestRegressor::FeatureImportances() const {
+  std::vector<double> imp(num_features_, 0.0);
+  for (const RegressionTree& tree : trees_) {
+    const std::vector<double>& gain = tree.gain_importance();
+    for (size_t j = 0; j < gain.size() && j < imp.size(); ++j) {
+      imp[j] += gain[j];
+    }
+  }
+  double total = 0.0;
+  for (double v : imp) total += v;
+  if (total > 0.0) {
+    for (double& v : imp) v /= total;
+  }
+  return imp;
+}
+
+}  // namespace fab::ml

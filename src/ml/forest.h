@@ -1,0 +1,57 @@
+#ifndef FAB_ML_FOREST_H_
+#define FAB_ML_FOREST_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ml/estimator.h"
+#include "ml/tree.h"
+
+namespace fab::ml {
+
+/// Random-forest hyperparameters (sklearn-compatible semantics).
+struct ForestParams {
+  int n_trees = 100;
+  int max_depth = 10;
+  /// Minimum (bootstrap-weighted) samples in each leaf.
+  double min_samples_leaf = 2.0;
+  /// Minimum samples in a node to attempt a split.
+  double min_samples_split = 4.0;
+  /// Fraction of features evaluated per node, in (0, 1].
+  double max_features = 0.33;
+  /// Bootstrap sample size as a fraction of the training size.
+  double bootstrap_fraction = 1.0;
+  uint64_t seed = 7;
+  /// Trees trained concurrently (0 = hardware concurrency).
+  int num_threads = 0;
+};
+
+/// Bagged ensemble of exact-greedy CART trees with per-node feature
+/// subsampling. Prediction is the mean of tree predictions; importances
+/// are gain-based MDI averaged over trees.
+class RandomForestRegressor : public Regressor {
+ public:
+  RandomForestRegressor() = default;
+  explicit RandomForestRegressor(const ForestParams& params)
+      : params_(params) {}
+
+  Status Fit(const ColMatrix& x, const std::vector<double>& y) override;
+  double PredictOne(const ColMatrix& x, size_t row) const override;
+  Status SetParam(const std::string& name, double value) override;
+  std::unique_ptr<Regressor> CloneUnfitted() const override;
+  std::vector<double> FeatureImportances() const override;
+  std::string name() const override { return "rf"; }
+
+  const ForestParams& params() const { return params_; }
+  const std::vector<RegressionTree>& trees() const { return trees_; }
+
+ private:
+  ForestParams params_;
+  std::vector<RegressionTree> trees_;
+  size_t num_features_ = 0;
+};
+
+}  // namespace fab::ml
+
+#endif  // FAB_ML_FOREST_H_

@@ -1,0 +1,114 @@
+#include "ml/gbdt.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fab::ml {
+
+Status GbdtRegressor::Fit(const ColMatrix& x, const std::vector<double>& y) {
+  if (y.size() != x.rows()) {
+    return Status::InvalidArgument("x/y size mismatch");
+  }
+  if (x.rows() == 0) return Status::InvalidArgument("empty training set");
+  if (params_.n_rounds < 1) {
+    return Status::InvalidArgument("n_rounds must be >= 1");
+  }
+  if (params_.subsample <= 0.0 || params_.subsample > 1.0) {
+    return Status::InvalidArgument("subsample must be in (0, 1]");
+  }
+
+  FAB_ASSIGN_OR_RETURN(BinnedMatrix binned, BinnedMatrix::Build(x));
+
+  const size_t n = x.rows();
+  num_features_ = x.cols();
+  base_score_ = 0.0;
+  for (double v : y) base_score_ += v;
+  base_score_ /= static_cast<double>(n);
+
+  TreeParams tree_params;
+  tree_params.max_depth = params_.max_depth;
+  tree_params.min_child_weight = params_.min_child_weight;
+  tree_params.min_split_weight = 2.0 * params_.min_child_weight;
+  tree_params.lambda = params_.lambda;
+  tree_params.gamma = params_.gamma;
+  tree_params.colsample_per_node = params_.colsample;
+
+  std::vector<double> pred(n, base_score_);
+  std::vector<double> g(n), h(n);
+  trees_.clear();
+  trees_.reserve(static_cast<size_t>(params_.n_rounds));
+  Rng rng(params_.seed);
+
+  for (int round = 0; round < params_.n_rounds; ++round) {
+    for (size_t i = 0; i < n; ++i) {
+      // Squared loss: g = d/dpred 0.5*(pred-y)^2 = pred - y, h = 1;
+      // row subsampling zeroes both.
+      const bool keep =
+          params_.subsample >= 1.0 || rng.Bernoulli(params_.subsample);
+      g[i] = keep ? pred[i] - y[i] : 0.0;
+      h[i] = keep ? 1.0 : 0.0;
+    }
+    RegressionTree tree;
+    FAB_RETURN_IF_ERROR(tree.Fit(binned, g, h, tree_params, &rng));
+    for (size_t i = 0; i < n; ++i) {
+      pred[i] += params_.learning_rate * tree.PredictOne(x, i);
+    }
+    trees_.push_back(std::move(tree));
+  }
+  return Status::OK();
+}
+
+double GbdtRegressor::PredictOne(const ColMatrix& x, size_t row) const {
+  double out = base_score_;
+  for (const RegressionTree& tree : trees_) {
+    out += params_.learning_rate * tree.PredictOne(x, row);
+  }
+  return out;
+}
+
+Status GbdtRegressor::SetParam(const std::string& name, double value) {
+  if (name == "n_rounds") {
+    params_.n_rounds = static_cast<int>(value);
+  } else if (name == "learning_rate") {
+    params_.learning_rate = value;
+  } else if (name == "max_depth") {
+    params_.max_depth = static_cast<int>(value);
+  } else if (name == "lambda") {
+    params_.lambda = value;
+  } else if (name == "gamma") {
+    params_.gamma = value;
+  } else if (name == "min_child_weight") {
+    params_.min_child_weight = value;
+  } else if (name == "subsample") {
+    params_.subsample = value;
+  } else if (name == "colsample") {
+    params_.colsample = value;
+  } else if (name == "seed") {
+    params_.seed = static_cast<uint64_t>(value);
+  } else {
+    return Status::InvalidArgument("unknown xgb parameter: " + name);
+  }
+  return Status::OK();
+}
+
+std::unique_ptr<Regressor> GbdtRegressor::CloneUnfitted() const {
+  return std::make_unique<GbdtRegressor>(params_);
+}
+
+std::vector<double> GbdtRegressor::FeatureImportances() const {
+  std::vector<double> imp(num_features_, 0.0);
+  for (const RegressionTree& tree : trees_) {
+    const std::vector<double>& gain = tree.gain_importance();
+    for (size_t j = 0; j < gain.size() && j < imp.size(); ++j) {
+      imp[j] += gain[j];
+    }
+  }
+  double total = 0.0;
+  for (double v : imp) total += v;
+  if (total > 0.0) {
+    for (double& v : imp) v /= total;
+  }
+  return imp;
+}
+
+}  // namespace fab::ml

@@ -1,0 +1,100 @@
+#include "ml/model_selection.h"
+
+#include <limits>
+#include <numeric>
+
+#include "ml/metrics.h"
+#include "util/random.h"
+
+namespace fab::ml {
+
+Result<std::vector<Fold>> KFold(size_t n, int k, bool shuffle, uint64_t seed) {
+  if (k < 2) return Status::InvalidArgument("k must be >= 2");
+  if (n < static_cast<size_t>(k)) {
+    return Status::InvalidArgument("not enough rows for k folds");
+  }
+  std::vector<int> rows(n);
+  std::iota(rows.begin(), rows.end(), 0);
+  if (shuffle) {
+    Rng rng(seed);
+    rng.Shuffle(rows);
+  }
+  std::vector<Fold> folds(static_cast<size_t>(k));
+  // Fold sizes differ by at most one.
+  const size_t base = n / static_cast<size_t>(k);
+  const size_t extra = n % static_cast<size_t>(k);
+  size_t start = 0;
+  for (int f = 0; f < k; ++f) {
+    const size_t size = base + (static_cast<size_t>(f) < extra ? 1 : 0);
+    Fold& fold = folds[static_cast<size_t>(f)];
+    fold.validation.assign(rows.begin() + static_cast<long>(start),
+                           rows.begin() + static_cast<long>(start + size));
+    fold.train.reserve(n - size);
+    for (size_t i = 0; i < n; ++i) {
+      if (i < start || i >= start + size) fold.train.push_back(rows[i]);
+    }
+    start += size;
+  }
+  return folds;
+}
+
+std::vector<ParamPoint> ExpandGrid(
+    const std::map<std::string, std::vector<double>>& grid) {
+  std::vector<ParamPoint> points{{}};
+  for (const auto& [name, values] : grid) {
+    std::vector<ParamPoint> next;
+    next.reserve(points.size() * values.size());
+    for (const auto& p : points) {
+      for (double v : values) {
+        ParamPoint q = p;
+        q[name] = v;
+        next.push_back(std::move(q));
+      }
+    }
+    points = std::move(next);
+  }
+  return points;
+}
+
+Result<double> CrossValMse(const Regressor& prototype, const Dataset& data,
+                           const std::vector<Fold>& folds) {
+  if (folds.empty()) return Status::InvalidArgument("no folds");
+  double total = 0.0;
+  for (const Fold& fold : folds) {
+    Dataset train = data.TakeRows(fold.train);
+    Dataset valid = data.TakeRows(fold.validation);
+    std::unique_ptr<Regressor> model = prototype.CloneUnfitted();
+    FAB_RETURN_IF_ERROR(model->Fit(train.x, train.y));
+    const std::vector<double> pred = model->Predict(valid.x);
+    total += MeanSquaredError(valid.y, pred);
+  }
+  return total / static_cast<double>(folds.size());
+}
+
+Result<GridSearchResult> GridSearchCV(const Regressor& prototype,
+                                      const Dataset& data,
+                                      const std::vector<ParamPoint>& grid,
+                                      int k_folds, uint64_t seed) {
+  if (grid.empty()) return Status::InvalidArgument("empty parameter grid");
+  FAB_ASSIGN_OR_RETURN(std::vector<Fold> folds,
+                       KFold(data.num_rows(), k_folds, /*shuffle=*/true, seed));
+  GridSearchResult result;
+  result.all_mse.reserve(grid.size());
+  double best = std::numeric_limits<double>::infinity();
+  for (const ParamPoint& point : grid) {
+    std::unique_ptr<Regressor> candidate = prototype.CloneUnfitted();
+    for (const auto& [name, value] : point) {
+      FAB_RETURN_IF_ERROR(candidate->SetParam(name, value));
+    }
+    FAB_ASSIGN_OR_RETURN(double mse, CrossValMse(*candidate, data, folds));
+    result.all_mse.push_back(mse);
+    if (mse < best) {
+      best = mse;
+      result.best_params = point;
+      result.best_mse = mse;
+    }
+  }
+  return result;
+}
+
+}  // namespace fab::ml

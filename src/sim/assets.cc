@@ -1,0 +1,144 @@
+#include "sim/assets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/random.h"
+
+namespace fab::sim {
+
+namespace {
+
+/// Scripted BTC dominance backbone (BTC cap / total crypto cap): high in
+/// early 2017, diluted by the 2017/2021 alt seasons, recovering in bears.
+double DominanceBackbone(Date d) {
+  struct Era {
+    Date until;
+    double dominance;
+  };
+  static const Era kEras[] = {
+      {Date(2017, 2, 28), 0.87},  {Date(2017, 6, 30), 0.62},
+      {Date(2018, 1, 15), 0.38},  {Date(2018, 12, 31), 0.52},
+      {Date(2019, 9, 30), 0.68},  {Date(2020, 12, 31), 0.64},
+      {Date(2021, 5, 15), 0.43},  {Date(2021, 12, 31), 0.41},
+      {Date(2022, 12, 31), 0.40}, {Date(2023, 6, 30), 0.48},
+  };
+  for (const Era& era : kEras) {
+    if (d <= era.until) return era.dominance;
+  }
+  return 0.5;
+}
+
+}  // namespace
+
+double BtcSupplyOn(Date d) {
+  // Reward eras relevant to the simulation window. Supplies anchored to
+  // the actual schedule: ~15.72M on 2016-07-09 (2nd halving).
+  const Date halving2(2016, 7, 9);
+  const Date halving3(2020, 5, 11);
+  const double blocks_per_day = 144.0;
+  double supply = 15.72e6;
+  if (d <= halving2) return supply;
+  const Date upto3 = std::min(d, halving3);
+  supply += static_cast<double>(upto3 - halving2) * blocks_per_day * 12.5;
+  if (d > halving3) {
+    supply += static_cast<double>(d - halving3) * blocks_per_day * 6.25;
+  }
+  return supply;
+}
+
+double AssetPanel::TopKSum(size_t t, int k) const {
+  std::vector<double> caps = mcap[t];
+  const size_t kk = std::min(static_cast<size_t>(k), caps.size());
+  std::partial_sort(caps.begin(), caps.begin() + static_cast<long>(kk),
+                    caps.end(), std::greater<double>());
+  double sum = 0.0;
+  for (size_t i = 0; i < kk; ++i) sum += caps[i];
+  return sum;
+}
+
+double AssetPanel::TotalSum(size_t t) const {
+  double sum = 0.0;
+  for (double c : mcap[t]) sum += c;
+  return sum;
+}
+
+std::vector<double> AssetPanel::BtcMcap() const {
+  std::vector<double> out(num_days());
+  for (size_t t = 0; t < num_days(); ++t) out[t] = mcap[t][0];
+  return out;
+}
+
+Result<AssetPanel> GenerateAssetPanel(const LatentState& latent,
+                                      const AssetUniverseConfig& config) {
+  if (config.num_alts < 100) {
+    return Status::InvalidArgument(
+        "asset universe needs at least 100 alts to fill a top-100 index");
+  }
+  const size_t n = latent.num_days();
+  const size_t na = static_cast<size_t>(config.num_alts);
+  AssetPanel panel;
+  panel.dates = latent.dates;
+  panel.names.reserve(na + 1);
+  panel.launch.reserve(na + 1);
+  panel.names.push_back("BTC");
+  panel.launch.push_back(Date(2009, 1, 3));
+
+  Rng rng(config.seed);
+  // Alts launch progressively: 40% exist at the start, the rest arrive
+  // uniformly through 2021 (the maturing-market churn the paper notes).
+  for (size_t i = 0; i < na; ++i) {
+    panel.names.push_back("ALT" + std::to_string(i + 1));
+    if (rng.Bernoulli(0.40)) {
+      panel.launch.push_back(latent.dates.front());
+    } else {
+      const int64_t span = Date(2021, 12, 31) - latent.dates.front();
+      panel.launch.push_back(latent.dates.front().AddDays(
+          static_cast<int64_t>(rng.UniformInt(static_cast<uint64_t>(span)))));
+    }
+  }
+
+  // Zipf base weights (asset i gets 1/(i+1)^s) and per-asset log walks.
+  std::vector<double> log_w(na);
+  for (size_t i = 0; i < na; ++i) {
+    log_w[i] = -config.zipf_exponent * std::log(static_cast<double>(i) + 2.0) +
+               0.5 * rng.Normal();
+  }
+
+  // Dominance path: mean-reverting to the scripted backbone, nudged by
+  // micro-regime (alts outperform in bulls).
+  double dom = DominanceBackbone(latent.dates.front());
+
+  panel.mcap.assign(n, std::vector<double>(na + 1, 0.0));
+  for (size_t t = 0; t < n; ++t) {
+    const double btc_cap = latent.btc_close[t] * BtcSupplyOn(latent.dates[t]);
+    panel.mcap[t][0] = btc_cap;
+
+    const double target = DominanceBackbone(latent.dates[t]);
+    const double regime_push =
+        latent.regime[t] == Regime::kBull ? -0.0006 : 0.0004;
+    dom += 0.010 * (target - dom) + 1.6 * regime_push + 0.008 * rng.Normal();
+    dom = std::clamp(dom, 0.30, 0.92);
+    const double alt_total = btc_cap * (1.0 - dom) / dom;
+
+    // Evolve alt weights and renormalize over launched assets.
+    double wsum = 0.0;
+    for (size_t i = 0; i < na; ++i) {
+      log_w[i] += config.weight_walk_sigma * rng.Normal() -
+                  0.001 * log_w[i];  // slight pull to the Zipf anchor
+      if (latent.dates[t] >= panel.launch[i + 1]) {
+        wsum += std::exp(log_w[i]);
+      }
+    }
+    if (wsum > 0.0) {
+      for (size_t i = 0; i < na; ++i) {
+        if (latent.dates[t] >= panel.launch[i + 1]) {
+          panel.mcap[t][i + 1] = alt_total * std::exp(log_w[i]) / wsum;
+        }
+      }
+    }
+  }
+  return panel;
+}
+
+}  // namespace fab::sim

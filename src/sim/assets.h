@@ -1,0 +1,65 @@
+#ifndef FAB_SIM_ASSETS_H_
+#define FAB_SIM_ASSETS_H_
+
+#include <string>
+#include <vector>
+
+#include "sim/latent.h"
+#include "util/status.h"
+
+namespace fab::sim {
+
+/// Configuration of the simulated asset universe.
+struct AssetUniverseConfig {
+  /// Number of non-BTC assets (the long tail beyond the top 100 is what
+  /// makes the Figure-1 comparison meaningful).
+  int num_alts = 250;
+  /// Zipf exponent of the baseline alt market-cap distribution.
+  double zipf_exponent = 1.35;
+  /// Daily volatility of each alt's log-weight random walk (rank churn).
+  double weight_walk_sigma = 0.035;
+  uint64_t seed = 1234;
+};
+
+/// Daily market capitalizations for BTC plus a churning altcoin universe.
+///
+/// BTC's cap is price × deterministic issuance schedule (halvings in 2016
+/// and 2020). The aggregate alt market tracks BTC's cap through a scripted
+/// "dominance" path (alt seasons in 2017/2021); individual alts hold
+/// Zipf-distributed shares perturbed by log random walks, and launch at
+/// staggered dates, so membership of the top 100 churns over time like the
+/// real market.
+struct AssetPanel {
+  std::vector<Date> dates;
+  /// Asset names; index 0 is "BTC".
+  std::vector<std::string> names;
+  /// Launch date per asset (caps are 0 before launch).
+  std::vector<Date> launch;
+  /// mcap[t][i]: market cap (USD) of asset i on day t.
+  std::vector<std::vector<double>> mcap;
+
+  size_t num_days() const { return dates.size(); }
+  size_t num_assets() const { return names.size(); }
+
+  /// Sum of the `k` largest caps on day `t`.
+  double TopKSum(size_t t, int k) const;
+
+  /// Sum of all caps on day `t`.
+  double TotalSum(size_t t) const;
+
+  /// BTC market cap series (column 0).
+  std::vector<double> BtcMcap() const;
+};
+
+/// BTC circulating supply on a date, from the deterministic issuance
+/// schedule (12.5 BTC/block until the May-2020 halving, then 6.25;
+/// 144 blocks/day).
+double BtcSupplyOn(Date d);
+
+/// Builds the asset panel on top of a latent state.
+Result<AssetPanel> GenerateAssetPanel(const LatentState& latent,
+                                      const AssetUniverseConfig& config);
+
+}  // namespace fab::sim
+
+#endif  // FAB_SIM_ASSETS_H_

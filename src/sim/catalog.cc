@@ -1,0 +1,95 @@
+#include "sim/catalog.h"
+
+namespace fab::sim {
+
+const std::vector<DataCategory>& AllCategories() {
+  static const std::vector<DataCategory>* kAll = new std::vector<DataCategory>{
+      DataCategory::kMacro,      DataCategory::kTechnical,
+      DataCategory::kSentiment,  DataCategory::kTradFi,
+      DataCategory::kOnChainBtc, DataCategory::kOnChainUsdc,
+      DataCategory::kOnChainEth,
+  };
+  return *kAll;
+}
+
+const char* CategoryName(DataCategory c) {
+  switch (c) {
+    case DataCategory::kMacro:
+      return "Macroeconomic Indicators";
+    case DataCategory::kTechnical:
+      return "Technical Indicators";
+    case DataCategory::kSentiment:
+      return "Sentiment and Interest Metrics";
+    case DataCategory::kTradFi:
+      return "Traditional Market Indices";
+    case DataCategory::kOnChainBtc:
+      return "On-chain Metrics (BTC)";
+    case DataCategory::kOnChainUsdc:
+      return "On-chain Metrics (USDC)";
+    case DataCategory::kOnChainEth:
+      return "On-chain Metrics (ETH)";
+  }
+  return "Unknown";
+}
+
+const char* CategoryKey(DataCategory c) {
+  switch (c) {
+    case DataCategory::kMacro:
+      return "macro";
+    case DataCategory::kTechnical:
+      return "technical";
+    case DataCategory::kSentiment:
+      return "sentiment";
+    case DataCategory::kTradFi:
+      return "tradfi";
+    case DataCategory::kOnChainBtc:
+      return "onchain_btc";
+    case DataCategory::kOnChainUsdc:
+      return "onchain_usdc";
+    case DataCategory::kOnChainEth:
+      return "onchain_eth";
+  }
+  return "unknown";
+}
+
+Result<DataCategory> CategoryFromKey(const std::string& key) {
+  for (DataCategory c : AllCategories()) {
+    if (key == CategoryKey(c)) return c;
+  }
+  return Status::NotFound("unknown category key: " + key);
+}
+
+Status MetricCatalog::Add(const std::string& name, DataCategory category,
+                          const std::string& description) {
+  if (by_name_.count(name) > 0) {
+    return Status::AlreadyExists("metric already registered: " + name);
+  }
+  by_name_[name] = metrics_.size();
+  metrics_.push_back(MetricInfo{name, category, description});
+  return Status::OK();
+}
+
+Result<DataCategory> MetricCatalog::CategoryOf(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("metric not in catalog: " + name);
+  }
+  return metrics_[it->second].category;
+}
+
+size_t MetricCatalog::CountInCategory(DataCategory category) const {
+  size_t n = 0;
+  for (const auto& m : metrics_) n += (m.category == category);
+  return n;
+}
+
+std::vector<std::string> MetricCatalog::NamesInCategory(
+    DataCategory category) const {
+  std::vector<std::string> out;
+  for (const auto& m : metrics_) {
+    if (m.category == category) out.push_back(m.name);
+  }
+  return out;
+}
+
+}  // namespace fab::sim

@@ -1,0 +1,77 @@
+#ifndef FAB_SIM_CATALOG_H_
+#define FAB_SIM_CATALOG_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace fab::sim {
+
+/// The paper's data-source categories (Section 2.2), with BTC and USDC
+/// on-chain metrics tracked as separate subcategories (Section 3.1.2).
+enum class DataCategory {
+  kMacro = 0,
+  kTechnical,
+  kSentiment,
+  kTradFi,
+  kOnChainBtc,
+  kOnChainUsdc,
+  /// Extension category (paper future work): an ETH-like DeFi
+  /// representative. Off by default in the simulation config.
+  kOnChainEth,
+};
+
+/// All categories, in a stable display order.
+const std::vector<DataCategory>& AllCategories();
+
+/// Display name, e.g. "Macroeconomic Indicators".
+const char* CategoryName(DataCategory c);
+
+/// Short key, e.g. "macro", "onchain_btc" (used in CSV artifacts).
+const char* CategoryKey(DataCategory c);
+
+/// Parses a short key back to a category.
+Result<DataCategory> CategoryFromKey(const std::string& key);
+
+/// Metadata for one metric column.
+struct MetricInfo {
+  std::string name;
+  DataCategory category;
+  std::string description;
+};
+
+/// Registry mapping metric names to their category, built up as the
+/// generators add columns. The contribution-factor analysis (Figures 3/4)
+/// divides per-category selections by these candidate counts.
+class MetricCatalog {
+ public:
+  /// Registers a metric. Fails on duplicate names.
+  Status Add(const std::string& name, DataCategory category,
+             const std::string& description = "");
+
+  bool Has(const std::string& name) const { return by_name_.count(name) > 0; }
+
+  /// Category of a metric. Fails if unknown.
+  Result<DataCategory> CategoryOf(const std::string& name) const;
+
+  /// All registered metrics in insertion order.
+  const std::vector<MetricInfo>& metrics() const { return metrics_; }
+
+  /// Number of registered metrics in `category`.
+  size_t CountInCategory(DataCategory category) const;
+
+  /// Names of metrics in `category`, in insertion order.
+  std::vector<std::string> NamesInCategory(DataCategory category) const;
+
+  size_t size() const { return metrics_.size(); }
+
+ private:
+  std::vector<MetricInfo> metrics_;
+  std::unordered_map<std::string, size_t> by_name_;
+};
+
+}  // namespace fab::sim
+
+#endif  // FAB_SIM_CATALOG_H_

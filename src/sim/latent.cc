@@ -1,0 +1,228 @@
+#include "sim/latent.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/random.h"
+
+namespace fab::sim {
+
+int LatentState::FindDay(Date d) const {
+  if (dates.empty() || d < dates.front() || d > dates.back()) return -1;
+  return static_cast<int>(d - dates.front());
+}
+
+double EraDrift(Date d) {
+  // Piecewise log-drift backbone (log points/day) chosen so the integrated
+  // path reproduces the familiar 2016–2023 BTC cycle shape:
+  //   2016H2 slow climb, 2017 bull, 2018 bear, 2019H1 recovery, 2019H2
+  //   fade, 2020 covid crash + recovery, 2020H2–2021Q1 bull, 2021Q2 dip,
+  //   2021Q4 double top, 2022 bear, 2023H1 recovery.
+  struct Era {
+    Date until;
+    double drift;
+  };
+  static const Era kEras[] = {
+      {Date(2016, 12, 31), 0.0012},   // slow climb into 2017
+      {Date(2017, 5, 31), 0.0058},    // early 2017 bull
+      {Date(2017, 12, 17), 0.0092},   // parabolic run to ~19k
+      {Date(2018, 3, 31), -0.0085},   // crash phase 1
+      {Date(2018, 10, 31), -0.0026},  // grind down
+      {Date(2018, 12, 15), -0.0095},  // capitulation to ~3.2k
+      {Date(2019, 6, 30), 0.0062},    // 2019 recovery to ~13k
+      {Date(2019, 12, 31), -0.0028},  // fade to ~7k
+      {Date(2020, 3, 15), -0.0065},   // covid crash
+      {Date(2020, 9, 30), 0.0040},    // v-shaped recovery
+      {Date(2021, 4, 14), 0.0058},    // bull to ~64k
+      {Date(2021, 7, 20), -0.0062},   // china-ban dip to ~30k
+      {Date(2021, 11, 10), 0.0052},   // second top ~69k
+      {Date(2022, 6, 18), -0.0058},   // luna/3ac bear to ~18k
+      {Date(2022, 11, 21), -0.0012},  // ftx slide to ~16k
+      {Date(2023, 6, 30), 0.0048},    // 2023H1 recovery to ~30k
+  };
+  for (const Era& era : kEras) {
+    if (d <= era.until) return era.drift;
+  }
+  return 0.001;
+}
+
+namespace {
+
+double SigmaFor(const LatentConfig& cfg, Regime r) {
+  switch (r) {
+    case Regime::kBear:
+      return cfg.sigma_bear;
+    case Regime::kNeutral:
+      return cfg.sigma_neutral;
+    case Regime::kBull:
+      return cfg.sigma_bull;
+  }
+  return cfg.sigma_neutral;
+}
+
+double DriftFor(const LatentConfig& cfg, Regime r) {
+  switch (r) {
+    case Regime::kBear:
+      return cfg.drift_bear;
+    case Regime::kNeutral:
+      return cfg.drift_neutral;
+    case Regime::kBull:
+      return cfg.drift_bull;
+  }
+  return 0.0;
+}
+
+/// Macro factor backbone: eras of loose/tight global conditions. Positive
+/// = supportive (low rates / QE), negative = tightening.
+double MacroBackbone(Date d) {
+  struct Era {
+    Date until;
+    double level;
+  };
+  static const Era kEras[] = {
+      {Date(2018, 9, 30), 0.45},    // easy money
+      {Date(2019, 7, 31), 0.05},    // mild tightening then pause
+      {Date(2020, 2, 29), 0.25},    // easing resumes
+      {Date(2020, 4, 15), -0.80},   // covid shock
+      {Date(2021, 11, 30), 1.00},   // extraordinary stimulus
+      {Date(2022, 12, 31), -0.95},  // inflation fight, fast hikes
+      {Date(2023, 6, 30), -0.35},   // late-cycle, hikes slowing
+  };
+  for (const Era& era : kEras) {
+    if (d <= era.until) return era.level;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+Result<LatentState> GenerateLatentState(const LatentConfig& config) {
+  if (!(config.start < config.end)) {
+    return Status::InvalidArgument("latent config: start must precede end");
+  }
+  if (config.btc_price0 <= 0.0) {
+    return Status::InvalidArgument("latent config: btc_price0 must be > 0");
+  }
+  LatentState s;
+  s.dates = DailyRange(config.start, config.end);
+  const size_t n = s.dates.size();
+  s.macro_factor.resize(n);
+  s.macro_smooth.resize(n);
+  s.era_drift.resize(n);
+  s.regime.resize(n);
+  s.adoption.resize(n);
+  s.flows.resize(n);
+  s.btc_open.resize(n);
+  s.btc_high.resize(n);
+  s.btc_low.resize(n);
+  s.btc_close.resize(n);
+  s.btc_volume_usd.resize(n);
+  s.btc_sigma.resize(n);
+
+  Rng macro_rng(config.seed ^ 0x11d5c1u);
+  Rng regime_rng(config.seed ^ 0x22e6f2u);
+  Rng price_rng(config.seed ^ 0x33f703u);
+  Rng flow_rng(config.seed ^ 0x44a814u);
+
+  // --- Macro factor: slow mean reversion towards a scripted backbone. ---
+  double m = MacroBackbone(s.dates.front());
+  double m_smooth = m;
+  for (size_t t = 0; t < n; ++t) {
+    const double target = MacroBackbone(s.dates[t]);
+    m += 0.02 * (target - m) + 0.012 * macro_rng.Normal();
+    m = std::clamp(m, -1.5, 1.5);
+    // ~60-day exponential smoothing: the lag with which macro conditions
+    // permeate crypto drift (paper: "delayed effect of economic policies").
+    m_smooth += (m - m_smooth) / 60.0;
+    s.macro_factor[t] = m;
+    s.macro_smooth[t] = m_smooth;
+  }
+
+  // --- Era drift + Markov micro-regimes. ---
+  // Transition persistence gives trends of a few weeks; macro tilts the
+  // stationary distribution (tight money -> more bear days).
+  Regime r = Regime::kNeutral;
+  for (size_t t = 0; t < n; ++t) {
+    s.era_drift[t] = EraDrift(s.dates[t]);
+    const double macro_tilt = 0.10 * s.macro_factor[t];  // in [-0.15, 0.15]
+    if (regime_rng.Bernoulli(1.0 / 18.0)) {              // switch every ~18d
+      const double u = regime_rng.Uniform();
+      const double p_bull = std::clamp(0.33 + macro_tilt, 0.05, 0.9);
+      const double p_bear = std::clamp(0.33 - macro_tilt, 0.05, 0.9);
+      if (u < p_bull) {
+        r = Regime::kBull;
+      } else if (u < p_bull + p_bear) {
+        r = Regime::kBear;
+      } else {
+        r = Regime::kNeutral;
+      }
+    }
+    s.regime[t] = r;
+  }
+
+  // --- Adoption: logistic growth, accelerated in bull micro-regimes. ---
+  double a = 0.08;
+  for (size_t t = 0; t < n; ++t) {
+    const double regime_boost =
+        s.regime[t] == Regime::kBull ? 1.8 : (s.regime[t] == Regime::kBear ? 0.4 : 1.0);
+    const double k = 0.0012 * regime_boost;
+    a += k * a * (1.0 - a) + 0.0003 * macro_rng.Normal();
+    a = std::clamp(a, 0.01, 0.995);
+    s.adoption[t] = a;
+  }
+
+  // --- Investor flows: respond to regime/era with a ~5-day lag, scaled by
+  // macro conditions. Stablecoin metrics will integrate these. ---
+  double f = 0.0;
+  for (size_t t = 0; t < n; ++t) {
+    const double regime_signal =
+        DriftFor(config, s.regime[t]) + 0.6 * s.era_drift[t] +
+        0.002 * s.macro_smooth[t];
+    // 5-day partial adjustment towards the regime-implied flow level.
+    f += 0.2 * (regime_signal * 900.0 - f) + 1.4 * flow_rng.Normal();
+    s.flows[t] = f;
+  }
+
+  // --- BTC price: era drift + micro-regime + macro + adoption + t-shocks
+  // and occasional jumps; vol follows the micro-regime with GARCH-ish
+  // clustering. ---
+  double log_p = std::log(config.btc_price0);
+  double sigma = config.sigma_neutral;
+  for (size_t t = 0; t < n; ++t) {
+    const double sigma_target = SigmaFor(config, s.regime[t]);
+    sigma += 0.08 * (sigma_target - sigma);
+    const double da = t > 0 ? s.adoption[t] - s.adoption[t - 1] : 0.0;
+    const double drift = config.drift_offset + s.era_drift[t] +
+                         0.12 * DriftFor(config, s.regime[t]) +
+                         config.macro_beta * s.macro_smooth[t] +
+                         config.adoption_beta * da;
+    double shock = sigma * price_rng.StudentT(config.shock_dof) /
+                   std::sqrt(config.shock_dof / (config.shock_dof - 2.0));
+    if (price_rng.Bernoulli(config.jump_intensity)) {
+      const double sign = price_rng.Bernoulli(0.45) ? 1.0 : -1.0;
+      shock += sign * config.jump_scale * (0.5 + price_rng.Uniform());
+    }
+    shock = std::clamp(shock, -0.35, 0.35);
+    const double open = std::exp(log_p);
+    log_p += drift + shock;
+    const double close = std::exp(log_p);
+    // Intraday range proportional to the day's volatility.
+    const double hi_ext = std::fabs(price_rng.Normal(0.0, 0.5 * sigma));
+    const double lo_ext = std::fabs(price_rng.Normal(0.0, 0.5 * sigma));
+    s.btc_open[t] = open;
+    s.btc_close[t] = close;
+    s.btc_high[t] = std::max(open, close) * std::exp(hi_ext);
+    s.btc_low[t] = std::min(open, close) * std::exp(-lo_ext);
+    s.btc_sigma[t] = sigma;
+    // Dollar volume scales with market size, activity and daily range.
+    const double turnover =
+        0.02 + 0.9 * std::fabs(shock) + 0.15 * s.adoption[t];
+    s.btc_volume_usd[t] =
+        close * 19.0e6 * s.adoption[t] * turnover *
+        std::exp(0.25 * price_rng.Normal());
+  }
+
+  return s;
+}
+
+}  // namespace fab::sim

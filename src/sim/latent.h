@@ -1,0 +1,102 @@
+#ifndef FAB_SIM_LATENT_H_
+#define FAB_SIM_LATENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/date.h"
+#include "util/status.h"
+
+namespace fab::sim {
+
+/// Market regime labels for the latent Markov micro-regime chain.
+enum class Regime { kBear = 0, kNeutral = 1, kBull = 2 };
+
+/// Configuration of the latent market-state generator.
+struct LatentConfig {
+  Date start{2016, 7, 1};   ///< includes warm-up before the 2017 study start
+  Date end{2023, 6, 30};
+  uint64_t seed = 42;
+
+  /// Initial BTC price (USD) at `start`.
+  double btc_price0 = 650.0;
+  /// Daily idiosyncratic BTC volatility by micro-regime (bear/neutral/bull).
+  double sigma_bear = 0.045;
+  double sigma_neutral = 0.028;
+  double sigma_bull = 0.038;
+  /// Micro-regime drift contributions (log points/day).
+  double drift_bear = -0.012;
+  double drift_neutral = 0.000;
+  double drift_bull = 0.014;
+  /// Student-t degrees of freedom for return shocks (fat tails).
+  double shock_dof = 4.0;
+  /// Coupling of the smoothed macro factor into crypto drift.
+  double macro_beta = 0.0012;
+  /// Baseline drift offset compensating the unconditional mean of the
+  /// macro/regime/adoption couplings, so the era backbone stays calibrated.
+  double drift_offset = -0.0010;
+  /// Coupling of adoption growth into crypto drift.
+  double adoption_beta = 1.2;
+  /// Jump intensity (per day) and jump scale (log points).
+  double jump_intensity = 0.012;
+  double jump_scale = 0.07;
+};
+
+/// The latent daily state of the simulated market.
+///
+/// Everything observable — prices, on-chain metrics, sentiment, macro
+/// series — is derived from these paths plus observation noise. The
+/// design mirrors the causal story the paper tells: a slow macro factor
+/// and an adoption curve drive long-horizon price behaviour, a scripted
+/// era schedule reproduces the 2017–2023 market cycles, a Markov
+/// micro-regime chain adds medium-frequency trend persistence, and
+/// investor flows (which stablecoin metrics observe almost directly)
+/// respond to regime shifts faster than prices fully do.
+struct LatentState {
+  std::vector<Date> dates;
+
+  /// Slow AR(1) macro factor (global liquidity / risk appetite), plus an
+  /// exponentially smoothed copy that enters crypto drift with delay.
+  std::vector<double> macro_factor;
+  std::vector<double> macro_smooth;
+
+  /// Scripted era drift (the 2017 bull, 2018 bear, 2020–21 bull, 2022
+  /// bear, ... in log points/day) and the Markov micro-regime on top.
+  std::vector<double> era_drift;
+  std::vector<Regime> regime;
+
+  /// Network adoption level in (0, 1), logistic with regime coupling.
+  std::vector<double> adoption;
+
+  /// Net investor flows into the crypto market (arbitrary units/day):
+  /// respond to regime and macro with a short lag; stablecoin supply
+  /// integrates them.
+  std::vector<double> flows;
+
+  /// BTC daily candle and volume.
+  std::vector<double> btc_open;
+  std::vector<double> btc_high;
+  std::vector<double> btc_low;
+  std::vector<double> btc_close;
+  std::vector<double> btc_volume_usd;
+
+  /// Realized (instantaneous) daily volatility used for each step.
+  std::vector<double> btc_sigma;
+
+  size_t num_days() const { return dates.size(); }
+
+  /// Row position of `d`, or -1 if out of range.
+  int FindDay(Date d) const;
+};
+
+/// Generates the latent market state. Deterministic in `config.seed`.
+Result<LatentState> GenerateLatentState(const LatentConfig& config);
+
+/// The scripted era drift (log points/day) for a calendar date — the
+/// deterministic backbone that reproduces the 2017–2023 cycle shape.
+/// Exposed for tests.
+double EraDrift(Date d);
+
+}  // namespace fab::sim
+
+#endif  // FAB_SIM_LATENT_H_

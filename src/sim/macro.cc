@@ -1,0 +1,178 @@
+#include "sim/macro.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace fab::sim {
+
+double PolicyRateBackbone(Date d) {
+  struct Era {
+    Date until;
+    double rate;
+  };
+  // Roughly the 2016-2023 federal-funds path.
+  static const Era kEras[] = {
+      {Date(2016, 12, 14), 0.50}, {Date(2017, 3, 15), 0.75},
+      {Date(2017, 6, 14), 1.00},  {Date(2017, 12, 13), 1.25},
+      {Date(2018, 3, 21), 1.50},  {Date(2018, 6, 13), 1.75},
+      {Date(2018, 9, 26), 2.00},  {Date(2018, 12, 19), 2.25},
+      {Date(2019, 7, 31), 2.50},  {Date(2019, 9, 18), 2.25},
+      {Date(2019, 10, 30), 2.00}, {Date(2020, 3, 3), 1.75},
+      {Date(2020, 3, 15), 1.25},  {Date(2022, 3, 16), 0.25},
+      {Date(2022, 5, 4), 0.50},   {Date(2022, 6, 15), 1.00},
+      {Date(2022, 7, 27), 1.75},  {Date(2022, 9, 21), 2.50},
+      {Date(2022, 11, 2), 3.25},  {Date(2022, 12, 14), 4.00},
+      {Date(2023, 2, 1), 4.50},   {Date(2023, 3, 22), 4.75},
+      {Date(2023, 5, 3), 5.00},   {Date(2023, 6, 30), 5.25},
+  };
+  for (const Era& era : kEras) {
+    if (d <= era.until) return era.rate;
+  }
+  return 5.25;
+}
+
+double CpiYoYBackbone(Date d) {
+  struct Era {
+    Date until;
+    double cpi;
+  };
+  static const Era kEras[] = {
+      {Date(2017, 12, 31), 2.1}, {Date(2018, 12, 31), 2.4},
+      {Date(2019, 12, 31), 1.8}, {Date(2020, 5, 31), 0.4},
+      {Date(2020, 12, 31), 1.2}, {Date(2021, 6, 30), 4.5},
+      {Date(2021, 12, 31), 6.8}, {Date(2022, 6, 30), 8.9},
+      {Date(2022, 12, 31), 7.1}, {Date(2023, 6, 30), 4.1},
+  };
+  for (const Era& era : kEras) {
+    if (d <= era.until) return era.cpi;
+  }
+  return 3.0;
+}
+
+Status AddMacroMetrics(const LatentState& latent, uint64_t seed,
+                       table::Table* out, MetricCatalog* catalog) {
+  const size_t n = latent.num_days();
+  if (out->num_rows() != n) {
+    return Status::InvalidArgument("output table must share the latent index");
+  }
+  Rng obs(seed ^ 0x3AC20u);
+
+  Status status = Status::OK();
+  auto add = [&](const std::string& name, std::vector<double> values,
+                 const std::string& desc) {
+    if (!status.ok()) return;
+    Status s = out->AddColumn(name, std::move(values));
+    if (!s.ok()) {
+      status = s;
+      return;
+    }
+    status = catalog->Add(name, DataCategory::kMacro, desc);
+  };
+
+  // Monthly sampler: recompute a value on the first day of each month and
+  // hold it constant otherwise.
+  auto monthly = [&](auto value_fn) {
+    std::vector<double> out_v(n);
+    double v = 0.0;
+    int current_month = -1;
+    for (size_t t = 0; t < n; ++t) {
+      const int ym = latent.dates[t].year() * 12 + latent.dates[t].month();
+      if (ym != current_month) {
+        current_month = ym;
+        v = value_fn(t);
+      }
+      out_v[t] = v;
+    }
+    return out_v;
+  };
+
+  add("fed_funds_rate", monthly([&](size_t t) {
+        return PolicyRateBackbone(latent.dates[t]) + 0.08 * obs.Normal();
+      }),
+      "US policy rate (%)");
+  add("ecb_rate", monthly([&](size_t t) {
+        // ECB lags the Fed and stayed at zero longer.
+        const double us = PolicyRateBackbone(latent.dates[t]);
+        return std::max(0.0, 0.7 * (us - 1.0)) + 0.02 * obs.Normal();
+      }),
+      "ECB policy rate (%)");
+  add("us_cpi_yoy", monthly([&](size_t t) {
+        return CpiYoYBackbone(latent.dates[t]) + 0.25 * obs.Normal();
+      }),
+      "US CPI inflation, year over year (%)");
+  add("eu_cpi_yoy", monthly([&](size_t t) {
+        return 0.9 * CpiYoYBackbone(latent.dates[t]) + 0.4 +
+               0.08 * obs.Normal();
+      }),
+      "Euro-area HICP inflation, year over year (%)");
+  add("unemployment_us", monthly([&](size_t t) {
+        const Date d = latent.dates[t];
+        double u = 4.2;
+        if (d >= Date(2020, 4, 1) && d <= Date(2020, 6, 30)) {
+          u = 13.5;
+        } else if (d >= Date(2020, 7, 1) && d <= Date(2021, 6, 30)) {
+          u = 7.0;
+        } else if (d > Date(2021, 6, 30)) {
+          u = 3.8;
+        }
+        return u + 0.1 * obs.Normal();
+      }),
+      "US unemployment rate (%)");
+  add("m2_yoy", monthly([&](size_t t) {
+        // Money-supply growth mirrors the macro factor (QE eras).
+        return 6.0 + 10.0 * latent.macro_factor[t] + 0.4 * obs.Normal();
+      }),
+      "US M2 money supply growth, year over year (%)");
+  add("treasury_2y", monthly([&](size_t t) {
+        return PolicyRateBackbone(latent.dates[t]) + 0.3 -
+               0.25 * latent.macro_factor[t] + 0.05 * obs.Normal();
+      }),
+      "2-year treasury yield (%)");
+  add("treasury_10y", monthly([&](size_t t) {
+        return 0.6 * PolicyRateBackbone(latent.dates[t]) + 1.3 +
+               0.3 * CpiYoYBackbone(latent.dates[t]) / 4.0 +
+               0.06 * obs.Normal();
+      }),
+      "10-year treasury yield (%)");
+  add("breakeven_inflation_5y", monthly([&](size_t t) {
+        return 1.5 + 0.35 * CpiYoYBackbone(latent.dates[t]) / 2.0 +
+               0.05 * obs.Normal();
+      }),
+      "5-year breakeven inflation (%)");
+  add("gdp_nowcast_qoq", monthly([&](size_t t) {
+        return 2.0 + 2.5 * latent.macro_factor[t] + 0.8 * obs.Normal();
+      }),
+      "GDP nowcast, quarter over quarter annualized (%)");
+  add("consumer_sentiment", monthly([&](size_t t) {
+        return 90.0 + 18.0 * latent.macro_factor[t] -
+               2.5 * CpiYoYBackbone(latent.dates[t]) + 2.0 * obs.Normal();
+      }),
+      "consumer sentiment survey level");
+
+  // Policy-uncertainty indices: daily, noisy, spiking when the macro
+  // backbone moves fast.
+  {
+    std::vector<double> epu_us(n), epu_global(n);
+    double level = 110.0;
+    for (size_t t = 0; t < n; ++t) {
+      const double shock =
+          t > 0 ? std::fabs(latent.macro_factor[t] - latent.macro_factor[t - 1])
+                : 0.0;
+      level += 0.05 * (110.0 + 900.0 * shock - level) + 6.0 * obs.Normal();
+      level = std::clamp(level, 40.0, 500.0);
+      epu_us[t] = level;
+      epu_global[t] = level * (1.0 + 0.12 * obs.Normal());
+    }
+    add("epu_us", std::move(epu_us), "US economic policy uncertainty index");
+    add("epu_global", std::move(epu_global),
+        "global economic policy uncertainty index");
+  }
+
+  return status;
+}
+
+}  // namespace fab::sim

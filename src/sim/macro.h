@@ -1,0 +1,33 @@
+#ifndef FAB_SIM_MACRO_H_
+#define FAB_SIM_MACRO_H_
+
+#include <cstdint>
+
+#include "sim/catalog.h"
+#include "sim/latent.h"
+#include "table/table.h"
+#include "util/status.h"
+
+namespace fab::sim {
+
+/// Generates macroeconomic indicator series (policy rates, CPI inflation,
+/// policy-uncertainty indices, unemployment, money supply, treasury
+/// yields) under `DataCategory::kMacro`.
+///
+/// Most series are monthly step functions with small revisions — slow,
+/// delayed views of the same macro backbone that feeds crypto drift
+/// through a ~60-day smoothing, so their predictive value only shows up
+/// at long horizons (the paper's Figure-3 pattern).
+Status AddMacroMetrics(const LatentState& latent, uint64_t seed,
+                       table::Table* out, MetricCatalog* catalog);
+
+/// Scripted US policy-rate backbone (annual %, monthly granularity) —
+/// exposed for tests.
+double PolicyRateBackbone(Date d);
+
+/// Scripted US CPI year-over-year backbone (%) — exposed for tests.
+double CpiYoYBackbone(Date d);
+
+}  // namespace fab::sim
+
+#endif  // FAB_SIM_MACRO_H_

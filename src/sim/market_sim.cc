@@ -1,0 +1,90 @@
+#include "sim/market_sim.h"
+
+#include <utility>
+
+#include "sim/macro.h"
+#include "sim/onchain_btc.h"
+#include "sim/onchain_eth.h"
+#include "sim/onchain_usdc.h"
+#include "sim/sentiment.h"
+#include "sim/tradfi.h"
+
+namespace fab::sim {
+
+Result<SimulatedMarket> SimulateMarket(const MarketSimConfig& config) {
+  LatentConfig latent_cfg = config.latent;
+  latent_cfg.seed = config.seed;
+  AssetUniverseConfig asset_cfg = config.assets;
+  asset_cfg.seed = config.seed ^ 0xA55E75ull;
+
+  SimulatedMarket market;
+  FAB_ASSIGN_OR_RETURN(market.latent, GenerateLatentState(latent_cfg));
+  FAB_ASSIGN_OR_RETURN(market.panel,
+                       GenerateAssetPanel(market.latent, asset_cfg));
+
+  FAB_ASSIGN_OR_RETURN(market.metrics,
+                       table::Table::Create(market.latent.dates));
+
+  // Raw BTC market data: the basis for the technical-indicator family.
+  FAB_RETURN_IF_ERROR(
+      market.metrics.AddColumn(kBtcOpenColumn, market.latent.btc_open));
+  FAB_RETURN_IF_ERROR(
+      market.metrics.AddColumn(kBtcHighColumn, market.latent.btc_high));
+  FAB_RETURN_IF_ERROR(
+      market.metrics.AddColumn(kBtcLowColumn, market.latent.btc_low));
+  FAB_RETURN_IF_ERROR(
+      market.metrics.AddColumn(kBtcCloseColumn, market.latent.btc_close));
+  FAB_RETURN_IF_ERROR(
+      market.metrics.AddColumn(kBtcVolumeColumn, market.latent.btc_volume_usd));
+  FAB_RETURN_IF_ERROR(market.catalog.Add(kBtcOpenColumn,
+                                         DataCategory::kTechnical,
+                                         "BTC daily open price"));
+  FAB_RETURN_IF_ERROR(market.catalog.Add(kBtcHighColumn,
+                                         DataCategory::kTechnical,
+                                         "BTC daily high price"));
+  FAB_RETURN_IF_ERROR(market.catalog.Add(
+      kBtcLowColumn, DataCategory::kTechnical, "BTC daily low price"));
+  FAB_RETURN_IF_ERROR(market.catalog.Add(
+      kBtcCloseColumn, DataCategory::kTechnical, "BTC daily close price"));
+  FAB_RETURN_IF_ERROR(market.catalog.Add(kBtcVolumeColumn,
+                                         DataCategory::kTechnical,
+                                         "BTC daily dollar volume"));
+
+  FAB_RETURN_IF_ERROR(AddBtcOnChainMetrics(market.latent, market.panel,
+                                           config.seed ^ 0x0Cb7cull,
+                                           &market.metrics, &market.catalog));
+  {
+    std::vector<double> total_mcap(market.latent.num_days());
+    for (size_t t = 0; t < total_mcap.size(); ++t) {
+      total_mcap[t] = market.panel.TotalSum(t);
+    }
+    FAB_RETURN_IF_ERROR(AddUsdcOnChainMetrics(market.latent, total_mcap,
+                                              config.seed ^ 0x0C05dull,
+                                              &market.metrics,
+                                              &market.catalog));
+  }
+  if (config.include_eth) {
+    FAB_RETURN_IF_ERROR(AddEthOnChainMetrics(market.latent,
+                                             config.seed ^ 0x0E74ull,
+                                             &market.metrics,
+                                             &market.catalog));
+  }
+  FAB_RETURN_IF_ERROR(AddSentimentMetrics(market.latent,
+                                          config.seed ^ 0x5E47cull,
+                                          &market.metrics, &market.catalog));
+  FAB_RETURN_IF_ERROR(AddTradFiMetrics(market.latent, config.seed ^ 0x76ad1ull,
+                                       &market.metrics, &market.catalog));
+  FAB_RETURN_IF_ERROR(AddMacroMetrics(market.latent, config.seed ^ 0x3ac60ull,
+                                      &market.metrics, &market.catalog));
+
+  const size_t n = market.latent.num_days();
+  market.top100_mcap_sum.resize(n);
+  market.total_mcap_sum.resize(n);
+  for (size_t t = 0; t < n; ++t) {
+    market.top100_mcap_sum[t] = market.panel.TopKSum(t, 100);
+    market.total_mcap_sum[t] = market.panel.TotalSum(t);
+  }
+  return market;
+}
+
+}  // namespace fab::sim

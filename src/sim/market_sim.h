@@ -1,0 +1,63 @@
+#ifndef FAB_SIM_MARKET_SIM_H_
+#define FAB_SIM_MARKET_SIM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/assets.h"
+#include "sim/catalog.h"
+#include "sim/latent.h"
+#include "table/table.h"
+#include "util/status.h"
+
+namespace fab::sim {
+
+/// Configuration of the full market simulation.
+struct MarketSimConfig {
+  LatentConfig latent;
+  AssetUniverseConfig assets;
+  /// Master seed; sub-generators derive independent streams from it.
+  uint64_t seed = 42;
+  /// Also generate the ETH-like on-chain family (paper future work).
+  /// Off by default so the headline reproduction matches the paper's
+  /// BTC+USDC setup.
+  bool include_eth = false;
+};
+
+/// The complete simulated market: the raw-metric table every experiment
+/// consumes, plus the latent state and asset panel for index construction
+/// and diagnostics.
+struct SimulatedMarket {
+  LatentState latent;
+  AssetPanel panel;
+
+  /// All observable metric columns on the daily index: BTC OHLCV, on-chain
+  /// BTC & USDC, sentiment, trad-fi, macro. Technical indicators are
+  /// *derived* later (core::DatasetBuilder) from the OHLCV columns.
+  table::Table metrics;
+
+  /// Category metadata for every metrics column.
+  MetricCatalog catalog;
+
+  /// Daily sum of the top-100 market caps (the Crypto100 numerator) and of
+  /// the whole universe (Figure 1's comparison series). These are index
+  /// ingredients, not features.
+  std::vector<double> top100_mcap_sum;
+  std::vector<double> total_mcap_sum;
+};
+
+/// Names of the raw BTC market columns added to `metrics` (registered
+/// under the technical category, since technical indicators are derived
+/// from them).
+inline constexpr const char* kBtcCloseColumn = "btc_Close";
+inline constexpr const char* kBtcOpenColumn = "btc_Open";
+inline constexpr const char* kBtcHighColumn = "btc_High";
+inline constexpr const char* kBtcLowColumn = "btc_Low";
+inline constexpr const char* kBtcVolumeColumn = "btc_VolumeUSD";
+
+/// Runs the full simulation. Deterministic in `config.seed`.
+Result<SimulatedMarket> SimulateMarket(const MarketSimConfig& config);
+
+}  // namespace fab::sim
+
+#endif  // FAB_SIM_MARKET_SIM_H_

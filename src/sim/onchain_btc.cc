@@ -1,0 +1,385 @@
+#include "sim/onchain_btc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace fab::sim {
+
+double WealthModel::CountAtLeast(double b) const {
+  if (b <= b_min) return num_addresses;
+  return num_addresses * std::pow(b / b_min, -alpha);
+}
+
+double WealthModel::SupplyShareAtLeast(double b) const {
+  if (b <= 0.0) return 1.0;
+  return std::pow(1.0 + b / b_scale, -gamma);
+}
+
+namespace {
+
+/// Human-readable threshold labels matching Coinmetrics conventions
+/// (0.001, 0.01, ..., 1, 10, 100, 1K, 10K, ..., 10B).
+std::string ThresholdLabel(double v) {
+  if (v >= 1e9) return std::to_string(static_cast<long long>(v / 1e9)) + "B";
+  if (v >= 1e6) return std::to_string(static_cast<long long>(v / 1e6)) + "M";
+  if (v >= 1e3) return std::to_string(static_cast<long long>(v / 1e3)) + "K";
+  if (v >= 1.0) return std::to_string(static_cast<long long>(v));
+  if (v >= 0.1) return "0.1";
+  if (v >= 0.01) return "0.01";
+  return "0.001";
+}
+
+struct SeriesSink {
+  table::Table* out;
+  MetricCatalog* catalog;
+  Status status = Status::OK();
+
+  void Add(const std::string& name, std::vector<double> values,
+           const std::string& description) {
+    if (!status.ok()) return;
+    Status s = out->AddColumn(name, std::move(values));
+    if (!s.ok()) {
+      status = s;
+      return;
+    }
+    status = catalog->Add(name, DataCategory::kOnChainBtc, description);
+  }
+};
+
+}  // namespace
+
+Status AddBtcOnChainMetrics(const LatentState& latent, const AssetPanel& panel,
+                            uint64_t seed, table::Table* out,
+                            MetricCatalog* catalog) {
+  const size_t n = latent.num_days();
+  if (out->num_rows() != n) {
+    return Status::InvalidArgument("output table must share the latent index");
+  }
+  Rng rng(seed ^ 0xB7C0A1ull);
+  Rng obs(seed ^ 0x0B5E77ull);
+  auto noisy = [&obs](double v, double sigma) {
+    return v * std::exp(sigma * obs.Normal());
+  };
+  // Per-bucket idiosyncratic AR(1) wobbles: real balance buckets drift
+  // apart as wealth redistributes, so sibling metrics are correlated but
+  // not duplicates.
+  Rng wobble_rng(seed ^ 0x30B81Eull);
+  auto make_wobble = [&wobble_rng](size_t days) {
+    std::vector<double> w(days);
+    double v = 0.0;
+    for (size_t t = 0; t < days; ++t) {
+      v = 0.985 * v + 0.005 * wobble_rng.Normal();
+      w[t] = std::exp(v);
+    }
+    return w;
+  };
+
+  const std::vector<double>& price = latent.btc_close;
+  std::vector<double> mcap = panel.BtcMcap();
+
+  // ---- Structural daily state. -------------------------------------------
+  std::vector<double> supply(n), issuance(n), num_addr(n), alpha(n), gamma(n);
+  std::vector<double> turnover(n), turn_smooth(n), price_smooth(n);
+  for (size_t t = 0; t < n; ++t) {
+    supply[t] = BtcSupplyOn(latent.dates[t]);
+    const double next_supply = BtcSupplyOn(latent.dates[t].AddDays(1));
+    issuance[t] = next_supply - supply[t];
+    const double a = latent.adoption[t];
+    num_addr[t] = noisy(1.8e7 + 3.6e8 * std::pow(a, 1.3), 0.006);
+    // Wealth concentration drifts slowly with adoption (new small holders
+    // arrive, but large holders accumulate faster).
+    // Wealth concentration drifts with adoption and with global liquidity
+    // (easy money pulls in large allocators) — this macro coupling is what
+    // lets on-chain metrics alone carry long-horizon information.
+    alpha[t] = 0.60 - 0.07 * a + 0.015 * latent.macro_smooth[t];
+    gamma[t] = 0.40 - 0.09 * a - 0.020 * latent.macro_smooth[t];
+    const double ret = t > 0 ? std::log(price[t] / price[t - 1]) : 0.0;
+    const double regime_mult =
+        latent.regime[t] == Regime::kBull
+            ? 1.7
+            : (latent.regime[t] == Regime::kBear ? 1.25 : 1.0);
+    turnover[t] =
+        noisy(0.0022 * regime_mult * (1.0 + 5.0 * std::fabs(ret)) *
+                  (1.0 + 0.25 * latent.macro_smooth[t]),
+              0.10);
+    turn_smooth[t] = t == 0 ? turnover[t]
+                            : turn_smooth[t - 1] +
+                                  (turnover[t] - turn_smooth[t - 1]) / 30.0;
+    price_smooth[t] =
+        t == 0 ? price[t]
+               : price_smooth[t - 1] + (price[t] - price_smooth[t - 1]) / 90.0;
+  }
+
+  SeriesSink sink{out, catalog};
+
+  // Smoothed investor flows differentiate whale buckets (institutional
+  // accumulation) from retail buckets.
+  std::vector<double> flows_smooth(n, 0.0);
+  for (size_t t = 0; t < n; ++t) {
+    flows_smooth[t] =
+        t == 0 ? latent.flows[t]
+               : flows_smooth[t - 1] + (latent.flows[t] - flows_smooth[t - 1]) / 10.0;
+  }
+
+  // ---- Balance-bucket families (counts + supply held). -------------------
+  const double kNtvThresholds[] = {0.001, 0.01, 0.1, 1, 10, 100, 1e3, 1e4};
+  const double kUsdThresholds[] = {1, 10, 100, 1e3, 1e4, 1e5, 1e6, 1e7};
+  const double kFracDenoms[] = {1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10};
+
+  auto wealth_at = [&](size_t t) {
+    WealthModel w;
+    w.num_addresses = num_addr[t];
+    w.alpha = alpha[t];
+    w.gamma = gamma[t];
+    return w;
+  };
+
+  size_t ntv_index = 0;
+  for (double th : kNtvThresholds) {
+    std::vector<double> cnt(n), sply(n);
+    const std::vector<double> wob_cnt = make_wobble(n);
+    const std::vector<double> wob_sply = make_wobble(n);
+    const double tilt = static_cast<double>(ntv_index) / 7.0 - 0.5;
+    ++ntv_index;
+    for (size_t t = 0; t < n; ++t) {
+      const WealthModel w = wealth_at(t);
+      const double info = std::exp(0.008 * tilt * flows_smooth[t] +
+                                   0.5 * (-tilt) * latent.adoption[t]);
+      cnt[t] = noisy(w.CountAtLeast(th) * wob_cnt[t] * info, 0.008);
+      sply[t] = noisy(supply[t] * w.SupplyShareAtLeast(th) * wob_sply[t] * info,
+                      0.006);
+    }
+    const std::string label = ThresholdLabel(th);
+    sink.Add("AdrBalNtv" + label + "Cnt", std::move(cnt),
+             "addresses holding at least " + label + " BTC");
+    sink.Add("SplyAdrBalNtv" + label, std::move(sply),
+             "BTC held in addresses with balance >= " + label);
+  }
+  size_t usd_index = 0;
+  for (double th : kUsdThresholds) {
+    std::vector<double> cnt(n), sply(n);
+    const std::vector<double> wob_cnt = make_wobble(n);
+    const std::vector<double> wob_sply = make_wobble(n);
+    const double tilt = static_cast<double>(usd_index) / 7.0 - 0.5;
+    ++usd_index;
+    for (size_t t = 0; t < n; ++t) {
+      const WealthModel w = wealth_at(t);
+      const double b = th / price[t];
+      const double info = std::exp(0.008 * tilt * flows_smooth[t]);
+      cnt[t] = noisy(w.CountAtLeast(b) * wob_cnt[t] * info, 0.008);
+      sply[t] = noisy(supply[t] * w.SupplyShareAtLeast(b) * wob_sply[t] * info,
+                      0.006);
+    }
+    const std::string label = ThresholdLabel(th);
+    sink.Add("AdrBalUSD" + label + "Cnt", std::move(cnt),
+             "addresses holding at least $" + label + " of BTC");
+    sink.Add("SplyAdrBalUSD" + label, std::move(sply),
+             "BTC held in addresses with balance >= $" + label);
+  }
+  size_t frac_index = 0;
+  for (double denom : kFracDenoms) {
+    std::vector<double> cnt(n), sply(n);
+    const std::vector<double> wob_cnt = make_wobble(n);
+    const std::vector<double> wob_sply = make_wobble(n);
+    const double tilt = 0.5 - static_cast<double>(frac_index) / 7.0;
+    ++frac_index;
+    for (size_t t = 0; t < n; ++t) {
+      const WealthModel w = wealth_at(t);
+      const double b = supply[t] / denom;
+      const double info = std::exp(0.008 * tilt * flows_smooth[t]);
+      cnt[t] = noisy(w.CountAtLeast(b) * wob_cnt[t] * info, 0.008);
+      sply[t] = noisy(supply[t] * w.SupplyShareAtLeast(b) * wob_sply[t] * info,
+                      0.006);
+    }
+    const std::string label = ThresholdLabel(denom);
+    sink.Add("AdrBal1in" + label + "Cnt", std::move(cnt),
+             "addresses holding >= 1/" + label + " of current supply");
+    sink.Add("SplyAdrBal1in" + label, std::move(sply),
+             "BTC held by addresses with >= 1/" + label + " of supply");
+  }
+
+  // ---- Supply & activity. -------------------------------------------------
+  {
+    std::vector<double> sply_cur(n), sply_act_ever(n), sply_act_pct1yr(n);
+    std::vector<double> vel(n);
+    const int kActDays[] = {7, 30, 90, 180, 365, 730, 1095};
+    const char* kActNames[] = {"SplyAct7d",  "SplyAct30d", "SplyAct90d",
+                               "SplyAct180d", "SplyAct1yr", "SplyAct2yr",
+                               "SplyAct3yr"};
+    std::vector<std::vector<double>> act(7, std::vector<double>(n));
+    for (size_t t = 0; t < n; ++t) {
+      const double lambda = std::clamp(turn_smooth[t], 5e-4, 0.05);
+      sply_cur[t] = supply[t];
+      sply_act_ever[t] =
+          noisy(supply[t] * (0.76 + 0.20 * latent.adoption[t]), 0.004);
+      for (int k = 0; k < 7; ++k) {
+        const double share = 1.0 - std::exp(-lambda * kActDays[k]);
+        act[static_cast<size_t>(k)][t] = noisy(supply[t] * share, 0.01);
+      }
+      sply_act_pct1yr[t] =
+          100.0 * (1.0 - std::exp(-lambda * 365.0)) * std::exp(0.01 * obs.Normal());
+      vel[t] = noisy(365.0 * turn_smooth[t], 0.015);
+    }
+    sink.Add("SplyCur", std::move(sply_cur), "current BTC supply");
+    sink.Add("SplyActEver", std::move(sply_act_ever),
+             "BTC held by accounts that ever transacted");
+    for (int k = 0; k < 7; ++k) {
+      sink.Add(kActNames[k], std::move(act[static_cast<size_t>(k)]),
+               "BTC active in the trailing window");
+    }
+    sink.Add("SplyActPct1yr", std::move(sply_act_pct1yr),
+             "% of supply active in the trailing year");
+    sink.Add("VelCur1yr", std::move(vel),
+             "1yr transferred value / current supply");
+  }
+
+  // ---- Capitalization metrics. --------------------------------------------
+  {
+    std::vector<double> cap_real(n), cap_mrkt(n), cap_ff(n), cap_act(n),
+        mvrv(n);
+    double real_price = price[0] * 0.9;
+    for (size_t t = 0; t < n; ++t) {
+      const double m = std::clamp(turnover[t], 5e-4, 0.03);
+      real_price += m * (price[t] - real_price);
+      cap_real[t] = noisy(real_price * supply[t], 0.004);
+      cap_mrkt[t] = mcap[t];
+      const double ff = 0.80 + 0.06 * latent.adoption[t];
+      cap_ff[t] = noisy(mcap[t] * ff, 0.004);
+      const double lambda = std::clamp(turn_smooth[t], 5e-4, 0.05);
+      cap_act[t] =
+          noisy(cap_real[t] * (1.0 - std::exp(-lambda * 365.0)) * 1.6, 0.01);
+      mvrv[t] = mcap[t] / cap_real[t];
+    }
+    sink.Add("CapRealUSD", std::move(cap_real), "realized capitalization");
+    sink.Add("market_cap", std::move(cap_mrkt), "BTC market capitalization");
+    sink.Add("CapMrktFFUSD", std::move(cap_ff), "free-float capitalization");
+    sink.Add("CapAct1yrUSD", std::move(cap_act),
+             "USD value of supply active in the last year");
+    sink.Add("CapMVRVCur", std::move(mvrv), "market cap / realized cap");
+  }
+
+  // ---- Miner economics, fees, hash rate. ----------------------------------
+  {
+    std::vector<double> rev_usd(n), rev_all(n), rev_hash(n), hash_rate(n),
+        diff(n), fee_tot(n), fee_mean(n), iss_ntv(n), iss_pct(n), s2f(n),
+        miner_bal(n);
+    double rev_cum = 2.3e9;  // miner revenue accumulated before the window
+    for (size_t t = 0; t < n; ++t) {
+      const double tech_growth = std::exp(0.0011 * static_cast<double>(t) +
+                                          0.20 * latent.macro_smooth[t]);
+      hash_rate[t] = noisy(
+          1.6 * std::pow(price_smooth[t] / 650.0, 0.95) * tech_growth, 0.03);
+      diff[t] = noisy(hash_rate[t] * 1.35e11, 0.01);
+      fee_tot[t] = noisy(
+          mcap[t] * turnover[t] * turnover[t] * 45.0 + 2.0e4, 0.20);
+      const double tx_cnt = num_addr[t] * std::clamp(turn_smooth[t] * 7.0,
+                                                     0.004, 0.05);
+      fee_mean[t] = fee_tot[t] / tx_cnt;
+      iss_ntv[t] = issuance[t];
+      iss_pct[t] = 100.0 * issuance[t] * 365.0 / supply[t];
+      s2f[t] = supply[t] / (issuance[t] * 365.0);
+      rev_usd[t] = (issuance[t] * price[t]) + fee_tot[t];
+      rev_cum += rev_usd[t];
+      rev_all[t] = noisy(rev_cum, 0.001);
+      rev_hash[t] = rev_usd[t] / (hash_rate[t] * 1e6);
+      miner_bal[t] =
+          noisy(1.75e6 * (1.0 - 0.25 * latent.adoption[t]) * price[t], 0.01);
+    }
+    sink.Add("HashRate", std::move(hash_rate), "mean daily hash rate (EH/s)");
+    sink.Add("DiffMean", std::move(diff), "mean mining difficulty");
+    sink.Add("FeeTotUSD", std::move(fee_tot), "total daily fees (USD)");
+    sink.Add("FeeMeanUSD", std::move(fee_mean), "mean fee per tx (USD)");
+    sink.Add("IssContNtv", std::move(iss_ntv), "daily issuance (BTC)");
+    sink.Add("IssContPctAnn", std::move(iss_pct), "annualized issuance %");
+    sink.Add("s2f_ratio", std::move(s2f), "stock-to-flow ratio");
+    sink.Add("RevUSD", std::move(rev_usd), "daily miner revenue (USD)");
+    sink.Add("RevAllTimeUSD", std::move(rev_all),
+             "cumulative miner revenue since genesis (USD)");
+    sink.Add("RevHashRateUSD", std::move(rev_hash),
+             "miner revenue per hash unit (USD)");
+    sink.Add("SplyMiner0HopAllUSD", std::move(miner_bal),
+             "balances of all mining entities (USD)");
+  }
+
+  // ---- Transactions & valuation ratios. ------------------------------------
+  {
+    std::vector<double> adr_act(n), tx_cnt(n), tx_tfr(n), tfr_val(n),
+        tfr_mean(n), tfr_med(n), nvt(n), nvt90(n);
+    double nvt_smooth = 0.0;
+    for (size_t t = 0; t < n; ++t) {
+      const double act_share = std::clamp(turn_smooth[t] * 7.0, 0.004, 0.05);
+      adr_act[t] = noisy(num_addr[t] * act_share, 0.02);
+      tx_cnt[t] = noisy(adr_act[t] * 2.1, 0.015);
+      tx_tfr[t] = noisy(tx_cnt[t] * 0.62, 0.01);
+      tfr_val[t] = noisy(supply[t] * turnover[t] * price[t], 0.03);
+      tfr_mean[t] = tfr_val[t] / tx_tfr[t];
+      tfr_med[t] = noisy(tfr_mean[t] * 0.07, 0.03);
+      nvt[t] = mcap[t] / tfr_val[t];
+      nvt_smooth = t == 0 ? nvt[t] : nvt_smooth + (nvt[t] - nvt_smooth) / 90.0;
+      nvt90[t] = nvt_smooth;
+    }
+    sink.Add("AdrActCnt", std::move(adr_act), "daily active addresses");
+    sink.Add("TxCnt", std::move(tx_cnt), "daily transaction count");
+    sink.Add("TxTfrCnt", std::move(tx_tfr), "daily transfer count");
+    sink.Add("TxTfrValAdjUSD", std::move(tfr_val),
+             "adjusted transfer value (USD)");
+    sink.Add("TxTfrValMeanUSD", std::move(tfr_mean), "mean transfer value");
+    sink.Add("TxTfrValMedUSD", std::move(tfr_med), "median transfer value");
+    sink.Add("NVTAdj", std::move(nvt), "network value / transfer value");
+    sink.Add("NVTAdj90", std::move(nvt90), "90-day smoothed NVT");
+  }
+
+  // ---- Distribution ratios & cohort percentages. ---------------------------
+  {
+    std::vector<double> ser(n), top1(n), top10(n), shrimps(n), fish(n),
+        sharks(n), whales(n), total_bal(n), roi30(n), roi1yr(n);
+    for (size_t t = 0; t < n; ++t) {
+      const WealthModel w = wealth_at(t);
+      // Top-1%/10% address balance thresholds from the count model.
+      const double b_top1 = w.b_min * std::pow(0.01, -1.0 / w.alpha);
+      const double b_top10 = w.b_min * std::pow(0.10, -1.0 / w.alpha);
+      const double share_top1 = w.SupplyShareAtLeast(b_top1);
+      top1[t] = noisy(supply[t] * share_top1, 0.006);
+      top10[t] = noisy(supply[t] * w.SupplyShareAtLeast(b_top10), 0.006);
+      // SER: supply held by addresses below 1e-7 of supply vs top 1%.
+      const double b_small = supply[t] * 1e-7;
+      const double share_small = 1.0 - w.SupplyShareAtLeast(b_small);
+      ser[t] = noisy(share_small / share_top1, 0.01);
+      const double c10 = w.CountAtLeast(10.0);
+      const double c100 = w.CountAtLeast(100.0);
+      const double c1000 = w.CountAtLeast(1000.0);
+      auto pct = [&](double v, double sigma) {
+        return std::clamp(noisy(v, sigma), 1e-9, 1.0 - 1e-9);
+      };
+      shrimps[t] = pct((w.num_addresses - c10) / w.num_addresses, 0.002);
+      fish[t] = pct((c10 - c100) / w.num_addresses, 0.004);
+      sharks[t] = pct((c100 - c1000) / w.num_addresses, 0.004);
+      whales[t] = pct(c1000 / w.num_addresses, 0.004);
+      total_bal[t] = noisy(supply[t] * 0.93, 0.003);
+      const size_t t30 = t >= 30 ? t - 30 : 0;
+      const size_t t365 = t >= 365 ? t - 365 : 0;
+      roi30[t] = 100.0 * (price[t] / price[t30] - 1.0);
+      roi1yr[t] = 100.0 * (price[t] / price[t365] - 1.0);
+    }
+    sink.Add("SER", std::move(ser), "supply equality ratio");
+    sink.Add("SplyAdrTop1Pct", std::move(top1), "supply held by top 1%");
+    sink.Add("SplyAdrTop10Pct", std::move(top10), "supply held by top 10%");
+    sink.Add("shrimps_pct", std::move(shrimps), "wallets holding < 10 BTC");
+    sink.Add("fish_pct", std::move(fish), "wallets holding 10-100 BTC");
+    sink.Add("sharks_pct", std::move(sharks), "wallets holding 100-1K BTC");
+    sink.Add("whales_pct", std::move(whales), "wallets holding > 1K BTC");
+    sink.Add("total_balance", std::move(total_bal),
+             "BTC held by labeled cohorts");
+    sink.Add("ROI30d", std::move(roi30), "30-day price return %");
+    sink.Add("ROI1yr", std::move(roi1yr), "1-year price return %");
+  }
+
+  (void)rng;
+  return sink.status;
+}
+
+}  // namespace fab::sim

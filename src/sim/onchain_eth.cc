@@ -1,0 +1,139 @@
+#include "sim/onchain_eth.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "sim/onchain_btc.h"
+#include "util/random.h"
+
+namespace fab::sim {
+
+Status AddEthOnChainMetrics(const LatentState& latent, uint64_t seed,
+                            table::Table* out, MetricCatalog* catalog) {
+  const size_t n = latent.num_days();
+  if (out->num_rows() != n) {
+    return Status::InvalidArgument("output table must share the latent index");
+  }
+  Rng obs(seed ^ 0xE7411ull);
+  auto noisy = [&obs](double v, double sigma) {
+    return v * std::exp(sigma * obs.Normal());
+  };
+
+  Status status = Status::OK();
+  auto add = [&](const std::string& name, std::vector<double> values,
+                 const std::string& desc) {
+    if (!status.ok()) return;
+    Status s = out->AddColumn(name, std::move(values));
+    if (!s.ok()) {
+      status = s;
+      return;
+    }
+    status = catalog->Add(name, DataCategory::kOnChainEth, desc);
+  };
+
+  // --- Structural state. ------------------------------------------------------
+  // ETH price: levered on BTC's moves plus a smart-contract adoption kicker.
+  std::vector<double> price(n), supply(n), gas(n), tvl(n), staked(n);
+  double log_p = std::log(8.0);  // mid-2016 level
+  double sc_usage = 0.02;        // smart-contract usage curve in (0, 1)
+  double eth_supply = 82e6;
+  double tvl_level = 1e6;
+  const Date burn_start(2021, 8, 5);   // fee burn activates
+  const Date pos_merge(2022, 9, 15);   // issuance drops
+  for (size_t t = 0; t < n; ++t) {
+    const double btc_ret =
+        t > 0 ? std::log(latent.btc_close[t] / latent.btc_close[t - 1]) : 0.0;
+    const double dsc = 0.002 * sc_usage * (1.0 - sc_usage) *
+                       (latent.regime[t] == Regime::kBull ? 2.2 : 1.0);
+    sc_usage = std::clamp(sc_usage + dsc + 0.0004 * obs.Normal(), 0.01, 0.99);
+    log_p += 1.25 * btc_ret + 1.5 * dsc + 0.012 * obs.Normal();
+    price[t] = std::exp(log_p);
+
+    // Congestion follows usage and market activity.
+    gas[t] = noisy(3.0e9 + 9.5e10 * sc_usage *
+                              (1.0 + 3.0 * std::fabs(btc_ret)),
+                   0.06);
+    // Supply: steady PoW issuance, burn after Aug 2021, ~90% cut at merge.
+    double issuance = latent.dates[t] < pos_merge ? 13500.0 : 1800.0;
+    double burn = latent.dates[t] >= burn_start
+                      ? 9000.0 * sc_usage * (1.0 + 2.0 * std::fabs(btc_ret))
+                      : 0.0;
+    eth_supply += issuance - burn;
+    supply[t] = noisy(eth_supply, 0.001);
+    // DeFi TVL: usage × market level, crashes with the market.
+    tvl_level += 0.08 * (sc_usage * price[t] * 2.2e5 - tvl_level);
+    tvl[t] = noisy(std::max(1e6, tvl_level), 0.05);
+    // Staked ETH ramps from Dec 2020.
+    const double stake_age =
+        std::max(0.0, static_cast<double>(latent.dates[t] - Date(2020, 12, 1)));
+    staked[t] = noisy(1.0e6 + 28e6 * (1.0 - std::exp(-stake_age / 600.0)) *
+                          (latent.dates[t] >= Date(2020, 12, 1) ? 1.0 : 0.0) +
+                          1.0,
+                      0.01);
+  }
+
+  add("eth_PriceUSD", price, "ETH close price");
+  add("eth_SplyCur", supply, "current ETH supply");
+  add("eth_GasUsedTot", gas, "total daily gas consumed");
+  add("eth_DefiTvlUSD", tvl, "total value locked in DeFi (USD)");
+  add("eth_SplyStaked", staked, "ETH staked in the beacon chain");
+
+  // Derived families sharing the BTC wealth-model machinery.
+  {
+    std::vector<double> cap(n), tx(n), adr(n), fee(n), vel(n), cap_real(n);
+    double real_price = price[0];
+    for (size_t t = 0; t < n; ++t) {
+      cap[t] = price[t] * supply[t];
+      const double activity =
+          0.01 + 0.15 * (gas[t] / 1e11);  // usage-driven turnover
+      tx[t] = noisy(2.5e5 + 1.3e6 * (gas[t] / 1e11), 0.04);
+      adr[t] = noisy(tx[t] * 0.55, 0.03);
+      fee[t] = noisy(cap[t] * activity * activity * 20.0 + 1e4, 0.2);
+      vel[t] = noisy(365.0 * activity, 0.02);
+      real_price += std::clamp(activity, 5e-4, 0.03) * (price[t] - real_price);
+      cap_real[t] = noisy(real_price * supply[t], 0.005);
+    }
+    add("eth_CapMrktCurUSD", std::move(cap), "ETH market capitalization");
+    add("eth_TxCnt", std::move(tx), "daily ETH transactions");
+    add("eth_AdrActCnt", std::move(adr), "daily active ETH addresses");
+    add("eth_FeeTotUSD", std::move(fee), "total daily ETH fees (USD)");
+    add("eth_VelCur1yr", std::move(vel), "ETH velocity (1yr)");
+    add("eth_CapRealUSD", std::move(cap_real), "ETH realized capitalization");
+  }
+
+  // Balance buckets via the shared Pareto wealth model.
+  {
+    const double kThresholds[] = {0.01, 0.1, 1, 10, 100, 1e3, 1e4};
+    for (double th : kThresholds) {
+      std::vector<double> cnt(n), sply(n);
+      for (size_t t = 0; t < n; ++t) {
+        WealthModel w;
+        w.num_addresses = 5e6 + 1.8e8 * std::pow(latent.adoption[t], 1.2);
+        w.b_min = 1e-3;
+        w.alpha = 0.52 - 0.05 * latent.adoption[t];
+        w.b_scale = 30.0;
+        w.gamma = 0.33 - 0.06 * latent.adoption[t];
+        cnt[t] = noisy(w.CountAtLeast(th), 0.01);
+        sply[t] = noisy(supply[t] * w.SupplyShareAtLeast(th), 0.008);
+      }
+      std::string label;
+      if (th >= 1e3) {
+        label = std::to_string(static_cast<long long>(th / 1e3)) + "K";
+      } else if (th >= 1.0) {
+        label = std::to_string(static_cast<long long>(th));
+      } else {
+        label = th >= 0.1 ? "0.1" : "0.01";
+      }
+      add("eth_AdrBalNtv" + label + "Cnt", std::move(cnt),
+          "addresses holding at least " + label + " ETH");
+      add("eth_SplyAdrBalNtv" + label, std::move(sply),
+          "ETH held in addresses with balance >= " + label);
+    }
+  }
+
+  return status;
+}
+
+}  // namespace fab::sim

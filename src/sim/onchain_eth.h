@@ -1,0 +1,29 @@
+#ifndef FAB_SIM_ONCHAIN_ETH_H_
+#define FAB_SIM_ONCHAIN_ETH_H_
+
+#include <cstdint>
+
+#include "sim/catalog.h"
+#include "sim/latent.h"
+#include "table/table.h"
+#include "util/status.h"
+
+namespace fab::sim {
+
+/// Generates an ETH-like on-chain metric family (eth_-prefixed names)
+/// under `DataCategory::kOnChainEth` — the paper's "on-chain data
+/// diversification" future-work item (a representative of the smart-
+/// contract/DeFi segment).
+///
+/// The model adds two ETH-specific structural processes on top of the
+/// shared latent state: a smart-contract usage curve (gas consumed, DeFi
+/// value locked) that follows adoption with its own faster dynamics, and
+/// a fee-burn mechanism active from Aug 2021 that couples supply growth
+/// to congestion. Off by default in `MarketSimConfig` so the headline
+/// reproduction matches the paper's BTC+USDC setup.
+Status AddEthOnChainMetrics(const LatentState& latent, uint64_t seed,
+                            table::Table* out, MetricCatalog* catalog);
+
+}  // namespace fab::sim
+
+#endif  // FAB_SIM_ONCHAIN_ETH_H_

@@ -1,0 +1,269 @@
+#include "sim/onchain_usdc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "sim/onchain_btc.h"
+#include "util/random.h"
+
+namespace fab::sim {
+
+Date UsdcLaunchDate() { return Date(2018, 10, 1); }
+
+namespace {
+
+std::string ThresholdLabel(double v) {
+  if (v >= 1e9) return std::to_string(static_cast<long long>(v / 1e9)) + "B";
+  if (v >= 1e6) return std::to_string(static_cast<long long>(v / 1e6)) + "M";
+  if (v >= 1e3) return std::to_string(static_cast<long long>(v / 1e3)) + "K";
+  return std::to_string(static_cast<long long>(v));
+}
+
+/// Appends a column that is null before `first_valid` and holds
+/// `values[t]` afterwards.
+struct UsdcSink {
+  table::Table* out;
+  MetricCatalog* catalog;
+  size_t first_valid;
+  Status status = Status::OK();
+
+  void Add(const std::string& name, const std::vector<double>& values,
+           const std::string& description) {
+    if (!status.ok()) return;
+    table::Column col(values.size());
+    for (size_t t = first_valid; t < values.size(); ++t) col.Set(t, values[t]);
+    Status s = out->AddColumn(name, std::move(col));
+    if (!s.ok()) {
+      status = s;
+      return;
+    }
+    status = catalog->Add(name, DataCategory::kOnChainUsdc, description);
+  }
+};
+
+}  // namespace
+
+Status AddUsdcOnChainMetrics(const LatentState& latent,
+                             const std::vector<double>& total_mcap,
+                             uint64_t seed, table::Table* out,
+                             MetricCatalog* catalog) {
+  const size_t n = latent.num_days();
+  if (out->num_rows() != n || total_mcap.size() != n) {
+    return Status::InvalidArgument("output table must share the latent index");
+  }
+  const int launch_row = latent.FindDay(UsdcLaunchDate());
+  if (launch_row < 0) {
+    return Status::FailedPrecondition(
+        "simulation window does not contain the USDC launch date");
+  }
+  const size_t first = static_cast<size_t>(launch_row);
+
+  Rng obs(seed ^ 0x05DCu);
+  auto noisy = [&obs](double v, double sigma) {
+    return v * std::exp(sigma * obs.Normal());
+  };
+  // Per-bucket idiosyncratic wobbles (see onchain_btc.cc).
+  Rng wobble_rng(seed ^ 0x05DC0Bull);
+  auto make_wobble = [&wobble_rng](size_t days) {
+    std::vector<double> w(days);
+    double v = 0.0;
+    for (size_t t = 0; t < days; ++t) {
+      v = 0.985 * v + 0.006 * wobble_rng.Normal();
+      w[t] = std::exp(v);
+    }
+    return w;
+  };
+
+  // ---- Structural state: supply integrates flows; holders grow with
+  // adoption; turnover is high (stablecoins are the market's settlement
+  // rail). -------------------------------------------------------------------
+  std::vector<double> supply(n, 0.0), issuance(n, 0.0), holders(n, 0.0),
+      turnover(n, 0.0), turn_smooth(n, 0.0), price(n, 1.0);
+  double s = 2.5e7;
+  const double a0 = latent.adoption[first];
+  for (size_t t = first; t < n; ++t) {
+    // Supply chases settlement demand (a fixed share of total market cap,
+    // with a ~100-day adjustment) and mint/redeem responds to investor
+    // flows on top; scale chosen so supply peaks in the tens of billions
+    // like the real USDC.
+    const double demand = 0.045 * total_mcap[t];
+    const double net = 0.012 * (demand - s) + latent.flows[t] * 1.6e6;
+    issuance[t] = net;
+    s = std::max(2.0e7, s + net);
+    supply[t] = noisy(s, 0.002);
+    holders[t] =
+        noisy(1.6e5 + 2.6e6 * std::max(0.0, latent.adoption[t] - a0), 0.008);
+    const double ret =
+        t > 0 ? std::log(latent.btc_close[t] / latent.btc_close[t - 1]) : 0.0;
+    const double regime_mult =
+        latent.regime[t] == Regime::kBull
+            ? 1.5
+            : (latent.regime[t] == Regime::kBear ? 1.3 : 1.0);
+    turnover[t] = noisy(0.045 * regime_mult * (1.0 + 4.0 * std::fabs(ret)), 0.08);
+    turn_smooth[t] = t == first
+                         ? turnover[t]
+                         : turn_smooth[t - 1] +
+                               (turnover[t] - turn_smooth[t - 1]) / 30.0;
+    // Peg wobble of a few basis points.
+    price[t] = 1.0 + 0.0015 * obs.Normal();
+  }
+
+  UsdcSink sink{out, catalog, first};
+
+  // Smoothed flows: the institutional signal that differentiates
+  // large-holder buckets from retail ones.
+  std::vector<double> flows_smooth(n, 0.0);
+  for (size_t t = first; t < n; ++t) {
+    flows_smooth[t] = t == first ? latent.flows[t]
+                                 : flows_smooth[t - 1] +
+                                       (latent.flows[t] - flows_smooth[t - 1]) /
+                                           10.0;
+  }
+
+  // ---- Wealth-bucket families. ---------------------------------------------
+  auto wealth_at = [&](size_t t) {
+    WealthModel w;
+    w.num_addresses = holders[t];
+    w.b_min = 1.0;       // 1 USDC
+    w.alpha = 0.50 - 0.05 * latent.adoption[t];
+    w.b_scale = 2.5e3;   // supply concentrated in exchange/treasury wallets
+    w.gamma = 0.30 - 0.05 * latent.adoption[t];
+    return w;
+  };
+
+  const double kThresholds[] = {1, 10, 100, 1e3, 1e4, 1e5, 1e6, 1e7};
+  const size_t kNumThresholds = 8;
+  size_t th_index = 0;
+  for (double th : kThresholds) {
+    std::vector<double> cnt(n, 0.0), sply(n, 0.0), cnt_usd(n, 0.0),
+        sply_usd(n, 0.0);
+    const std::vector<double> wob_cnt = make_wobble(n);
+    const std::vector<double> wob_sply = make_wobble(n);
+    // Whale buckets follow institutional flows, retail buckets follow
+    // adoption: heterogeneous information, not redundant copies.
+    const double tilt =
+        static_cast<double>(th_index) / (kNumThresholds - 1.0) - 0.5;
+    ++th_index;
+    for (size_t t = first; t < n; ++t) {
+      const WealthModel w = wealth_at(t);
+      const double info =
+          std::exp(0.012 * tilt * flows_smooth[t] +
+                   0.8 * (-tilt) * (latent.adoption[t] - a0));
+      cnt[t] = noisy(w.CountAtLeast(th) * wob_cnt[t] * info, 0.01);
+      sply[t] = noisy(supply[t] * w.SupplyShareAtLeast(th) * wob_sply[t] * info,
+                      0.008);
+      // USD thresholds differ from native only through the peg wobble.
+      const double b = th / price[t];
+      cnt_usd[t] = noisy(w.CountAtLeast(b) * wob_cnt[t] * info, 0.01);
+      sply_usd[t] =
+          noisy(supply[t] * w.SupplyShareAtLeast(b) * wob_sply[t] * info, 0.008);
+    }
+    const std::string label = ThresholdLabel(th);
+    sink.Add("usdc_AdrBalNtv" + label + "Cnt", cnt,
+             "addresses holding at least " + label + " USDC");
+    sink.Add("usdc_SplyAdrBalNtv" + label, sply,
+             "USDC held in addresses with balance >= " + label);
+    sink.Add("usdc_AdrBalUSD" + label + "Cnt", cnt_usd,
+             "addresses holding at least $" + label + " of USDC");
+    sink.Add("usdc_SplyAdrBalUSD" + label, sply_usd,
+             "USDC held in addresses with balance >= $" + label);
+  }
+  const double kFracDenoms[] = {1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10};
+  size_t denom_index = 0;
+  for (double denom : kFracDenoms) {
+    std::vector<double> cnt(n, 0.0), sply(n, 0.0);
+    const std::vector<double> wob_cnt = make_wobble(n);
+    const std::vector<double> wob_sply = make_wobble(n);
+    const double tilt = 0.5 - static_cast<double>(denom_index) / 7.0;
+    ++denom_index;
+    for (size_t t = first; t < n; ++t) {
+      const WealthModel w = wealth_at(t);
+      const double b = supply[t] / denom;
+      const double info = std::exp(0.012 * tilt * flows_smooth[t]);
+      cnt[t] = noisy(w.CountAtLeast(b) * wob_cnt[t] * info, 0.01);
+      sply[t] =
+          noisy(supply[t] * w.SupplyShareAtLeast(b) * wob_sply[t] * info, 0.008);
+    }
+    const std::string label = ThresholdLabel(denom);
+    sink.Add("usdc_AdrBal1in" + label + "Cnt", cnt,
+             "addresses holding >= 1/" + label + " of USDC supply");
+    sink.Add("usdc_SplyAdrBal1in" + label, sply,
+             "USDC held by addresses with >= 1/" + label + " of supply");
+  }
+
+  // ---- Supply, activity, flows. ---------------------------------------------
+  {
+    std::vector<double> sply_cur(n, 0.0), act_ever(n, 0.0), act_pct(n, 0.0),
+        vel(n, 0.0), iss(n, 0.0), ser(n, 0.0);
+    const int kActDays[] = {7, 30, 90, 180, 365, 730, 1095};
+    const char* kActNames[] = {"usdc_SplyAct7d",  "usdc_SplyAct30d",
+                               "usdc_SplyAct90d", "usdc_SplyAct180d",
+                               "usdc_SplyAct1yr", "usdc_SplyAct2yr",
+                               "usdc_SplyAct3yr"};
+    std::vector<std::vector<double>> act(7, std::vector<double>(n, 0.0));
+    for (size_t t = first; t < n; ++t) {
+      const double lambda = std::clamp(turn_smooth[t], 0.005, 0.4);
+      sply_cur[t] = supply[t];
+      act_ever[t] = noisy(supply[t] * 0.985, 0.002);
+      for (int k = 0; k < 7; ++k) {
+        // Cap the window by the coin's age.
+        const double age = static_cast<double>(t - first + 1);
+        const double days = std::min(static_cast<double>(kActDays[k]), age);
+        act[static_cast<size_t>(k)][t] =
+            noisy(supply[t] * (1.0 - std::exp(-lambda * days)), 0.01);
+      }
+      act_pct[t] = 100.0 * (1.0 - std::exp(-lambda * 365.0)) *
+                   std::exp(0.008 * obs.Normal());
+      vel[t] = noisy(365.0 * turn_smooth[t], 0.012);
+      iss[t] = issuance[t];
+      const WealthModel w = wealth_at(t);
+      const double b_top1 = w.b_min * std::pow(0.01, -1.0 / w.alpha);
+      const double share_top1 = w.SupplyShareAtLeast(b_top1);
+      const double share_small =
+          1.0 - w.SupplyShareAtLeast(supply[t] * 1e-7);
+      ser[t] = noisy(share_small / share_top1, 0.015);
+    }
+    sink.Add("usdc_SplyCur", sply_cur, "current USDC supply");
+    sink.Add("usdc_SplyActEver", act_ever, "USDC ever active");
+    for (int k = 0; k < 7; ++k) {
+      sink.Add(kActNames[k], act[static_cast<size_t>(k)],
+               "USDC active in the trailing window");
+    }
+    sink.Add("usdc_SplyActPct1yr", act_pct,
+             "% of USDC supply active in the trailing year");
+    sink.Add("usdc_VelCur1yr", vel, "USDC velocity (1yr)");
+    sink.Add("usdc_IssContNtv", iss, "daily net USDC issuance (mint-redeem)");
+    sink.Add("usdc_SER", ser, "USDC supply equality ratio");
+  }
+
+  // ---- Capitalization & transactions. ----------------------------------------
+  {
+    std::vector<double> cap(n, 0.0), cap_ff(n, 0.0), cap_act(n, 0.0),
+        tx_cnt(n, 0.0), tfr_val(n, 0.0), tfr_mean(n, 0.0), adr_act(n, 0.0);
+    for (size_t t = first; t < n; ++t) {
+      cap[t] = supply[t] * price[t];
+      cap_ff[t] = noisy(cap[t] * 0.96, 0.003);
+      const double lambda = std::clamp(turn_smooth[t], 0.005, 0.4);
+      cap_act[t] = noisy(cap[t] * (1.0 - std::exp(-lambda * 365.0)), 0.006);
+      adr_act[t] = noisy(holders[t] * std::clamp(turn_smooth[t], 0.01, 0.3),
+                         0.02);
+      tx_cnt[t] = noisy(adr_act[t] * 3.0, 0.015);
+      tfr_val[t] = noisy(supply[t] * turnover[t], 0.025);
+      tfr_mean[t] = tfr_val[t] / tx_cnt[t];
+    }
+    sink.Add("usdc_CapMrktCurUSD", cap, "USDC market capitalization");
+    sink.Add("usdc_CapMrktFFUSD", cap_ff, "USDC free-float capitalization");
+    sink.Add("usdc_CapAct1yrUSD", cap_act,
+             "USD value of USDC active in the last year");
+    sink.Add("usdc_AdrActCnt", adr_act, "daily active USDC addresses");
+    sink.Add("usdc_TxCnt", tx_cnt, "daily USDC transaction count");
+    sink.Add("usdc_TxTfrValAdjUSD", tfr_val, "USDC adjusted transfer value");
+    sink.Add("usdc_TxTfrValMeanUSD", tfr_mean, "mean USDC transfer value");
+  }
+
+  return sink.status;
+}
+
+}  // namespace fab::sim

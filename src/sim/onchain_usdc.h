@@ -1,0 +1,39 @@
+#ifndef FAB_SIM_ONCHAIN_USDC_H_
+#define FAB_SIM_ONCHAIN_USDC_H_
+
+#include <cstdint>
+
+#include <vector>
+
+#include "sim/catalog.h"
+#include "sim/latent.h"
+#include "table/table.h"
+#include "util/date.h"
+#include "util/status.h"
+
+namespace fab::sim {
+
+/// The simulated USDC launch date; all usdc_* columns are null before it
+/// (the paper notes USDC data only exists from late 2018, which is why the
+/// 2017 set excludes it).
+Date UsdcLaunchDate();
+
+/// Generates the USDC on-chain metric family (usdc_-prefixed Coinmetrics
+/// names) into `out`, registered under `DataCategory::kOnChainUsdc`.
+///
+/// The stablecoin's supply tracks total market size with a ~3-month lag
+/// (settlement demand) and integrates the latent investor-flow process:
+/// inflows mint USDC, outflows redeem it. Because flows respond to the
+/// latent regime faster and with less noise than prices do, usdc_ supply
+/// and issuance metrics carry a comparatively clean medium/long-horizon
+/// signal — the paper's explanation for why USDC metrics encapsulate
+/// "macro changes of the crypto market ... moving funds in and out".
+/// `total_mcap` is the daily total crypto market capitalization.
+Status AddUsdcOnChainMetrics(const LatentState& latent,
+                             const std::vector<double>& total_mcap,
+                             uint64_t seed, table::Table* out,
+                             MetricCatalog* catalog);
+
+}  // namespace fab::sim
+
+#endif  // FAB_SIM_ONCHAIN_USDC_H_

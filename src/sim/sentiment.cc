@@ -1,0 +1,155 @@
+#include "sim/sentiment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace fab::sim {
+
+Date FearGreedStartDate() { return Date(2018, 2, 1); }
+
+namespace {
+
+double RegimeDriftSignal(const LatentState& latent, size_t t) {
+  switch (latent.regime[t]) {
+    case Regime::kBull:
+      return 1.0;
+    case Regime::kBear:
+      return -1.0;
+    case Regime::kNeutral:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+double TrailingReturn(const LatentState& latent, size_t t, size_t days) {
+  const size_t t0 = t >= days ? t - days : 0;
+  return std::log(latent.btc_close[t] / latent.btc_close[t0]);
+}
+
+}  // namespace
+
+Status AddSentimentMetrics(const LatentState& latent, uint64_t seed,
+                           table::Table* out, MetricCatalog* catalog) {
+  const size_t n = latent.num_days();
+  if (out->num_rows() != n) {
+    return Status::InvalidArgument("output table must share the latent index");
+  }
+  Rng obs(seed ^ 0x5E47u);
+
+  Status status = Status::OK();
+  auto add = [&](const std::string& name, table::Column col,
+                 const std::string& desc) {
+    if (!status.ok()) return;
+    Status s = out->AddColumn(name, std::move(col));
+    if (!s.ok()) {
+      status = s;
+      return;
+    }
+    status = catalog->Add(name, DataCategory::kSentiment, desc);
+  };
+
+  // ---- Fear & Greed: logistic blend of 30d momentum and volatility,
+  // starting Feb 2018. -------------------------------------------------------
+  {
+    table::Column fg(n);
+    const int start = latent.FindDay(FearGreedStartDate());
+    for (size_t t = start < 0 ? 0 : static_cast<size_t>(start); t < n; ++t) {
+      const double mom = TrailingReturn(latent, t, 30);
+      const double vol_pen = (latent.btc_sigma[t] - 0.03) * 18.0;
+      const double x = 3.2 * mom - vol_pen + 0.04 * latent.flows[t] +
+                       0.6 * obs.Normal();
+      fg.Set(t, 100.0 / (1.0 + std::exp(-x)));
+    }
+    add("fear_greed", std::move(fg), "fear & greed index [0, 100]");
+  }
+
+  // ---- Monthly Google-trends style search volumes: one value per month,
+  // driven by the month's momentum and the adoption level. -------------------
+  {
+    const char* kTerms[] = {"Bitcoin",  "Ethereum",      "Cryptocurrency",
+                            "Crypto",   "Blockchain",    "BuyBitcoin"};
+    for (const char* term : kTerms) {
+      table::Column col(n);
+      double month_value = 20.0;
+      int current_month = -1;
+      const double sensitivity = 30.0 + 15.0 * obs.Uniform();
+      for (size_t t = 0; t < n; ++t) {
+        const int ym = latent.dates[t].year() * 12 + latent.dates[t].month();
+        if (ym != current_month) {
+          current_month = ym;
+          const double mom = TrailingReturn(latent, t, 30);
+          const double base = 8.0 + 70.0 * latent.adoption[t];
+          month_value = std::clamp(
+              base + sensitivity * mom + 6.0 * obs.Normal(), 1.0, 100.0);
+        }
+        col.Set(t, month_value);
+      }
+      add(std::string("gt_") + term + "_monthly", std::move(col),
+          std::string("monthly search volume for '") + term + "'");
+    }
+  }
+
+  // ---- Daily social metrics: noisy fast-reverting regime/momentum
+  // followers. ----------------------------------------------------------------
+  {
+    table::Column post_vol(n), engagement(n), tweet_vol(n), reddit(n),
+        pos(n), neg(n), neu(n), news(n), dominance(n), bull_ratio(n),
+        social_score(n);
+    for (size_t t = 0; t < n; ++t) {
+      const double r7 = TrailingReturn(latent, t, 7);
+      const double regime_sig = RegimeDriftSignal(latent, t);
+      const double excitement =
+          1.0 + 2.5 * std::fabs(r7) + 0.3 * std::max(0.0, regime_sig);
+      post_vol.Set(t, 2.0e4 * latent.adoption[t] * excitement *
+                          std::exp(0.25 * obs.Normal()));
+      engagement.Set(t, post_vol.value(t) * (12.0 + 3.0 * obs.Normal()));
+      tweet_vol.Set(t, 6.5e4 * latent.adoption[t] * excitement *
+                           std::exp(0.30 * obs.Normal()));
+      reddit.Set(t, 1.4e4 * latent.adoption[t] *
+                        (1.0 + 1.5 * std::fabs(r7)) *
+                        std::exp(0.22 * obs.Normal()));
+      // Sentiment split: regime + momentum + investor flows (the herd
+      // reacts quickly) through heavy noise.
+      const double mood = 0.45 * regime_sig + 4.0 * r7 +
+                          0.05 * latent.flows[t] + 0.65 * obs.Normal();
+      const double p = 0.34 + 0.10 * std::tanh(mood);
+      const double q = 0.26 - 0.08 * std::tanh(mood);
+      pos.Set(t, std::clamp(p + 0.02 * obs.Normal(), 0.05, 0.8));
+      neg.Set(t, std::clamp(q + 0.02 * obs.Normal(), 0.05, 0.8));
+      neu.Set(t, std::clamp(1.0 - pos.value(t) - neg.value(t), 0.05, 0.9));
+      news.Set(t, std::clamp(0.5 + 0.25 * std::tanh(mood) +
+                                 0.08 * obs.Normal(),
+                             0.0, 1.0));
+      dominance.Set(t, std::clamp(12.0 + 20.0 * std::fabs(r7) +
+                                      2.0 * obs.Normal(),
+                                  1.0, 60.0));
+      bull_ratio.Set(t, std::clamp(1.0 + 0.8 * std::tanh(mood) +
+                                       0.15 * obs.Normal(),
+                                   0.1, 4.0));
+      social_score.Set(t, std::clamp(50.0 + 20.0 * std::tanh(mood) +
+                                         6.0 * obs.Normal(),
+                                     0.0, 100.0));
+    }
+    add("social_post_volume", std::move(post_vol), "daily social posts");
+    add("social_engagement", std::move(engagement), "daily engagements");
+    add("tweet_volume", std::move(tweet_vol), "daily tweets about crypto");
+    add("reddit_active_users", std::move(reddit), "daily active reddit users");
+    add("social_sentiment_positive", std::move(pos), "positive post share");
+    add("social_sentiment_negative", std::move(neg), "negative post share");
+    add("social_sentiment_neutral", std::move(neu), "neutral post share");
+    add("news_sentiment", std::move(news), "aggregated news sentiment [0,1]");
+    add("social_dominance", std::move(dominance),
+        "crypto share of social finance chatter (%)");
+    add("bullish_ratio", std::move(bull_ratio), "bullish/bearish post ratio");
+    add("social_score", std::move(social_score),
+        "composite social activity score");
+  }
+
+  return status;
+}
+
+}  // namespace fab::sim

@@ -1,0 +1,31 @@
+#ifndef FAB_SIM_SENTIMENT_H_
+#define FAB_SIM_SENTIMENT_H_
+
+#include <cstdint>
+
+#include "sim/catalog.h"
+#include "sim/latent.h"
+#include "table/table.h"
+#include "util/date.h"
+#include "util/status.h"
+
+namespace fab::sim {
+
+/// First date of the simulated fear-and-greed index (the real one launched
+/// in Feb 2018, another reason the paper's 2019 subset exists).
+Date FearGreedStartDate();
+
+/// Generates sentiment and interest metrics (fear/greed, Google-trends
+/// style monthly search volumes, social-media volume and sentiment splits)
+/// under `DataCategory::kSentiment`.
+///
+/// Sentiment observes the current micro-regime and recent returns through
+/// heavy, fast-reverting noise: informative about immediate market
+/// reactions, useless at long horizons — the paper's observed pattern.
+/// Monthly search-volume series are step functions (one value per month).
+Status AddSentimentMetrics(const LatentState& latent, uint64_t seed,
+                           table::Table* out, MetricCatalog* catalog);
+
+}  // namespace fab::sim
+
+#endif  // FAB_SIM_SENTIMENT_H_

@@ -1,0 +1,151 @@
+#include "sim/tradfi.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "sim/macro.h"
+#include "util/random.h"
+
+namespace fab::sim {
+
+Status AddTradFiMetrics(const LatentState& latent, uint64_t seed,
+                        table::Table* out, MetricCatalog* catalog) {
+  const size_t n = latent.num_days();
+  if (out->num_rows() != n) {
+    return Status::InvalidArgument("output table must share the latent index");
+  }
+  Rng rng(seed ^ 0x7adf1u);
+
+  Status status = Status::OK();
+  auto add = [&](const std::string& name, std::vector<double> values,
+                 const std::string& desc) {
+    if (!status.ok()) return;
+    Status s = out->AddColumn(name, std::move(values));
+    if (!s.ok()) {
+      status = s;
+      return;
+    }
+    status = catalog->Add(name, DataCategory::kTradFi, desc);
+  };
+
+  // Shared daily equity-factor shock (markets co-move).
+  std::vector<double> equity_shock(n);
+  for (size_t t = 0; t < n; ++t) equity_shock[t] = rng.Normal();
+
+  // Equity indices: GBM with macro-driven drift + shared factor.
+  struct Equity {
+    const char* name;
+    double p0;
+    double beta_macro;   // drift sensitivity to the macro factor
+    double beta_factor;  // loading on the shared daily shock
+    double idio_sigma;
+    const char* desc;
+  };
+  const Equity kEquities[] = {
+      {"QQQ_Close", 108.0, 0.0011, 0.011, 0.004,
+       "Nasdaq-100 tracker close"},
+      {"SPY_Close", 210.0, 0.0009, 0.009, 0.003, "S&P 500 tracker close"},
+      {"IWM_Close", 115.0, 0.0008, 0.010, 0.005, "Russell 2000 tracker close"},
+      {"DIA_Close", 180.0, 0.0007, 0.008, 0.004, "Dow tracker close"},
+      {"XLF_Close", 19.0, 0.0006, 0.009, 0.005, "financials sector close"},
+  };
+  for (const Equity& e : kEquities) {
+    std::vector<double> v(n);
+    double log_p = std::log(e.p0);
+    for (size_t t = 0; t < n; ++t) {
+      const double drift = 0.00030 + e.beta_macro * latent.macro_factor[t];
+      log_p += drift + e.beta_factor * equity_shock[t] +
+               e.idio_sigma * rng.Normal();
+      v[t] = std::exp(log_p);
+    }
+    add(e.name, std::move(v), e.desc);
+  }
+
+  // Dollar strength (UUP) and EURUSD: inverse views of the macro factor —
+  // loose global money weakens the dollar.
+  {
+    std::vector<double> uup(n), eurusd(n);
+    double dollar = 0.0;  // latent log dollar-strength
+    for (size_t t = 0; t < n; ++t) {
+      dollar += 0.01 * (-0.25 * latent.macro_factor[t] - dollar) +
+                0.0035 * rng.Normal();
+      uup[t] = 24.5 * std::exp(dollar);
+      eurusd[t] = 1.12 * std::exp(-0.9 * dollar + 0.002 * rng.Normal());
+    }
+    add("UUP_Close", std::move(uup), "US dollar index bullish fund close");
+    add("EURUSD_Close", std::move(eurusd), "EUR/USD exchange rate");
+  }
+
+  // Bond ETFs: price inversely in the scripted policy-rate path, with
+  // duration setting the sensitivity.
+  struct Bond {
+    const char* name;
+    double p0;
+    double duration;
+    const char* desc;
+  };
+  const Bond kBonds[] = {
+      {"BSV_Close", 80.0, 2.7, "short-term bond ETF close"},
+      {"MBB_Close", 108.0, 6.0, "mortgage-backed securities ETF close"},
+      {"TLT_Close", 130.0, 17.0, "20+ year treasury ETF close"},
+  };
+  const double rate0 = PolicyRateBackbone(latent.dates.front());
+  for (const Bond& b : kBonds) {
+    std::vector<double> v(n);
+    double noise = 0.0;
+    for (size_t t = 0; t < n; ++t) {
+      const double rate = PolicyRateBackbone(latent.dates[t]);
+      noise += 0.001 * rng.Normal() - 0.02 * noise;
+      v[t] = b.p0 * std::exp(-b.duration * (rate - rate0) / 100.0 + noise);
+    }
+    add(b.name, std::move(v), b.desc);
+  }
+
+  // Gold: anti-real-rate asset.
+  {
+    std::vector<double> gld(n);
+    double noise = 0.0;
+    for (size_t t = 0; t < n; ++t) {
+      const double real_rate = PolicyRateBackbone(latent.dates[t]) -
+                               CpiYoYBackbone(latent.dates[t]);
+      noise += 0.004 * rng.Normal() - 0.01 * noise;
+      gld[t] = 125.0 * std::exp(-0.045 * real_rate + 0.08 + noise);
+    }
+    add("GLD_Close", std::move(gld), "gold trust close");
+  }
+
+  // VIX: baseline + macro stress + equity drawdown response.
+  {
+    std::vector<double> vix(n);
+    double peak = 0.0;
+    double log_eq = 0.0;
+    for (size_t t = 0; t < n; ++t) {
+      log_eq += 0.0003 + 0.011 * equity_shock[t];
+      peak = std::max(peak, log_eq);
+      const double dd = peak - log_eq;  // equity drawdown in log points
+      const double stress = std::max(0.0, -latent.macro_factor[t]);
+      vix[t] = std::clamp(13.0 + 90.0 * dd + 9.0 * stress +
+                              1.5 * rng.Normal(),
+                          9.0, 85.0);
+    }
+    add("VIX_Close", std::move(vix), "implied-volatility index close");
+  }
+
+  // Oil: own cycle plus inflation-era coupling.
+  {
+    std::vector<double> uso(n);
+    double log_p = std::log(11.0);
+    for (size_t t = 0; t < n; ++t) {
+      const double drift = 0.0002 * (CpiYoYBackbone(latent.dates[t]) - 2.0);
+      log_p += drift + 0.015 * rng.Normal();
+      uso[t] = std::exp(log_p);
+    }
+    add("USO_Close", std::move(uso), "oil fund close");
+  }
+
+  return status;
+}
+
+}  // namespace fab::sim

@@ -1,0 +1,27 @@
+#ifndef FAB_SIM_TRADFI_H_
+#define FAB_SIM_TRADFI_H_
+
+#include <cstdint>
+
+#include "sim/catalog.h"
+#include "sim/latent.h"
+#include "table/table.h"
+#include "util/status.h"
+
+namespace fab::sim {
+
+/// Generates traditional-market index closes (QQQ, SPY, UUP, EURUSD, BSV,
+/// MBB, TLT, GLD, VIX, ...) under `DataCategory::kTradFi`.
+///
+/// Equity indices share a factor driven by the latent macro backbone;
+/// dollar/euro gauges move inversely to it; bond ETFs price off the
+/// scripted policy-rate path. Because crypto drift couples to the same
+/// macro factor with a ~60-day lag, these indices carry long-horizon
+/// information about the crypto market — the paper's explanation for
+/// their rising contribution at 90/180-day windows.
+Status AddTradFiMetrics(const LatentState& latent, uint64_t seed,
+                        table::Table* out, MetricCatalog* catalog);
+
+}  // namespace fab::sim
+
+#endif  // FAB_SIM_TRADFI_H_

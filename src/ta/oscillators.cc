@@ -1,0 +1,166 @@
+#include "ta/oscillators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ta/moving_averages.h"
+
+namespace fab::ta {
+
+table::Column Rsi(const std::vector<double>& close, int window) {
+  const size_t n = close.size();
+  const size_t w = static_cast<size_t>(window);
+  table::Column out(n);
+  if (window < 1 || n < w + 1) return out;
+  double avg_gain = 0.0;
+  double avg_loss = 0.0;
+  for (size_t i = 1; i <= w; ++i) {
+    const double d = close[i] - close[i - 1];
+    if (d > 0.0) {
+      avg_gain += d;
+    } else {
+      avg_loss -= d;
+    }
+  }
+  avg_gain /= static_cast<double>(w);
+  avg_loss /= static_cast<double>(w);
+  auto rsi_of = [](double gain, double loss) {
+    if (loss == 0.0) return gain == 0.0 ? 50.0 : 100.0;
+    const double rs = gain / loss;
+    return 100.0 - 100.0 / (1.0 + rs);
+  };
+  out.Set(w, rsi_of(avg_gain, avg_loss));
+  for (size_t i = w + 1; i < n; ++i) {
+    const double d = close[i] - close[i - 1];
+    const double gain = d > 0.0 ? d : 0.0;
+    const double loss = d < 0.0 ? -d : 0.0;
+    // Wilder smoothing.
+    avg_gain = (avg_gain * (static_cast<double>(w) - 1.0) + gain) /
+               static_cast<double>(w);
+    avg_loss = (avg_loss * (static_cast<double>(w) - 1.0) + loss) /
+               static_cast<double>(w);
+    out.Set(i, rsi_of(avg_gain, avg_loss));
+  }
+  return out;
+}
+
+MacdResult Macd(const std::vector<double>& close, int fast, int slow,
+                int signal_window) {
+  const size_t n = close.size();
+  MacdResult r{table::Column(n), table::Column(n), table::Column(n)};
+  const table::Column ema_fast = Ema(close, fast);
+  const table::Column ema_slow = Ema(close, slow);
+  std::vector<double> line_dense;
+  std::vector<size_t> line_rows;
+  for (size_t i = 0; i < n; ++i) {
+    if (ema_fast.is_valid(i) && ema_slow.is_valid(i)) {
+      r.line.Set(i, ema_fast.value(i) - ema_slow.value(i));
+      line_dense.push_back(r.line.value(i));
+      line_rows.push_back(i);
+    }
+  }
+  const table::Column sig = Ema(line_dense, signal_window);
+  for (size_t k = 0; k < line_rows.size(); ++k) {
+    if (sig.is_valid(k)) {
+      const size_t i = line_rows[k];
+      r.signal.Set(i, sig.value(k));
+      r.histogram.Set(i, r.line.value(i) - sig.value(k));
+    }
+  }
+  return r;
+}
+
+table::Column Roc(const std::vector<double>& close, int window) {
+  const size_t n = close.size();
+  const size_t w = static_cast<size_t>(window);
+  table::Column out(n);
+  if (window < 1) return out;
+  for (size_t i = w; i < n; ++i) {
+    if (close[i - w] != 0.0) {
+      out.Set(i, 100.0 * (close[i] / close[i - w] - 1.0));
+    }
+  }
+  return out;
+}
+
+table::Column Momentum(const std::vector<double>& close, int window) {
+  const size_t n = close.size();
+  const size_t w = static_cast<size_t>(window);
+  table::Column out(n);
+  if (window < 1) return out;
+  for (size_t i = w; i < n; ++i) out.Set(i, close[i] - close[i - w]);
+  return out;
+}
+
+StochasticResult Stochastic(const std::vector<double>& high,
+                            const std::vector<double>& low,
+                            const std::vector<double>& close, int k_window,
+                            int d_window) {
+  const size_t n = close.size();
+  StochasticResult r{table::Column(n), table::Column(n)};
+  if (k_window < 1 || high.size() != n || low.size() != n) return r;
+  const size_t kw = static_cast<size_t>(k_window);
+  std::vector<double> k_dense;
+  std::vector<size_t> k_rows;
+  for (size_t i = kw - 1; i < n; ++i) {
+    double hh = high[i];
+    double ll = low[i];
+    for (size_t j = i + 1 - kw; j <= i; ++j) {
+      hh = std::max(hh, high[j]);
+      ll = std::min(ll, low[j]);
+    }
+    const double denom = hh - ll;
+    const double k = denom > 0.0 ? 100.0 * (close[i] - ll) / denom : 50.0;
+    r.percent_k.Set(i, k);
+    k_dense.push_back(k);
+    k_rows.push_back(i);
+  }
+  const table::Column d = Sma(k_dense, d_window);
+  for (size_t k = 0; k < k_rows.size(); ++k) {
+    if (d.is_valid(k)) r.percent_d.Set(k_rows[k], d.value(k));
+  }
+  return r;
+}
+
+table::Column WilliamsR(const std::vector<double>& high,
+                        const std::vector<double>& low,
+                        const std::vector<double>& close, int window) {
+  const size_t n = close.size();
+  table::Column out(n);
+  if (window < 1 || high.size() != n || low.size() != n) return out;
+  const size_t w = static_cast<size_t>(window);
+  for (size_t i = w - 1; i < n; ++i) {
+    double hh = high[i];
+    double ll = low[i];
+    for (size_t j = i + 1 - w; j <= i; ++j) {
+      hh = std::max(hh, high[j]);
+      ll = std::min(ll, low[j]);
+    }
+    const double denom = hh - ll;
+    out.Set(i, denom > 0.0 ? -100.0 * (hh - close[i]) / denom : -50.0);
+  }
+  return out;
+}
+
+table::Column Cci(const std::vector<double>& high,
+                  const std::vector<double>& low,
+                  const std::vector<double>& close, int window) {
+  const size_t n = close.size();
+  table::Column out(n);
+  if (window < 1 || high.size() != n || low.size() != n) return out;
+  const size_t w = static_cast<size_t>(window);
+  std::vector<double> tp(n);
+  for (size_t i = 0; i < n; ++i) tp[i] = (high[i] + low[i] + close[i]) / 3.0;
+  for (size_t i = w - 1; i < n; ++i) {
+    double mean = 0.0;
+    for (size_t j = i + 1 - w; j <= i; ++j) mean += tp[j];
+    mean /= static_cast<double>(w);
+    double mad = 0.0;
+    for (size_t j = i + 1 - w; j <= i; ++j) mad += std::fabs(tp[j] - mean);
+    mad /= static_cast<double>(w);
+    out.Set(i, mad > 0.0 ? (tp[i] - mean) / (0.015 * mad) : 0.0);
+  }
+  return out;
+}
+
+}  // namespace fab::ta

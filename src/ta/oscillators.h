@@ -1,0 +1,51 @@
+#ifndef FAB_TA_OSCILLATORS_H_
+#define FAB_TA_OSCILLATORS_H_
+
+#include <vector>
+
+#include "table/column.h"
+
+namespace fab::ta {
+
+/// Wilder's Relative Strength Index in [0, 100]; null during warm-up.
+table::Column Rsi(const std::vector<double>& close, int window);
+
+/// MACD components: line = EMA(fast) - EMA(slow), signal = EMA(line,
+/// signal_window), histogram = line - signal.
+struct MacdResult {
+  table::Column line;
+  table::Column signal;
+  table::Column histogram;
+};
+MacdResult Macd(const std::vector<double>& close, int fast = 12,
+                int slow = 26, int signal_window = 9);
+
+/// Rate of change: 100 * (close_t / close_{t-window} - 1).
+table::Column Roc(const std::vector<double>& close, int window);
+
+/// Momentum: close_t - close_{t-window}.
+table::Column Momentum(const std::vector<double>& close, int window);
+
+/// Stochastic oscillator %K (fast) and %D (SMA of %K over d_window).
+struct StochasticResult {
+  table::Column percent_k;
+  table::Column percent_d;
+};
+StochasticResult Stochastic(const std::vector<double>& high,
+                            const std::vector<double>& low,
+                            const std::vector<double>& close, int k_window,
+                            int d_window);
+
+/// Williams %R in [-100, 0].
+table::Column WilliamsR(const std::vector<double>& high,
+                        const std::vector<double>& low,
+                        const std::vector<double>& close, int window);
+
+/// Commodity Channel Index over the typical price (H+L+C)/3.
+table::Column Cci(const std::vector<double>& high,
+                  const std::vector<double>& low,
+                  const std::vector<double>& close, int window);
+
+}  // namespace fab::ta
+
+#endif  // FAB_TA_OSCILLATORS_H_

@@ -1,0 +1,11 @@
+#ifndef FAB_TA_TA_H_
+#define FAB_TA_TA_H_
+
+/// Umbrella header for the technical-indicator library.
+
+#include "ta/moving_averages.h"   // IWYU pragma: export
+#include "ta/oscillators.h"      // IWYU pragma: export
+#include "ta/volatility.h"       // IWYU pragma: export
+#include "ta/volume.h"           // IWYU pragma: export
+
+#endif  // FAB_TA_TA_H_

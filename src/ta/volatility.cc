@@ -1,0 +1,94 @@
+#include "ta/volatility.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ta/moving_averages.h"
+
+namespace fab::ta {
+
+BollingerResult Bollinger(const std::vector<double>& close, int window,
+                          double num_stddev) {
+  const size_t n = close.size();
+  BollingerResult r{table::Column(n), table::Column(n), table::Column(n),
+                    table::Column(n), table::Column(n)};
+  if (window < 2 || n < static_cast<size_t>(window)) return r;
+  const size_t w = static_cast<size_t>(window);
+  const table::Column mid = Sma(close, window);
+  for (size_t i = w - 1; i < n; ++i) {
+    const double m = mid.value(i);
+    double acc = 0.0;
+    for (size_t j = i + 1 - w; j <= i; ++j) acc += (close[j] - m) * (close[j] - m);
+    const double sigma = std::sqrt(acc / static_cast<double>(w));
+    const double up = m + num_stddev * sigma;
+    const double lo = m - num_stddev * sigma;
+    r.middle.Set(i, m);
+    r.upper.Set(i, up);
+    r.lower.Set(i, lo);
+    if (m != 0.0) r.bandwidth.Set(i, (up - lo) / m);
+    if (up > lo) r.percent_b.Set(i, (close[i] - lo) / (up - lo));
+  }
+  return r;
+}
+
+table::Column Atr(const std::vector<double>& high,
+                  const std::vector<double>& low,
+                  const std::vector<double>& close, int window) {
+  const size_t n = close.size();
+  table::Column out(n);
+  if (window < 1 || n < 2 || high.size() != n || low.size() != n) return out;
+  const size_t w = static_cast<size_t>(window);
+  std::vector<double> tr(n, 0.0);
+  tr[0] = high[0] - low[0];
+  for (size_t i = 1; i < n; ++i) {
+    tr[i] = std::max({high[i] - low[i], std::fabs(high[i] - close[i - 1]),
+                      std::fabs(low[i] - close[i - 1])});
+  }
+  if (n < w) return out;
+  double atr = 0.0;
+  for (size_t i = 0; i < w; ++i) atr += tr[i];
+  atr /= static_cast<double>(w);
+  out.Set(w - 1, atr);
+  for (size_t i = w; i < n; ++i) {
+    // Wilder smoothing.
+    atr = (atr * (static_cast<double>(w) - 1.0) + tr[i]) / static_cast<double>(w);
+    out.Set(i, atr);
+  }
+  return out;
+}
+
+table::Column RealizedVolatility(const std::vector<double>& close, int window) {
+  const size_t n = close.size();
+  table::Column out(n);
+  if (window < 2 || n < static_cast<size_t>(window) + 1) return out;
+  const size_t w = static_cast<size_t>(window);
+  std::vector<double> lr(n, 0.0);
+  for (size_t i = 1; i < n; ++i) {
+    lr[i] = (close[i] > 0.0 && close[i - 1] > 0.0)
+                ? std::log(close[i] / close[i - 1])
+                : 0.0;
+  }
+  for (size_t i = w; i < n; ++i) {
+    double mean = 0.0;
+    for (size_t j = i + 1 - w; j <= i; ++j) mean += lr[j];
+    mean /= static_cast<double>(w);
+    double acc = 0.0;
+    for (size_t j = i + 1 - w; j <= i; ++j) acc += (lr[j] - mean) * (lr[j] - mean);
+    const double daily = std::sqrt(acc / static_cast<double>(w - 1));
+    out.Set(i, daily * std::sqrt(365.0));
+  }
+  return out;
+}
+
+table::Column Drawdown(const std::vector<double>& close) {
+  const size_t n = close.size();
+  table::Column out(n);
+  double peak = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    peak = std::max(peak, close[i]);
+    out.Set(i, peak > 0.0 ? close[i] / peak - 1.0 : 0.0);
+  }
+  return out;
+}
+
+}  // namespace fab::ta

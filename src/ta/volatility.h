@@ -1,0 +1,37 @@
+#ifndef FAB_TA_VOLATILITY_H_
+#define FAB_TA_VOLATILITY_H_
+
+#include <vector>
+
+#include "table/column.h"
+
+namespace fab::ta {
+
+/// Bollinger bands: middle = SMA(window), upper/lower = middle ± k·σ,
+/// bandwidth = (upper - lower)/middle, percent_b = (close - lower)/(upper -
+/// lower).
+struct BollingerResult {
+  table::Column middle;
+  table::Column upper;
+  table::Column lower;
+  table::Column bandwidth;
+  table::Column percent_b;
+};
+BollingerResult Bollinger(const std::vector<double>& close, int window,
+                          double num_stddev = 2.0);
+
+/// Wilder's Average True Range over OHLC data.
+table::Column Atr(const std::vector<double>& high,
+                  const std::vector<double>& low,
+                  const std::vector<double>& close, int window);
+
+/// Annualized realized volatility of daily log returns over the trailing
+/// window (√365 scaling — crypto trades every day).
+table::Column RealizedVolatility(const std::vector<double>& close, int window);
+
+/// Drawdown from the running maximum, in [-1, 0].
+table::Column Drawdown(const std::vector<double>& close);
+
+}  // namespace fab::ta
+
+#endif  // FAB_TA_VOLATILITY_H_

@@ -1,0 +1,89 @@
+#include "table/csv.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace fab::table {
+
+Status WriteCsv(const Table& t, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  out << "date";
+  for (const auto& name : t.column_names()) out << ',' << name;
+  out << '\n';
+  char buf[64];
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    out << t.index()[r].ToString();
+    for (const auto& name : t.column_names()) {
+      const Column& c = **t.GetColumn(name);
+      out << ',';
+      if (c.is_valid(r)) {
+        std::snprintf(buf, sizeof(buf), "%.17g", c.value(r));
+        out << buf;
+      }
+    }
+    out << '\n';
+  }
+  out.flush();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Table> ReadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::IoError("empty csv: " + path);
+  }
+  // Strip a UTF-8 BOM and trailing CR if present.
+  if (line.size() >= 3 && line.compare(0, 3, "\xEF\xBB\xBF") == 0) {
+    line.erase(0, 3);
+  }
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  std::vector<std::string> header = Split(line, ',');
+  if (header.empty() || ToLower(Trim(header[0])) != "date") {
+    return Status::InvalidArgument("csv header must start with 'date': " + path);
+  }
+  const size_t ncols = header.size() - 1;
+
+  std::vector<Date> dates;
+  std::vector<Column> cols(ncols);
+  size_t row = 0;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (Trim(line).empty()) continue;
+    std::vector<std::string> fields = Split(line, ',');
+    if (fields.size() != header.size()) {
+      return Status::InvalidArgument("row " + std::to_string(row + 1) +
+                                     " has wrong field count in: " + path);
+    }
+    FAB_ASSIGN_OR_RETURN(Date d, Date::FromString(Trim(fields[0])));
+    dates.push_back(d);
+    for (size_t c = 0; c < ncols; ++c) {
+      const std::string field = Trim(fields[c + 1]);
+      if (field.empty()) {
+        cols[c].AppendNull();
+        continue;
+      }
+      char* end = nullptr;
+      const double v = std::strtod(field.c_str(), &end);
+      if (end == field.c_str() || *end != '\0') {
+        return Status::InvalidArgument("non-numeric field '" + field +
+                                       "' at row " + std::to_string(row + 1));
+      }
+      cols[c].Append(v);
+    }
+    ++row;
+  }
+  FAB_ASSIGN_OR_RETURN(Table t, Table::Create(std::move(dates)));
+  for (size_t c = 0; c < ncols; ++c) {
+    FAB_RETURN_IF_ERROR(t.AddColumn(Trim(header[c + 1]), std::move(cols[c])));
+  }
+  return t;
+}
+
+}  // namespace fab::table

@@ -1,0 +1,74 @@
+#ifndef FAB_TABLE_OPS_H_
+#define FAB_TABLE_OPS_H_
+
+#include <string>
+#include <vector>
+
+#include "table/table.h"
+#include "util/status.h"
+
+namespace fab::table {
+
+/// Column-level transforms -------------------------------------------------
+
+/// Fills interior null runs by linear interpolation between the nearest
+/// valid neighbours. Leading/trailing null runs are left null (there is
+/// nothing to interpolate between).
+Column InterpolateLinear(const Column& c);
+
+/// Fills each null with the most recent prior valid value.
+Column ForwardFill(const Column& c);
+
+/// Fills each null with the next later valid value.
+Column BackwardFill(const Column& c);
+
+/// Shifts values forward by `periods` rows (positive = later rows hold
+/// earlier values, pandas-style); vacated slots become null. Negative
+/// `periods` shifts backward, which is how supervised targets "price in
+/// `w` days" are built.
+Column Shift(const Column& c, int periods);
+
+/// Per-row percentage change vs `periods` rows earlier; first rows null.
+Column PctChange(const Column& c, int periods);
+
+/// Natural-log return vs `periods` rows earlier (null where either side is
+/// null or non-positive).
+Column LogReturn(const Column& c, int periods);
+
+/// Table-level cleaning ----------------------------------------------------
+
+/// Summary of what `CleanTable` removed, for reporting.
+struct CleaningReport {
+  std::vector<std::string> dropped_sparse;    ///< too many nulls
+  std::vector<std::string> dropped_flat;      ///< too long a constant run
+  std::vector<std::string> dropped_duplicate; ///< identical to an earlier column
+  size_t interpolated_cells = 0;              ///< nulls filled by interpolation
+};
+
+/// Parameters of the paper's preprocessing phase (Section 3.1.2): fill
+/// gaps by interpolation, drop features with flat or missing values for
+/// very long periods, drop duplicates.
+struct CleaningOptions {
+  /// Columns with more than this fraction of nulls (after restriction to
+  /// the study period) are dropped.
+  double max_null_fraction = 0.30;
+  /// Columns whose longest constant run exceeds this many rows are
+  /// considered flat and dropped.
+  size_t max_flat_run = 180;
+  /// Drop columns that are exact duplicates of an earlier column.
+  bool drop_duplicates = true;
+  /// Interpolate interior nulls on surviving columns.
+  bool interpolate = true;
+};
+
+/// Applies the cleaning pipeline in place; returns what was removed.
+CleaningReport CleanTable(Table* t, const CleaningOptions& options);
+
+/// Names of columns that have at least one valid value on or before
+/// `cutoff` — i.e. metrics that had started recording by the period's
+/// initial date (the paper discards later-starting metrics per set).
+std::vector<std::string> ColumnsStartedBy(const Table& t, Date cutoff);
+
+}  // namespace fab::table
+
+#endif  // FAB_TABLE_OPS_H_

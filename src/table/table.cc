@@ -1,0 +1,203 @@
+#include "table/table.h"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace fab::table {
+
+Result<Table> Table::Create(std::vector<Date> index) {
+  for (size_t i = 1; i < index.size(); ++i) {
+    if (!(index[i - 1] < index[i])) {
+      return Status::InvalidArgument(
+          "table index must be strictly increasing (violated at row " +
+          std::to_string(i) + ")");
+    }
+  }
+  Table t;
+  t.index_ = std::move(index);
+  return t;
+}
+
+Status Table::AddColumn(const std::string& name, Column column) {
+  if (HasColumn(name)) {
+    return Status::AlreadyExists("column already exists: " + name);
+  }
+  if (column.size() != num_rows()) {
+    return Status::InvalidArgument(
+        "column '" + name + "' has " + std::to_string(column.size()) +
+        " rows, table has " + std::to_string(num_rows()));
+  }
+  name_to_pos_[name] = columns_.size();
+  names_.push_back(name);
+  columns_.push_back(std::move(column));
+  return Status::OK();
+}
+
+Status Table::AddColumn(const std::string& name, std::vector<double> values) {
+  return AddColumn(name, Column(std::move(values)));
+}
+
+Status Table::DropColumn(const std::string& name) {
+  auto it = name_to_pos_.find(name);
+  if (it == name_to_pos_.end()) {
+    return Status::NotFound("no such column: " + name);
+  }
+  const size_t pos = it->second;
+  names_.erase(names_.begin() + static_cast<std::ptrdiff_t>(pos));
+  columns_.erase(columns_.begin() + static_cast<std::ptrdiff_t>(pos));
+  name_to_pos_.erase(it);
+  for (auto& [n, p] : name_to_pos_) {
+    if (p > pos) --p;
+  }
+  return Status::OK();
+}
+
+Status Table::RenameColumn(const std::string& from, const std::string& to) {
+  auto it = name_to_pos_.find(from);
+  if (it == name_to_pos_.end()) {
+    return Status::NotFound("no such column: " + from);
+  }
+  if (from == to) return Status::OK();
+  if (HasColumn(to)) {
+    return Status::AlreadyExists("column already exists: " + to);
+  }
+  const size_t pos = it->second;
+  name_to_pos_.erase(it);
+  name_to_pos_[to] = pos;
+  names_[pos] = to;
+  return Status::OK();
+}
+
+Result<const Column*> Table::GetColumn(const std::string& name) const {
+  auto it = name_to_pos_.find(name);
+  if (it == name_to_pos_.end()) {
+    return Status::NotFound("no such column: " + name);
+  }
+  return static_cast<const Column*>(&columns_[it->second]);
+}
+
+Result<Column*> Table::GetMutableColumn(const std::string& name) {
+  auto it = name_to_pos_.find(name);
+  if (it == name_to_pos_.end()) {
+    return Status::NotFound("no such column: " + name);
+  }
+  return &columns_[it->second];
+}
+
+Status Table::SetColumn(const std::string& name, Column column) {
+  auto it = name_to_pos_.find(name);
+  if (it == name_to_pos_.end()) {
+    return Status::NotFound("no such column: " + name);
+  }
+  if (column.size() != num_rows()) {
+    return Status::InvalidArgument("column size mismatch for: " + name);
+  }
+  columns_[it->second] = std::move(column);
+  return Status::OK();
+}
+
+int Table::FindRow(Date d) const {
+  auto it = std::lower_bound(index_.begin(), index_.end(), d);
+  if (it == index_.end() || *it != d) return -1;
+  return static_cast<int>(it - index_.begin());
+}
+
+Table Table::SliceRows(Date start, Date end) const {
+  auto lo = std::lower_bound(index_.begin(), index_.end(), start);
+  auto hi = std::upper_bound(index_.begin(), index_.end(), end);
+  const size_t begin = static_cast<size_t>(lo - index_.begin());
+  const size_t count = hi > lo ? static_cast<size_t>(hi - lo) : 0;
+  return SliceRowRange(begin, count);
+}
+
+Table Table::SliceRowRange(size_t start, size_t count) const {
+  start = std::min(start, num_rows());
+  count = std::min(count, num_rows() - start);
+  Table out;
+  out.index_.assign(index_.begin() + static_cast<std::ptrdiff_t>(start),
+                    index_.begin() + static_cast<std::ptrdiff_t>(start + count));
+  out.names_ = names_;
+  out.name_to_pos_ = name_to_pos_;
+  out.columns_.reserve(columns_.size());
+  for (const Column& c : columns_) out.columns_.push_back(c.Slice(start, count));
+  return out;
+}
+
+Result<Table> Table::SelectColumns(const std::vector<std::string>& names) const {
+  Table out;
+  out.index_ = index_;
+  for (const auto& name : names) {
+    auto it = name_to_pos_.find(name);
+    if (it == name_to_pos_.end()) {
+      return Status::NotFound("no such column: " + name);
+    }
+    FAB_RETURN_IF_ERROR(out.AddColumn(name, columns_[it->second]));
+  }
+  return out;
+}
+
+Result<Table> Table::InnerJoin(const Table& other) const {
+  for (const auto& name : other.names_) {
+    if (HasColumn(name)) {
+      return Status::AlreadyExists("duplicate column in join: " + name);
+    }
+  }
+  // Intersect the two sorted date indexes.
+  std::vector<Date> merged;
+  std::vector<size_t> left_rows, right_rows;
+  size_t i = 0, j = 0;
+  while (i < index_.size() && j < other.index_.size()) {
+    if (index_[i] < other.index_[j]) {
+      ++i;
+    } else if (other.index_[j] < index_[i]) {
+      ++j;
+    } else {
+      merged.push_back(index_[i]);
+      left_rows.push_back(i);
+      right_rows.push_back(j);
+      ++i;
+      ++j;
+    }
+  }
+  Table out;
+  out.index_ = std::move(merged);
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    FAB_RETURN_IF_ERROR(out.AddColumn(names_[c], columns_[c].Take(left_rows)));
+  }
+  for (size_t c = 0; c < other.columns_.size(); ++c) {
+    FAB_RETURN_IF_ERROR(
+        out.AddColumn(other.names_[c], other.columns_[c].Take(right_rows)));
+  }
+  return out;
+}
+
+Table Table::DropRowsWithNulls() const {
+  std::vector<size_t> keep;
+  keep.reserve(num_rows());
+  for (size_t r = 0; r < num_rows(); ++r) {
+    bool all_valid = true;
+    for (const Column& c : columns_) {
+      if (c.is_null(r)) {
+        all_valid = false;
+        break;
+      }
+    }
+    if (all_valid) keep.push_back(r);
+  }
+  Table out;
+  out.index_.reserve(keep.size());
+  for (size_t r : keep) out.index_.push_back(index_[r]);
+  out.names_ = names_;
+  out.name_to_pos_ = name_to_pos_;
+  out.columns_.reserve(columns_.size());
+  for (const Column& c : columns_) out.columns_.push_back(c.Take(keep));
+  return out;
+}
+
+size_t Table::TotalNullCount() const {
+  size_t n = 0;
+  for (const Column& c : columns_) n += c.null_count();
+  return n;
+}
+
+}  // namespace fab::table

@@ -1,0 +1,91 @@
+#ifndef FAB_TABLE_TABLE_H_
+#define FAB_TABLE_TABLE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "table/column.h"
+#include "util/date.h"
+#include "util/status.h"
+
+namespace fab::table {
+
+/// An in-memory columnar table over a strictly increasing daily date index.
+///
+/// All series in the study are daily observations, so the row index is a
+/// vector of `Date`s shared by every column. Columns are double-typed with
+/// validity masks (`Column`). Structural edits (add/drop/rename) are O(1)
+/// amortized; lookups by name go through a hash map.
+class Table {
+ public:
+  Table() = default;
+
+  /// A table with the given date index and no columns. The index must be
+  /// strictly increasing.
+  static Result<Table> Create(std::vector<Date> index);
+
+  size_t num_rows() const { return index_.size(); }
+  size_t num_columns() const { return columns_.size(); }
+
+  const std::vector<Date>& index() const { return index_; }
+  const std::vector<std::string>& column_names() const { return names_; }
+
+  bool HasColumn(const std::string& name) const {
+    return name_to_pos_.count(name) > 0;
+  }
+
+  /// Adds a column. Fails if the name exists or the length differs from the
+  /// index length.
+  Status AddColumn(const std::string& name, Column column);
+
+  /// Convenience: adds a fully valid column from raw values.
+  Status AddColumn(const std::string& name, std::vector<double> values);
+
+  /// Removes a column. Fails if absent.
+  Status DropColumn(const std::string& name);
+
+  /// Renames a column. Fails if `from` is absent or `to` exists.
+  Status RenameColumn(const std::string& from, const std::string& to);
+
+  /// Borrow a column by name.
+  Result<const Column*> GetColumn(const std::string& name) const;
+  Result<Column*> GetMutableColumn(const std::string& name);
+
+  /// Replaces an existing column's data. Fails if absent or mis-sized.
+  Status SetColumn(const std::string& name, Column column);
+
+  /// Position of the row whose date equals `d`, or -1.
+  int FindRow(Date d) const;
+
+  /// Rows with dates in [start, end] inclusive, all columns.
+  Table SliceRows(Date start, Date end) const;
+
+  /// Rows [start, start+count), all columns.
+  Table SliceRowRange(size_t start, size_t count) const;
+
+  /// New table containing only `names`, in that order. Fails on a missing
+  /// name.
+  Result<Table> SelectColumns(const std::vector<std::string>& names) const;
+
+  /// Inner-joins `other` on the date index: the result holds the
+  /// intersection of dates and the union of columns. Fails on duplicate
+  /// column names.
+  Result<Table> InnerJoin(const Table& other) const;
+
+  /// Rows where every column is valid.
+  Table DropRowsWithNulls() const;
+
+  /// Total null slots across all columns.
+  size_t TotalNullCount() const;
+
+ private:
+  std::vector<Date> index_;
+  std::vector<std::string> names_;
+  std::vector<Column> columns_;
+  std::unordered_map<std::string, size_t> name_to_pos_;
+};
+
+}  // namespace fab::table
+
+#endif  // FAB_TABLE_TABLE_H_

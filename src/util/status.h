@@ -1,0 +1,136 @@
+#ifndef FAB_UTIL_STATUS_H_
+#define FAB_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace fab {
+
+/// Machine-readable error classification carried by `Status`.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+  kIoError,
+};
+
+/// Returns a human-readable name for `code` ("OK", "InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Lightweight success/error value used across all fallible fab APIs.
+///
+/// The library does not throw exceptions across API boundaries; operations
+/// that can fail return `Status` (or `Result<T>` when they also produce a
+/// value). A default-constructed `Status` is OK.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with `code` and a human-readable `message`.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Factory helpers, one per error class.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  /// True when the status carries no error.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error union, analogous to absl::StatusOr.
+///
+/// Either holds a `T` (when `ok()`) or a non-OK `Status`. Accessing
+/// `value()` on an error result aborts in debug builds and is undefined
+/// otherwise, so callers must check `ok()` first.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: allows `return some_t;`.
+  Result(T value) : data_(std::move(value)) {}
+  /// Implicit from an error status: allows `return Status::NotFound(...)`.
+  Result(Status status) : data_(std::move(status)) {}
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  /// The error status; OK when the result holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(data_);
+  }
+
+  /// Borrow the contained value. Requires `ok()`.
+  const T& value() const& { return std::get<T>(data_); }
+  T& value() & { return std::get<T>(data_); }
+  /// Move the contained value out. Requires `ok()`.
+  T&& value() && { return std::get<T>(std::move(data_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace fab
+
+/// Propagates a non-OK status from an expression to the caller.
+#define FAB_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::fab::Status _fab_status = (expr);          \
+    if (!_fab_status.ok()) return _fab_status;   \
+  } while (false)
+
+/// Evaluates a Result expression, assigning the value on success and
+/// returning the error status otherwise.
+#define FAB_ASSIGN_OR_RETURN(lhs, expr)              \
+  auto FAB_CONCAT_(_fab_result_, __LINE__) = (expr); \
+  if (!FAB_CONCAT_(_fab_result_, __LINE__).ok())     \
+    return FAB_CONCAT_(_fab_result_, __LINE__).status(); \
+  lhs = std::move(FAB_CONCAT_(_fab_result_, __LINE__)).value()
+
+#define FAB_CONCAT_INNER_(a, b) a##b
+#define FAB_CONCAT_(a, b) FAB_CONCAT_INNER_(a, b)
+
+#endif  // FAB_UTIL_STATUS_H_

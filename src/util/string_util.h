@@ -1,0 +1,32 @@
+#ifndef FAB_UTIL_STRING_UTIL_H_
+#define FAB_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace fab {
+
+/// Splits `s` on `delim`; adjacent delimiters produce empty fields, so the
+/// output always has (number of delimiters + 1) entries.
+std::vector<std::string> Split(const std::string& s, char delim);
+
+/// Joins `parts` with `delim` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& delim);
+
+/// Copy of `s` with leading/trailing ASCII whitespace removed.
+std::string Trim(const std::string& s);
+
+/// ASCII lower-cased copy.
+std::string ToLower(const std::string& s);
+
+/// True when `s` begins with `prefix` / ends with `suffix`.
+bool StartsWith(const std::string& s, const std::string& prefix);
+bool EndsWith(const std::string& s, const std::string& suffix);
+
+/// Formats a double with `precision` decimal places ("%.*f").
+std::string FormatDouble(double value, int precision);
+
+}  // namespace fab
+
+#endif  // FAB_UTIL_STRING_UTIL_H_

@@ -1,0 +1,146 @@
+#include "sim/assets.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace fab::sim {
+namespace {
+
+LatentState SmallLatent(uint64_t seed = 42) {
+  LatentConfig config;
+  config.start = Date(2016, 7, 1);
+  config.end = Date(2019, 6, 30);
+  config.seed = seed;
+  return std::move(GenerateLatentState(config)).value();
+}
+
+TEST(BtcSupplyTest, KnownScheduleValues) {
+  EXPECT_NEAR(BtcSupplyOn(Date(2016, 7, 9)), 15.72e6, 1e3);
+  // One year after the 2016 halving: +365 * 144 * 12.5 ≈ +657k.
+  EXPECT_NEAR(BtcSupplyOn(Date(2017, 7, 9)), 15.72e6 + 365 * 144 * 12.5, 1e3);
+  // After the 2020 halving the rate halves.
+  const double before = BtcSupplyOn(Date(2020, 5, 11));
+  EXPECT_NEAR(BtcSupplyOn(Date(2020, 5, 12)) - before, 144 * 6.25, 1e-6);
+}
+
+TEST(BtcSupplyTest, MonotoneIncreasing) {
+  double prev = 0.0;
+  for (Date d = Date(2016, 7, 1); d <= Date(2023, 6, 30); d = d.AddDays(30)) {
+    const double s = BtcSupplyOn(d);
+    EXPECT_GT(s, prev);
+    prev = s;
+  }
+  // Total supply stays below the 21M cap.
+  EXPECT_LT(BtcSupplyOn(Date(2023, 6, 30)), 21e6);
+}
+
+TEST(AssetPanelTest, RejectsTooFewAlts) {
+  const LatentState latent = SmallLatent();
+  AssetUniverseConfig config;
+  config.num_alts = 50;
+  EXPECT_FALSE(GenerateAssetPanel(latent, config).ok());
+}
+
+TEST(AssetPanelTest, ShapesAndNames) {
+  const LatentState latent = SmallLatent();
+  AssetUniverseConfig config;
+  config.num_alts = 120;
+  const auto panel = GenerateAssetPanel(latent, config);
+  ASSERT_TRUE(panel.ok());
+  EXPECT_EQ(panel->num_assets(), 121u);
+  EXPECT_EQ(panel->names[0], "BTC");
+  EXPECT_EQ(panel->num_days(), latent.num_days());
+  EXPECT_EQ(panel->mcap.size(), latent.num_days());
+  EXPECT_EQ(panel->mcap[0].size(), 121u);
+}
+
+TEST(AssetPanelTest, BtcCapMatchesPriceTimesSupply) {
+  const LatentState latent = SmallLatent();
+  AssetUniverseConfig config;
+  const auto panel = GenerateAssetPanel(latent, config);
+  for (size_t t = 0; t < latent.num_days(); t += 100) {
+    EXPECT_NEAR(panel->mcap[t][0],
+                latent.btc_close[t] * BtcSupplyOn(latent.dates[t]),
+                1e-6 * panel->mcap[t][0]);
+  }
+}
+
+TEST(AssetPanelTest, CapsNonNegativeAndZeroBeforeLaunch) {
+  const LatentState latent = SmallLatent();
+  AssetUniverseConfig config;
+  const auto panel = GenerateAssetPanel(latent, config);
+  for (size_t t = 0; t < latent.num_days(); t += 50) {
+    for (size_t i = 0; i < panel->num_assets(); ++i) {
+      EXPECT_GE(panel->mcap[t][i], 0.0);
+      if (latent.dates[t] < panel->launch[i]) {
+        EXPECT_DOUBLE_EQ(panel->mcap[t][i], 0.0);
+      }
+    }
+  }
+}
+
+TEST(AssetPanelTest, TopKSumIsMonotoneInK) {
+  const LatentState latent = SmallLatent();
+  const auto panel = GenerateAssetPanel(latent, AssetUniverseConfig{});
+  const size_t t = latent.num_days() / 2;
+  const double top10 = panel->TopKSum(t, 10);
+  const double top100 = panel->TopKSum(t, 100);
+  const double total = panel->TotalSum(t);
+  EXPECT_LE(top10, top100);
+  EXPECT_LE(top100, total);
+  EXPECT_GT(top10, 0.0);
+}
+
+TEST(AssetPanelTest, Top100IsMajorityOfTotal) {
+  const LatentState latent = SmallLatent();
+  const auto panel = GenerateAssetPanel(latent, AssetUniverseConfig{});
+  for (size_t t = 0; t < latent.num_days(); t += 100) {
+    EXPECT_GT(panel->TopKSum(t, 100) / panel->TotalSum(t), 0.6);
+  }
+}
+
+TEST(AssetPanelTest, BtcDominanceWithinBounds) {
+  const LatentState latent = SmallLatent();
+  const auto panel = GenerateAssetPanel(latent, AssetUniverseConfig{});
+  for (size_t t = 0; t < latent.num_days(); t += 50) {
+    const double dom = panel->mcap[t][0] / panel->TotalSum(t);
+    EXPECT_GT(dom, 0.25);
+    EXPECT_LT(dom, 0.95);
+  }
+}
+
+TEST(AssetPanelTest, DeterministicInSeed) {
+  const LatentState latent = SmallLatent();
+  AssetUniverseConfig config;
+  config.seed = 9;
+  const auto a = GenerateAssetPanel(latent, config);
+  const auto b = GenerateAssetPanel(latent, config);
+  EXPECT_EQ(a->mcap[100], b->mcap[100]);
+}
+
+TEST(AssetPanelTest, RankChurnHappens) {
+  // The set of top-100 assets should differ between early and late dates.
+  const LatentState latent = SmallLatent();
+  const auto panel = GenerateAssetPanel(latent, AssetUniverseConfig{});
+  auto top_set = [&](size_t t) {
+    std::vector<std::pair<double, size_t>> caps;
+    for (size_t i = 0; i < panel->num_assets(); ++i) {
+      caps.push_back({panel->mcap[t][i], i});
+    }
+    std::sort(caps.rbegin(), caps.rend());
+    std::set<size_t> out;
+    for (int k = 0; k < 100; ++k) out.insert(caps[static_cast<size_t>(k)].second);
+    return out;
+  };
+  const auto early = top_set(50);
+  const auto late = top_set(latent.num_days() - 1);
+  size_t overlap = 0;
+  for (size_t i : early) overlap += late.count(i);
+  EXPECT_LT(overlap, 100u);  // membership changed
+  EXPECT_GT(overlap, 40u);   // but not a complete reshuffle
+}
+
+}  // namespace
+}  // namespace fab::sim

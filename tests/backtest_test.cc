@@ -1,0 +1,140 @@
+#include "core/backtest.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/forest.h"
+#include "util/random.h"
+
+namespace fab::core {
+namespace {
+
+ml::Dataset MakeDataset(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> c0(n), c1(n), y(n);
+  for (size_t i = 0; i < n; ++i) {
+    c0[i] = rng.Normal();
+    c1[i] = rng.Normal();
+    y[i] = 2.0 * c0[i] + c1[i] + 0.2 * rng.Normal();
+  }
+  ml::Dataset d;
+  d.x = *ml::ColMatrix::FromColumns({c0, c1});
+  d.y = std::move(y);
+  d.feature_names = {"c0", "c1"};
+  return d;
+}
+
+ml::RandomForestRegressor SmallForest() {
+  ml::ForestParams params;
+  params.n_trees = 10;
+  params.max_depth = 6;
+  return ml::RandomForestRegressor(params);
+}
+
+TEST(WalkForwardTest, RejectsBadOptions) {
+  const ml::Dataset d = MakeDataset(100, 1);
+  const ml::RandomForestRegressor rf = SmallForest();
+  WalkForwardOptions options;
+  options.warmup_rows = 5;  // below the minimum
+  EXPECT_FALSE(WalkForwardEvaluate(rf, d, options).ok());
+  options.warmup_rows = 100;  // == rows
+  EXPECT_FALSE(WalkForwardEvaluate(rf, d, options).ok());
+  options.warmup_rows = 50;
+  options.step = 0;
+  EXPECT_FALSE(WalkForwardEvaluate(rf, d, options).ok());
+}
+
+TEST(WalkForwardTest, EvaluationPointsAreStrictlyOutOfSample) {
+  const ml::Dataset d = MakeDataset(300, 3);
+  WalkForwardOptions options;
+  options.warmup_rows = 100;
+  options.step = 10;
+  options.refit_every_steps = 4;
+  const auto result = WalkForwardEvaluate(SmallForest(), d, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows.front(), 100u);
+  for (size_t i = 1; i < result->rows.size(); ++i) {
+    EXPECT_EQ(result->rows[i], result->rows[i - 1] + 10);
+  }
+  EXPECT_EQ(result->rows.size(), result->predictions.size());
+  EXPECT_EQ(result->rows.size(), result->actuals.size());
+  // 20 evaluation points, refit every 4 steps -> 5 refits.
+  EXPECT_EQ(result->refits, 5);
+}
+
+TEST(WalkForwardTest, LearnsTheSignalOutOfSample) {
+  const ml::Dataset d = MakeDataset(600, 5);
+  WalkForwardOptions options;
+  options.warmup_rows = 300;
+  options.step = 3;
+  const auto result = WalkForwardEvaluate(SmallForest(), d, options);
+  ASSERT_TRUE(result.ok());
+  // Target variance ~5.2; a fitted model must beat the mean predictor.
+  EXPECT_LT(result->Mse(), 3.0);
+}
+
+TEST(WalkForwardTest, ActualsMatchDataset) {
+  const ml::Dataset d = MakeDataset(200, 7);
+  WalkForwardOptions options;
+  options.warmup_rows = 150;
+  options.step = 5;
+  const auto result = WalkForwardEvaluate(SmallForest(), d, options);
+  ASSERT_TRUE(result.ok());
+  for (size_t i = 0; i < result->rows.size(); ++i) {
+    EXPECT_DOUBLE_EQ(result->actuals[i], d.y[result->rows[i]]);
+  }
+}
+
+TEST(LongFlatTest, RejectsBadInput) {
+  EXPECT_FALSE(RunLongFlatBacktest({}, {}, 52).ok());
+  EXPECT_FALSE(RunLongFlatBacktest({0.1}, {0.1, 0.2}, 52).ok());
+  EXPECT_FALSE(RunLongFlatBacktest({0.1}, {0.1}, 0.0).ok());
+}
+
+TEST(LongFlatTest, PerfectForesightCapturesOnlyGains) {
+  // Predicted = realized: the strategy takes every up week, skips every
+  // down week.
+  const std::vector<double> realized{0.10, -0.20, 0.05, -0.01, 0.08};
+  const auto result = RunLongFlatBacktest(realized, realized, 52);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->strategy_return, std::exp(0.23) - 1.0, 1e-12);
+  EXPECT_NEAR(result->hold_return, std::exp(0.02) - 1.0, 1e-12);
+  EXPECT_EQ(result->periods_in_market, 3);
+  EXPECT_EQ(result->periods_total, 5);
+  EXPECT_DOUBLE_EQ(result->max_drawdown_log, 0.0);
+  EXPECT_GT(result->annualized_sharpe, 0.0);
+}
+
+TEST(LongFlatTest, AlwaysWrongStaysFlatOrLoses) {
+  // Predictions inverted: long exactly on the down weeks.
+  const std::vector<double> realized{0.10, -0.20, 0.05};
+  const std::vector<double> predicted{-1.0, 1.0, -1.0};
+  const auto result = RunLongFlatBacktest(predicted, realized, 52);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->strategy_return, std::exp(-0.20) - 1.0, 1e-12);
+  EXPECT_EQ(result->periods_in_market, 1);
+  EXPECT_NEAR(result->max_drawdown_log, 0.20, 1e-12);
+}
+
+TEST(LongFlatTest, NeverInMarketIsFlat) {
+  const std::vector<double> realized{0.1, 0.2};
+  const std::vector<double> predicted{-1.0, -1.0};
+  const auto result = RunLongFlatBacktest(predicted, realized, 52);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->strategy_return, 0.0);
+  EXPECT_EQ(result->periods_in_market, 0);
+  EXPECT_DOUBLE_EQ(result->annualized_sharpe, 0.0);
+}
+
+TEST(LongFlatTest, HoldReturnIndependentOfPredictions) {
+  const std::vector<double> realized{0.05, -0.02, 0.03};
+  const auto a = RunLongFlatBacktest({1, 1, 1}, realized, 52);
+  const auto b = RunLongFlatBacktest({-1, -1, -1}, realized, 52);
+  EXPECT_DOUBLE_EQ(a->hold_return, b->hold_return);
+  // Always-long equals buy-and-hold.
+  EXPECT_DOUBLE_EQ(a->strategy_return, a->hold_return);
+}
+
+}  // namespace
+}  // namespace fab::core

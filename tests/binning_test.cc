@@ -1,0 +1,109 @@
+#include "ml/binning.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace fab::ml {
+namespace {
+
+TEST(BinningTest, RejectsBadMaxBins) {
+  auto m = ColMatrix::FromColumns({{1, 2, 3}});
+  EXPECT_FALSE(BinnedMatrix::Build(*m, 1).ok());
+  EXPECT_FALSE(BinnedMatrix::Build(*m, 257).ok());
+}
+
+TEST(BinningTest, SmallDistinctSetGetsExactBins) {
+  auto m = ColMatrix::FromColumns({{1, 1, 2, 2, 3, 3}});
+  auto b = BinnedMatrix::Build(*m, 256);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->num_bins(0), 3);
+  // Same value -> same code; codes respect order.
+  EXPECT_EQ(b->code(0, 0), b->code(1, 0));
+  EXPECT_LT(b->code(0, 0), b->code(2, 0));
+  EXPECT_LT(b->code(2, 0), b->code(4, 0));
+}
+
+TEST(BinningTest, CodeMatchesEdgeSemantics) {
+  // "go left" under x <= upper_edge(b) must match code <= b.
+  Rng rng(7);
+  std::vector<double> col(500);
+  for (auto& v : col) v = rng.Normal();
+  auto m = ColMatrix::FromColumns({col});
+  auto b = BinnedMatrix::Build(*m, 64);
+  ASSERT_TRUE(b.ok());
+  for (size_t i = 0; i < col.size(); ++i) {
+    const int code = b->code(i, 0);
+    // Value lies within its bin: above the previous edge, at or below its
+    // own edge.
+    EXPECT_LE(col[i], b->upper_edge(0, code));
+    if (code > 0) EXPECT_GT(col[i], b->upper_edge(0, code - 1));
+  }
+}
+
+TEST(BinningTest, EdgesStrictlyIncreasing) {
+  Rng rng(9);
+  std::vector<double> col(1000);
+  for (auto& v : col) v = rng.Uniform();
+  auto m = ColMatrix::FromColumns({col});
+  auto b = BinnedMatrix::Build(*m, 32);
+  for (int k = 1; k < b->num_bins(0); ++k) {
+    EXPECT_GT(b->upper_edge(0, k), b->upper_edge(0, k - 1));
+  }
+}
+
+TEST(BinningTest, LastEdgeIsColumnMax) {
+  std::vector<double> col{5, 1, 9, 3};
+  auto m = ColMatrix::FromColumns({col});
+  auto b = BinnedMatrix::Build(*m, 8);
+  EXPECT_DOUBLE_EQ(b->upper_edge(0, b->num_bins(0) - 1), 9.0);
+}
+
+TEST(BinningTest, ConstantColumnHasOneBin) {
+  auto m = ColMatrix::FromColumns({{4, 4, 4, 4}});
+  auto b = BinnedMatrix::Build(*m, 16);
+  EXPECT_EQ(b->num_bins(0), 1);
+  for (size_t i = 0; i < 4; ++i) EXPECT_EQ(b->code(i, 0), 0);
+}
+
+TEST(BinningTest, BinsRoughlyBalancedOnUniformData) {
+  Rng rng(11);
+  std::vector<double> col(10000);
+  for (auto& v : col) v = rng.Uniform();
+  auto m = ColMatrix::FromColumns({col});
+  const int bins = 16;
+  auto b = BinnedMatrix::Build(*m, bins);
+  std::vector<int> counts(static_cast<size_t>(b->num_bins(0)), 0);
+  for (size_t i = 0; i < col.size(); ++i) ++counts[b->code(i, 0)];
+  for (int c : counts) {
+    EXPECT_GT(c, 10000 / bins / 2);
+    EXPECT_LT(c, 10000 / bins * 2);
+  }
+}
+
+class BinningOrderSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BinningOrderSweep, CodesPreserveValueOrder) {
+  Rng rng(13);
+  std::vector<double> col(800);
+  for (auto& v : col) v = rng.StudentT(3.0);
+  auto m = ColMatrix::FromColumns({col});
+  auto b = BinnedMatrix::Build(*m, GetParam());
+  for (size_t i = 0; i < col.size(); ++i) {
+    for (size_t j = i + 1; j < col.size(); j += 97) {
+      if (col[i] < col[j]) {
+        EXPECT_LE(b->code(i, 0), b->code(j, 0));
+      } else if (col[i] > col[j]) {
+        EXPECT_GE(b->code(i, 0), b->code(j, 0));
+      } else {
+        EXPECT_EQ(b->code(i, 0), b->code(j, 0));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bins, BinningOrderSweep,
+                         ::testing::Values(2, 8, 64, 256));
+
+}  // namespace
+}  // namespace fab::ml

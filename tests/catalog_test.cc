@@ -1,0 +1,80 @@
+#include "sim/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace fab::sim {
+namespace {
+
+TEST(CategoryTest, AllCategoriesListedOnce) {
+  const auto& all = AllCategories();
+  EXPECT_EQ(all.size(), 7u);
+  std::set<int> distinct;
+  for (DataCategory c : all) distinct.insert(static_cast<int>(c));
+  EXPECT_EQ(distinct.size(), all.size());
+}
+
+TEST(CategoryTest, NamesMatchPaperTerminology) {
+  EXPECT_STREQ(CategoryName(DataCategory::kMacro), "Macroeconomic Indicators");
+  EXPECT_STREQ(CategoryName(DataCategory::kTechnical), "Technical Indicators");
+  EXPECT_STREQ(CategoryName(DataCategory::kSentiment),
+               "Sentiment and Interest Metrics");
+  EXPECT_STREQ(CategoryName(DataCategory::kTradFi),
+               "Traditional Market Indices");
+  EXPECT_STREQ(CategoryName(DataCategory::kOnChainBtc),
+               "On-chain Metrics (BTC)");
+  EXPECT_STREQ(CategoryName(DataCategory::kOnChainUsdc),
+               "On-chain Metrics (USDC)");
+  EXPECT_STREQ(CategoryName(DataCategory::kOnChainEth),
+               "On-chain Metrics (ETH)");
+}
+
+TEST(CategoryTest, KeyRoundTrip) {
+  for (DataCategory c : AllCategories()) {
+    auto back = CategoryFromKey(CategoryKey(c));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, c);
+  }
+  EXPECT_FALSE(CategoryFromKey("bogus").ok());
+}
+
+TEST(MetricCatalogTest, AddAndQuery) {
+  MetricCatalog catalog;
+  ASSERT_TRUE(catalog.Add("TxCnt", DataCategory::kOnChainBtc, "tx count").ok());
+  ASSERT_TRUE(catalog.Add("QQQ_Close", DataCategory::kTradFi).ok());
+  EXPECT_EQ(catalog.size(), 2u);
+  EXPECT_TRUE(catalog.Has("TxCnt"));
+  EXPECT_FALSE(catalog.Has("missing"));
+  EXPECT_EQ(*catalog.CategoryOf("TxCnt"), DataCategory::kOnChainBtc);
+  EXPECT_FALSE(catalog.CategoryOf("missing").ok());
+}
+
+TEST(MetricCatalogTest, RejectsDuplicates) {
+  MetricCatalog catalog;
+  ASSERT_TRUE(catalog.Add("x", DataCategory::kMacro).ok());
+  EXPECT_EQ(catalog.Add("x", DataCategory::kMacro).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(MetricCatalogTest, CountAndNamesInCategory) {
+  MetricCatalog catalog;
+  (void)catalog.Add("a", DataCategory::kMacro);
+  (void)catalog.Add("b", DataCategory::kTradFi);
+  (void)catalog.Add("c", DataCategory::kMacro);
+  EXPECT_EQ(catalog.CountInCategory(DataCategory::kMacro), 2u);
+  EXPECT_EQ(catalog.CountInCategory(DataCategory::kSentiment), 0u);
+  EXPECT_EQ(catalog.NamesInCategory(DataCategory::kMacro),
+            (std::vector<std::string>{"a", "c"}));
+}
+
+TEST(MetricCatalogTest, MetricsPreserveInsertionOrder) {
+  MetricCatalog catalog;
+  (void)catalog.Add("z", DataCategory::kMacro);
+  (void)catalog.Add("a", DataCategory::kMacro);
+  EXPECT_EQ(catalog.metrics()[0].name, "z");
+  EXPECT_EQ(catalog.metrics()[1].name, "a");
+}
+
+}  // namespace
+}  // namespace fab::sim

@@ -1,0 +1,70 @@
+#include "core/contribution.h"
+
+#include <gtest/gtest.h>
+
+namespace fab::core {
+namespace {
+
+ScenarioDataset MakeScenario() {
+  ScenarioDataset scenario;
+  scenario.period = StudyPeriod::k2019;
+  scenario.window = 7;
+  scenario.data.feature_names = {"m1", "m2", "t1", "t2", "t3", "s1"};
+  scenario.categories = {
+      sim::DataCategory::kMacro,     sim::DataCategory::kMacro,
+      sim::DataCategory::kTechnical, sim::DataCategory::kTechnical,
+      sim::DataCategory::kTechnical, sim::DataCategory::kSentiment};
+  return scenario;
+}
+
+TEST(ContributionTest, FactorsAreSelectedOverCandidates) {
+  const ScenarioDataset scenario = MakeScenario();
+  const auto result = ComputeContributions(scenario, {"m1", "t1", "t2"});
+  ASSERT_TRUE(result.ok());
+  // Categories with zero candidates are omitted: macro, technical,
+  // sentiment remain.
+  ASSERT_EQ(result->size(), 3u);
+  for (const auto& c : *result) {
+    if (c.category == sim::DataCategory::kMacro) {
+      EXPECT_EQ(c.candidates, 2u);
+      EXPECT_EQ(c.selected, 1u);
+      EXPECT_DOUBLE_EQ(c.contribution_factor, 0.5);
+    } else if (c.category == sim::DataCategory::kTechnical) {
+      EXPECT_EQ(c.candidates, 3u);
+      EXPECT_EQ(c.selected, 2u);
+      EXPECT_NEAR(c.contribution_factor, 2.0 / 3.0, 1e-12);
+    } else if (c.category == sim::DataCategory::kSentiment) {
+      EXPECT_EQ(c.selected, 0u);
+      EXPECT_DOUBLE_EQ(c.contribution_factor, 0.0);
+    } else {
+      FAIL() << "unexpected category";
+    }
+  }
+}
+
+TEST(ContributionTest, EmptySelectionGivesZeros) {
+  const ScenarioDataset scenario = MakeScenario();
+  const auto result = ComputeContributions(scenario, {});
+  ASSERT_TRUE(result.ok());
+  for (const auto& c : *result) {
+    EXPECT_EQ(c.selected, 0u);
+    EXPECT_DOUBLE_EQ(c.contribution_factor, 0.0);
+  }
+}
+
+TEST(ContributionTest, UnknownFeatureFails) {
+  const ScenarioDataset scenario = MakeScenario();
+  EXPECT_FALSE(ComputeContributions(scenario, {"not_a_feature"}).ok());
+}
+
+TEST(ContributionTest, FullSelectionGivesOnes) {
+  const ScenarioDataset scenario = MakeScenario();
+  const auto result =
+      ComputeContributions(scenario, scenario.data.feature_names);
+  for (const auto& c : *result) {
+    EXPECT_DOUBLE_EQ(c.contribution_factor, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace fab::core

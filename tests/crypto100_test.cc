@@ -1,0 +1,103 @@
+#include "core/crypto100.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fab::core {
+namespace {
+
+TEST(Crypto100Test, MatchesFormula) {
+  const double sum = 1e12;  // $1T market
+  const auto v = Crypto100Value(sum, 7.0);
+  ASSERT_TRUE(v.ok());
+  EXPECT_NEAR(*v, sum / std::pow(12.0, 7.0), 1e-6);
+}
+
+TEST(Crypto100Test, DefaultPowerIsSeven) {
+  const double sum = 5e11;
+  EXPECT_DOUBLE_EQ(*Crypto100Value(sum), *Crypto100Value(sum, 7.0));
+}
+
+TEST(Crypto100Test, RejectsNonPositiveOrTinySums) {
+  EXPECT_FALSE(Crypto100Value(0.0).ok());
+  EXPECT_FALSE(Crypto100Value(-5.0).ok());
+  EXPECT_FALSE(Crypto100Value(1.0).ok());  // log10 = 0 -> division by zero
+}
+
+TEST(Crypto100Test, MonotoneInMarketCapOverRealisticRange) {
+  // Over the study's market sizes ($10B..$3T) the index rises with the cap.
+  double prev = 0.0;
+  for (double cap = 1e10; cap <= 3e12; cap *= 1.5) {
+    const double v = *Crypto100Value(cap);
+    EXPECT_GT(v, prev);
+    prev = v;
+  }
+}
+
+TEST(Crypto100Test, HigherPowerCompressesMore) {
+  const double sum = 1e12;
+  EXPECT_GT(*Crypto100Value(sum, 6.0), *Crypto100Value(sum, 7.0));
+  EXPECT_GT(*Crypto100Value(sum, 7.0), *Crypto100Value(sum, 8.0));
+}
+
+TEST(Crypto100Test, PowerSevenLandsOnBtcScale) {
+  // A $1T top-100 market under power 7: index in the tens of thousands,
+  // like BTC's price. Power 6 leaves it ~12x larger.
+  const double v7 = *Crypto100Value(1e12, 7.0);
+  EXPECT_GT(v7, 5e3);
+  EXPECT_LT(v7, 1e5);
+  const double v6 = *Crypto100Value(1e12, 6.0);
+  EXPECT_GT(v6 / v7, 10.0);
+}
+
+TEST(Crypto100SeriesTest, MapsElementwise) {
+  const std::vector<double> sums{1e11, 2e11, 3e11};
+  const auto series = Crypto100Series(sums, 7.0);
+  ASSERT_TRUE(series.ok());
+  ASSERT_EQ(series->size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ((*series)[i], *Crypto100Value(sums[i], 7.0));
+  }
+}
+
+TEST(Crypto100SeriesTest, FailsOnAnyBadElement) {
+  EXPECT_FALSE(Crypto100Series({1e11, 0.0}, 7.0).ok());
+}
+
+TEST(LogScaleDistanceTest, IdenticalSeriesIsZero) {
+  const std::vector<double> s{1.0, 10.0, 100.0};
+  EXPECT_DOUBLE_EQ(*LogScaleDistance(s, s), 0.0);
+}
+
+TEST(LogScaleDistanceTest, FactorOfTenIsOne) {
+  const std::vector<double> a{10.0, 100.0};
+  const std::vector<double> b{1.0, 10.0};
+  EXPECT_DOUBLE_EQ(*LogScaleDistance(a, b), 1.0);
+  // Symmetric.
+  EXPECT_DOUBLE_EQ(*LogScaleDistance(b, a), 1.0);
+}
+
+TEST(LogScaleDistanceTest, RejectsBadInput) {
+  EXPECT_FALSE(LogScaleDistance({1.0}, {1.0, 2.0}).ok());
+  EXPECT_FALSE(LogScaleDistance({}, {}).ok());
+  EXPECT_FALSE(LogScaleDistance({1.0, -1.0}, {1.0, 1.0}).ok());
+}
+
+class PowerSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PowerSweep, IndexStaysFiniteAndPositive) {
+  const double power = GetParam();
+  for (double cap = 1e9; cap <= 1e13; cap *= 10.0) {
+    const auto v = Crypto100Value(cap, power);
+    ASSERT_TRUE(v.ok());
+    EXPECT_GT(*v, 0.0);
+    EXPECT_TRUE(std::isfinite(*v));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Powers, PowerSweep,
+                         ::testing::Values(4.0, 5.0, 6.0, 7.0, 8.0, 9.0));
+
+}  // namespace
+}  // namespace fab::core

@@ -1,0 +1,157 @@
+#include "core/dataset_builder.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/crypto100.h"
+
+namespace fab::core {
+namespace {
+
+/// One shared small market (full horizon needed for both study periods).
+class DatasetBuilderTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    sim::MarketSimConfig config;
+    config.seed = 99;
+    market_ = new sim::SimulatedMarket(
+        std::move(sim::SimulateMarket(config)).value());
+    ASSERT_TRUE(AddTechnicalIndicators(market_).ok());
+  }
+  static void TearDownTestSuite() {
+    delete market_;
+    market_ = nullptr;
+  }
+  static sim::SimulatedMarket* market_;
+};
+
+sim::SimulatedMarket* DatasetBuilderTest::market_ = nullptr;
+
+TEST_F(DatasetBuilderTest, PeriodMetadata) {
+  EXPECT_EQ(PeriodStart(StudyPeriod::k2017), Date(2017, 1, 1));
+  EXPECT_EQ(PeriodStart(StudyPeriod::k2019), Date(2019, 1, 1));
+  EXPECT_EQ(PeriodEnd(), Date(2023, 6, 30));
+  EXPECT_STREQ(PeriodName(StudyPeriod::k2017), "2017");
+  EXPECT_EQ(PredictionWindows(), (std::vector<int>{1, 7, 30, 90, 180}));
+}
+
+TEST_F(DatasetBuilderTest, TechnicalIndicatorsRegistered) {
+  for (const char* name :
+       {"EMA100_market-cap", "EMA200_close-price", "SMA_20_close-price",
+        "EMA200_volume", "RSI14", "MACD_line", "BB_upper", "ATR14", "OBV",
+        "STOCH_K", "WILLR14", "CCI20", "RVOL30", "DRAWDOWN"}) {
+    ASSERT_TRUE(market_->metrics.HasColumn(name)) << name;
+    EXPECT_EQ(*market_->catalog.CategoryOf(name),
+              sim::DataCategory::kTechnical)
+        << name;
+  }
+  EXPECT_GT(market_->catalog.CountInCategory(sim::DataCategory::kTechnical),
+            60u);
+}
+
+TEST_F(DatasetBuilderTest, TechnicalIndicatorsAreIdempotentGuarded) {
+  // A second derivation attempt must fail loudly, not duplicate columns.
+  EXPECT_FALSE(AddTechnicalIndicators(market_).ok());
+}
+
+TEST_F(DatasetBuilderTest, RejectsBadWindow) {
+  ScenarioOptions options;
+  EXPECT_FALSE(
+      BuildScenarioDataset(*market_, StudyPeriod::k2017, 0, options).ok());
+}
+
+TEST_F(DatasetBuilderTest, Scenario2017ExcludesUsdc) {
+  ScenarioOptions options;
+  const auto scenario =
+      BuildScenarioDataset(*market_, StudyPeriod::k2017, 7, options);
+  ASSERT_TRUE(scenario.ok());
+  EXPECT_EQ(scenario->CandidatesInCategory(sim::DataCategory::kOnChainUsdc),
+            0u);
+  for (const auto& name : scenario->data.feature_names) {
+    EXPECT_NE(name.rfind("usdc_", 0), 0u) << name;
+  }
+}
+
+TEST_F(DatasetBuilderTest, Scenario2019IncludesUsdc) {
+  ScenarioOptions options;
+  const auto scenario =
+      BuildScenarioDataset(*market_, StudyPeriod::k2019, 7, options);
+  ASSERT_TRUE(scenario.ok());
+  EXPECT_GT(scenario->CandidatesInCategory(sim::DataCategory::kOnChainUsdc),
+            30u);
+}
+
+TEST_F(DatasetBuilderTest, TargetIsCrypto100ShiftedByWindow) {
+  ScenarioOptions options;
+  const int window = 30;
+  const auto scenario =
+      BuildScenarioDataset(*market_, StudyPeriod::k2019, window, options);
+  ASSERT_TRUE(scenario.ok());
+  const auto index = Crypto100Series(market_->top100_mcap_sum);
+  for (size_t r = 0; r < scenario->data.num_rows(); r += 101) {
+    const int day = market_->latent.FindDay(scenario->dates[r]);
+    ASSERT_GE(day, 0);
+    EXPECT_DOUBLE_EQ(
+        scenario->data.y[r],
+        (*index)[static_cast<size_t>(day) + static_cast<size_t>(window)]);
+  }
+}
+
+TEST_F(DatasetBuilderTest, RowsEndEarlyEnoughForTarget) {
+  ScenarioOptions options;
+  const auto scenario =
+      BuildScenarioDataset(*market_, StudyPeriod::k2019, 180, options);
+  ASSERT_TRUE(scenario.ok());
+  // The last retained row needs a target 180 days ahead within the sim.
+  EXPECT_LE(scenario->dates.back().AddDays(180), market_->latent.dates.back());
+}
+
+TEST_F(DatasetBuilderTest, NoMissingValuesSurvive) {
+  ScenarioOptions options;
+  const auto scenario =
+      BuildScenarioDataset(*market_, StudyPeriod::k2017, 1, options);
+  ASSERT_TRUE(scenario.ok());
+  // Everything was densified; sizes are consistent.
+  EXPECT_EQ(scenario->data.x.rows(), scenario->data.y.size());
+  EXPECT_EQ(scenario->data.x.cols(), scenario->data.feature_names.size());
+  EXPECT_EQ(scenario->categories.size(), scenario->data.feature_names.size());
+  EXPECT_EQ(scenario->dates.size(), scenario->data.num_rows());
+}
+
+TEST_F(DatasetBuilderTest, LongerWindowMeansFewerRows) {
+  ScenarioOptions options;
+  const auto w1 = BuildScenarioDataset(*market_, StudyPeriod::k2019, 1, options);
+  const auto w180 =
+      BuildScenarioDataset(*market_, StudyPeriod::k2019, 180, options);
+  EXPECT_GT(w1->data.num_rows(), w180->data.num_rows());
+}
+
+TEST_F(DatasetBuilderTest, CategoryHelpersConsistent) {
+  ScenarioOptions options;
+  const auto scenario =
+      BuildScenarioDataset(*market_, StudyPeriod::k2019, 7, options);
+  size_t total = 0;
+  for (sim::DataCategory c : sim::AllCategories()) {
+    const auto positions = scenario->FeaturePositionsInCategory(c);
+    EXPECT_EQ(positions.size(), scenario->CandidatesInCategory(c));
+    for (int p : positions) {
+      EXPECT_EQ(scenario->categories[static_cast<size_t>(p)], c);
+    }
+    total += positions.size();
+  }
+  EXPECT_EQ(total, scenario->data.num_features());
+}
+
+TEST_F(DatasetBuilderTest, DatesStrictlyIncreasing) {
+  ScenarioOptions options;
+  const auto scenario =
+      BuildScenarioDataset(*market_, StudyPeriod::k2017, 7, options);
+  for (size_t r = 1; r < scenario->dates.size(); ++r) {
+    EXPECT_LT(scenario->dates[r - 1], scenario->dates[r]);
+  }
+  EXPECT_GE(scenario->dates.front(), PeriodStart(StudyPeriod::k2017));
+}
+
+}  // namespace
+}  // namespace fab::core

@@ -1,0 +1,101 @@
+#include "core/feature_vector.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/random.h"
+
+namespace fab::core {
+namespace {
+
+ml::Dataset MakeDataset(size_t rows, size_t n_signal, size_t n_noise,
+                        uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> cols(n_signal + n_noise,
+                                        std::vector<double>(rows));
+  for (auto& c : cols) {
+    for (auto& v : c) v = rng.Normal();
+  }
+  std::vector<double> y(rows, 0.0);
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < n_signal; ++j) y[i] += cols[j][i];
+    y[i] += 0.3 * rng.Normal();
+  }
+  ml::Dataset d;
+  d.x = *ml::ColMatrix::FromColumns(std::move(cols));
+  d.y = std::move(y);
+  for (size_t j = 0; j < n_signal + n_noise; ++j) {
+    d.feature_names.push_back((j < n_signal ? "signal" : "noise") +
+                              std::to_string(j));
+  }
+  return d;
+}
+
+FeatureVectorOptions FastOptions() {
+  FeatureVectorOptions options;
+  options.rf.n_trees = 15;
+  options.rf.max_depth = 6;
+  options.rf.max_features = 0.5;
+  options.shap_row_limit = 60;
+  return options;
+}
+
+TEST(ShapScoresTest, SignalFeaturesScoreHigher) {
+  const ml::Dataset d = MakeDataset(300, 3, 17, 3);
+  const auto scores = ShapScores(d, FastOptions());
+  ASSERT_TRUE(scores.ok());
+  ASSERT_EQ(scores->size(), 20u);
+  double min_signal = 1e18;
+  double max_noise = 0.0;
+  for (size_t j = 0; j < 3; ++j) min_signal = std::min(min_signal, (*scores)[j]);
+  for (size_t j = 3; j < 20; ++j) max_noise = std::max(max_noise, (*scores)[j]);
+  EXPECT_GT(min_signal, max_noise);
+}
+
+TEST(FinalFeatureVectorTest, UnionOfTopK) {
+  const ml::Dataset d = MakeDataset(300, 3, 17, 5);
+  FraResult fra;
+  fra.selected = {"signal0", "signal1", "noise5", "noise6"};
+  fra.selected_scores = {4, 3, 2, 1};
+  FeatureVectorOptions options = FastOptions();
+  options.union_top_k = 3;
+  const auto fvec = BuildFinalFeatureVector(d, fra, options);
+  ASSERT_TRUE(fvec.ok());
+  // FRA contributes its top 3; SHAP contributes its own top 3.
+  std::set<std::string> result(fvec->features.begin(), fvec->features.end());
+  EXPECT_TRUE(result.count("signal0"));
+  EXPECT_TRUE(result.count("signal1"));
+  EXPECT_TRUE(result.count("noise5"));
+  // All three signals rank top in SHAP, so signal2 enters via the union.
+  EXPECT_TRUE(result.count("signal2"));
+  // No feature appears twice.
+  EXPECT_EQ(result.size(), fvec->features.size());
+  // Union size bounded by 2k.
+  EXPECT_LE(fvec->features.size(), 6u);
+}
+
+TEST(FinalFeatureVectorTest, OverlapCountsFraInShapTop100) {
+  const ml::Dataset d = MakeDataset(300, 3, 7, 7);
+  FraResult fra;
+  fra.selected = {"signal0", "signal1", "signal2"};
+  fra.selected_scores = {3, 2, 1};
+  const auto fvec = BuildFinalFeatureVector(d, fra, FastOptions());
+  ASSERT_TRUE(fvec.ok());
+  // Only 10 candidates, so SHAP's "top 100" is everything: full overlap.
+  EXPECT_EQ(fvec->overlap_fra_shap_top100, 3u);
+}
+
+TEST(FinalFeatureVectorTest, ShapRankingCoversAllCandidates) {
+  const ml::Dataset d = MakeDataset(200, 2, 6, 9);
+  FraResult fra;
+  fra.selected = {"signal0"};
+  fra.selected_scores = {1};
+  const auto fvec = BuildFinalFeatureVector(d, fra, FastOptions());
+  ASSERT_TRUE(fvec.ok());
+  EXPECT_EQ(fvec->shap_ranked.size(), d.num_features());
+  EXPECT_EQ(fvec->fra_ranked, fra.selected);
+}
+
+}  // namespace
+}  // namespace fab::core

@@ -1,0 +1,164 @@
+#include "core/fra.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/random.h"
+
+namespace fab::core {
+namespace {
+
+/// Synthetic dataset: `n_signal` informative features followed by
+/// `n_noise` pure-noise features.
+ml::Dataset MakeDataset(size_t rows, size_t n_signal, size_t n_noise,
+                        uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> cols(n_signal + n_noise,
+                                        std::vector<double>(rows));
+  for (auto& c : cols) {
+    for (auto& v : c) v = rng.Normal();
+  }
+  std::vector<double> y(rows, 0.0);
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < n_signal; ++j) {
+      y[i] += (1.0 + static_cast<double>(j) * 0.2) * cols[j][i];
+    }
+    y[i] += 0.3 * rng.Normal();
+  }
+  ml::Dataset d;
+  d.x = *ml::ColMatrix::FromColumns(std::move(cols));
+  d.y = std::move(y);
+  for (size_t j = 0; j < n_signal; ++j) {
+    d.feature_names.push_back("signal" + std::to_string(j));
+  }
+  for (size_t j = 0; j < n_noise; ++j) {
+    d.feature_names.push_back("noise" + std::to_string(j));
+  }
+  return d;
+}
+
+FraOptions FastOptions(size_t target) {
+  FraOptions options;
+  options.target_size = target;
+  options.rf.n_trees = 15;
+  options.rf.max_depth = 6;
+  options.rf.max_features = 0.5;
+  options.xgb.n_rounds = 25;
+  options.xgb.max_depth = 3;
+  options.pfi_repeats = 1;
+  return options;
+}
+
+TEST(FraTest, RejectsBadOptions) {
+  const ml::Dataset d = MakeDataset(200, 2, 3, 3);
+  FraOptions options = FastOptions(0);
+  EXPECT_FALSE(RunFra(d, options).ok());
+  ml::Dataset empty;
+  EXPECT_FALSE(RunFra(empty, FastOptions(10)).ok());
+}
+
+TEST(FraTest, ReachesTargetSize) {
+  const ml::Dataset d = MakeDataset(400, 5, 45, 5);
+  const auto result = RunFra(d, FastOptions(20));
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->selected.size(), 20u);
+  EXPECT_GE(result->selected.size(), 1u);
+  EXPECT_FALSE(result->history.empty());
+}
+
+TEST(FraTest, KeepsSignalDropsNoise) {
+  const ml::Dataset d = MakeDataset(500, 5, 45, 7);
+  const auto result = RunFra(d, FastOptions(15));
+  ASSERT_TRUE(result.ok());
+  std::set<std::string> selected(result->selected.begin(),
+                                 result->selected.end());
+  int signal_kept = 0;
+  for (int j = 0; j < 5; ++j) {
+    signal_kept += selected.count("signal" + std::to_string(j));
+  }
+  EXPECT_GE(signal_kept, 4);  // nearly all true signals survive
+}
+
+TEST(FraTest, SelectionRankedByConsensusScore) {
+  const ml::Dataset d = MakeDataset(400, 4, 30, 9);
+  const auto result = RunFra(d, FastOptions(12));
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->selected.size(), result->selected_scores.size());
+  for (size_t i = 1; i < result->selected_scores.size(); ++i) {
+    EXPECT_GE(result->selected_scores[i - 1], result->selected_scores[i]);
+  }
+  // The strongest signal feature should rank near the top.
+  bool top5_has_signal = false;
+  for (size_t i = 0; i < std::min<size_t>(5, result->selected.size()); ++i) {
+    if (result->selected[i].rfind("signal", 0) == 0) top5_has_signal = true;
+  }
+  EXPECT_TRUE(top5_has_signal);
+}
+
+TEST(FraTest, NoReductionNeededReturnsAll) {
+  const ml::Dataset d = MakeDataset(200, 3, 2, 11);
+  const auto result = RunFra(d, FastOptions(50));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->selected.size(), 5u);
+  EXPECT_TRUE(result->history.empty());
+}
+
+TEST(FraTest, HistoryTracksThresholdSchedule) {
+  const ml::Dataset d = MakeDataset(400, 3, 57, 13);
+  FraOptions options = FastOptions(20);
+  options.corr_threshold_start = 0.5;
+  options.corr_threshold_step = 0.025;
+  const auto result = RunFra(d, options);
+  ASSERT_TRUE(result.ok());
+  for (size_t i = 0; i < result->history.size(); ++i) {
+    EXPECT_NEAR(result->history[i].corr_threshold,
+                0.5 + 0.025 * static_cast<double>(i), 1e-12);
+    EXPECT_EQ(result->history[i].iteration, static_cast<int>(i));
+  }
+  // Feature counts weakly decrease.
+  for (size_t i = 1; i < result->history.size(); ++i) {
+    EXPECT_LE(result->history[i].features_before,
+              result->history[i - 1].features_before);
+  }
+}
+
+TEST(FraTest, TerminatesUnderIterationCapWhenStalled) {
+  // All features strongly correlated with the target: the corr guard
+  // protects everything until the threshold passes their correlation, so
+  // the run exercises the tightening schedule and still terminates.
+  Rng rng(15);
+  const size_t rows = 300;
+  std::vector<double> base(rows);
+  for (auto& v : base) v = rng.Normal();
+  std::vector<std::vector<double>> cols;
+  for (int j = 0; j < 30; ++j) {
+    std::vector<double> c(rows);
+    for (size_t i = 0; i < rows; ++i) c[i] = base[i] + 0.05 * rng.Normal();
+    cols.push_back(std::move(c));
+  }
+  ml::Dataset d;
+  d.x = *ml::ColMatrix::FromColumns(std::move(cols));
+  d.y = base;
+  for (int j = 0; j < 30; ++j) d.feature_names.push_back("c" + std::to_string(j));
+
+  FraOptions options = FastOptions(10);
+  options.max_iterations = 30;
+  const auto result = RunFra(d, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->history.size(), 30u);
+  EXPECT_GE(result->selected.size(), 1u);
+}
+
+TEST(FraTest, DeterministicInSeed) {
+  const ml::Dataset d = MakeDataset(300, 4, 26, 17);
+  FraOptions options = FastOptions(12);
+  options.seed = 777;
+  const auto a = RunFra(d, options);
+  const auto b = RunFra(d, options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->selected, b->selected);
+}
+
+}  // namespace
+}  // namespace fab::core

@@ -1,0 +1,81 @@
+#include "core/groups.h"
+
+#include <gtest/gtest.h>
+
+namespace fab::core {
+namespace {
+
+TEST(MergeGroupTest, AveragesDuplicateImportance) {
+  ScoredFeatureVector w1;
+  w1.window = 1;
+  w1.features = {"a", "b"};
+  w1.importance = {0.8, 0.2};
+  ScoredFeatureVector w7;
+  w7.window = 7;
+  w7.features = {"b", "c"};
+  w7.importance = {0.6, 0.4};
+  const auto group = MergeGroup({w1, w7});
+  ASSERT_TRUE(group.ok());
+  ASSERT_EQ(group->features.size(), 3u);
+  // a: 0.8, b: (0.2+0.6)/2 = 0.4, c: 0.4 -> ranked a, then b/c (stable).
+  EXPECT_EQ(group->features[0], "a");
+  EXPECT_DOUBLE_EQ(group->importance[0], 0.8);
+  EXPECT_DOUBLE_EQ(group->importance[1], 0.4);
+  EXPECT_DOUBLE_EQ(group->importance[2], 0.4);
+}
+
+TEST(MergeGroupTest, RankedDescending) {
+  ScoredFeatureVector v;
+  v.window = 1;
+  v.features = {"low", "high", "mid"};
+  v.importance = {0.1, 0.9, 0.5};
+  const auto group = MergeGroup({v});
+  EXPECT_EQ(group->features,
+            (std::vector<std::string>{"high", "mid", "low"}));
+}
+
+TEST(MergeGroupTest, RejectsMismatchedLengths) {
+  ScoredFeatureVector bad;
+  bad.window = 1;
+  bad.features = {"a"};
+  bad.importance = {0.1, 0.2};
+  EXPECT_FALSE(MergeGroup({bad}).ok());
+}
+
+TEST(MergeGroupTest, EmptyInputGivesEmptyGroup) {
+  const auto group = MergeGroup({});
+  ASSERT_TRUE(group.ok());
+  EXPECT_TRUE(group->features.empty());
+}
+
+TEST(GroupTopKTest, TruncatesRanking) {
+  HorizonGroup group;
+  group.features = {"a", "b", "c"};
+  group.importance = {3, 2, 1};
+  EXPECT_EQ(GroupTopK(group, 2), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(GroupTopK(group, 10).size(), 3u);
+}
+
+TEST(GroupUniqueTopKTest, ExcludesOtherGroupMembers) {
+  HorizonGroup short_term;
+  short_term.features = {"ema5", "shared", "rsi", "obv"};
+  short_term.importance = {4, 3, 2, 1};
+  HorizonGroup long_term;
+  long_term.features = {"shared", "supply"};
+  long_term.importance = {2, 1};
+  const auto unique = GroupUniqueTopK(short_term, long_term, 2);
+  EXPECT_EQ(unique, (std::vector<std::string>{"ema5", "rsi"}));
+  const auto unique_long = GroupUniqueTopK(long_term, short_term, 5);
+  EXPECT_EQ(unique_long, (std::vector<std::string>{"supply"}));
+}
+
+TEST(GroupUniqueTopKTest, StopsAtK) {
+  HorizonGroup a;
+  a.features = {"x1", "x2", "x3", "x4"};
+  a.importance = {4, 3, 2, 1};
+  HorizonGroup empty;
+  EXPECT_EQ(GroupUniqueTopK(a, empty, 2).size(), 2u);
+}
+
+}  // namespace
+}  // namespace fab::core

@@ -1,0 +1,108 @@
+#include "core/improvement.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace fab::core {
+namespace {
+
+/// A scenario where the macro feature is weak and the technical features
+/// carry the signal, so single-category comparisons are predictable.
+ScenarioDataset MakeScenario(uint64_t seed) {
+  Rng rng(seed);
+  const size_t n = 400;
+  std::vector<double> strong(n), strong2(n), weak(n), y(n);
+  for (size_t i = 0; i < n; ++i) {
+    strong[i] = rng.Normal();
+    strong2[i] = rng.Normal();
+    weak[i] = rng.Normal();
+    y[i] = 2.0 * strong[i] + strong2[i] + 0.05 * weak[i] + 0.2 * rng.Normal();
+  }
+  ScenarioDataset scenario;
+  scenario.period = StudyPeriod::k2019;
+  scenario.window = 7;
+  scenario.data.x = *ml::ColMatrix::FromColumns({strong, strong2, weak});
+  scenario.data.y = std::move(y);
+  scenario.data.feature_names = {"tech1", "tech2", "macro1"};
+  scenario.categories = {sim::DataCategory::kTechnical,
+                         sim::DataCategory::kTechnical,
+                         sim::DataCategory::kMacro};
+  return scenario;
+}
+
+ImprovementOptions FastOptions() {
+  ImprovementOptions options;
+  options.cv_folds = 3;
+  options.rf.n_trees = 15;
+  options.rf.max_depth = 6;
+  options.rf.max_features = 1.0;
+  options.xgb.n_rounds = 30;
+  options.xgb.max_depth = 3;
+  return options;
+}
+
+TEST(ImprovementTest, WeakCategoryBenefitsMost) {
+  const ScenarioDataset scenario = MakeScenario(3);
+  const auto result = RunImprovementExperiment(
+      scenario, scenario.data.feature_names, ModelKind::kRandomForest,
+      FastOptions());
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->per_category.size(), 2u);
+  double tech_pct = 0.0, macro_pct = 0.0;
+  for (const auto& c : result->per_category) {
+    if (c.category == sim::DataCategory::kTechnical) tech_pct = c.improvement_pct;
+    if (c.category == sim::DataCategory::kMacro) macro_pct = c.improvement_pct;
+  }
+  // Macro alone barely predicts: diversity helps it enormously.
+  EXPECT_GT(macro_pct, 200.0);
+  // Technical alone is nearly sufficient.
+  EXPECT_LT(tech_pct, 50.0);
+  EXPECT_GT(result->MeanImprovementPct(), 0.0);
+}
+
+TEST(ImprovementTest, ImprovementFormulaConsistent) {
+  const ScenarioDataset scenario = MakeScenario(5);
+  const auto result = RunImprovementExperiment(
+      scenario, scenario.data.feature_names, ModelKind::kRandomForest,
+      FastOptions());
+  ASSERT_TRUE(result.ok());
+  for (const auto& c : result->per_category) {
+    EXPECT_DOUBLE_EQ(c.diverse_mse, result->diverse_mse);
+    EXPECT_NEAR(c.improvement_pct,
+                100.0 * (c.single_mse - c.diverse_mse) / c.diverse_mse, 1e-9);
+  }
+}
+
+TEST(ImprovementTest, GbdtVariantRuns) {
+  const ScenarioDataset scenario = MakeScenario(7);
+  const auto result = RunImprovementExperiment(
+      scenario, scenario.data.feature_names, ModelKind::kGbdt, FastOptions());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->model, ModelKind::kGbdt);
+  EXPECT_GT(result->diverse_mse, 0.0);
+}
+
+TEST(ImprovementTest, RejectsEmptyFinalVector) {
+  const ScenarioDataset scenario = MakeScenario(9);
+  EXPECT_FALSE(RunImprovementExperiment(scenario, {},
+                                        ModelKind::kRandomForest,
+                                        FastOptions())
+                   .ok());
+}
+
+TEST(ImprovementTest, RejectsUnknownFeature) {
+  const ScenarioDataset scenario = MakeScenario(11);
+  EXPECT_FALSE(RunImprovementExperiment(scenario, {"bogus"},
+                                        ModelKind::kRandomForest,
+                                        FastOptions())
+                   .ok());
+}
+
+TEST(ImprovementTest, MeanOfEmptyIsZero) {
+  ImprovementResult r;
+  EXPECT_DOUBLE_EQ(r.MeanImprovementPct(), 0.0);
+}
+
+}  // namespace
+}  // namespace fab::core

@@ -1,0 +1,153 @@
+#include "sim/latent.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fab::sim {
+namespace {
+
+LatentConfig SmallConfig(uint64_t seed = 42) {
+  LatentConfig config;
+  config.start = Date(2016, 7, 1);
+  config.end = Date(2019, 12, 31);
+  config.seed = seed;
+  return config;
+}
+
+TEST(LatentTest, RejectsInvalidConfig) {
+  LatentConfig config = SmallConfig();
+  config.end = config.start;
+  EXPECT_FALSE(GenerateLatentState(config).ok());
+  config = SmallConfig();
+  config.btc_price0 = -1.0;
+  EXPECT_FALSE(GenerateLatentState(config).ok());
+}
+
+TEST(LatentTest, SizesMatchCalendar) {
+  const auto state = GenerateLatentState(SmallConfig());
+  ASSERT_TRUE(state.ok());
+  const size_t expected =
+      static_cast<size_t>(Date(2019, 12, 31) - Date(2016, 7, 1)) + 1;
+  EXPECT_EQ(state->num_days(), expected);
+  EXPECT_EQ(state->btc_close.size(), expected);
+  EXPECT_EQ(state->regime.size(), expected);
+  EXPECT_EQ(state->flows.size(), expected);
+}
+
+TEST(LatentTest, DeterministicInSeed) {
+  const auto a = GenerateLatentState(SmallConfig(7));
+  const auto b = GenerateLatentState(SmallConfig(7));
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->btc_close, b->btc_close);
+  EXPECT_EQ(a->flows, b->flows);
+  EXPECT_EQ(a->macro_factor, b->macro_factor);
+}
+
+TEST(LatentTest, DifferentSeedsDiffer) {
+  const auto a = GenerateLatentState(SmallConfig(1));
+  const auto b = GenerateLatentState(SmallConfig(2));
+  EXPECT_NE(a->btc_close, b->btc_close);
+}
+
+TEST(LatentTest, PricesPositiveAndOhlcOrdered) {
+  const auto state = GenerateLatentState(SmallConfig());
+  for (size_t t = 0; t < state->num_days(); ++t) {
+    EXPECT_GT(state->btc_low[t], 0.0);
+    EXPECT_LE(state->btc_low[t], state->btc_open[t]);
+    EXPECT_LE(state->btc_low[t], state->btc_close[t]);
+    EXPECT_GE(state->btc_high[t], state->btc_open[t]);
+    EXPECT_GE(state->btc_high[t], state->btc_close[t]);
+    EXPECT_GT(state->btc_volume_usd[t], 0.0);
+  }
+}
+
+TEST(LatentTest, OpenEqualsPreviousClose) {
+  const auto state = GenerateLatentState(SmallConfig());
+  for (size_t t = 1; t < state->num_days(); ++t) {
+    EXPECT_DOUBLE_EQ(state->btc_open[t], state->btc_close[t - 1]);
+  }
+}
+
+TEST(LatentTest, AdoptionMonotoneInExpectationAndBounded) {
+  const auto state = GenerateLatentState(SmallConfig());
+  for (double a : state->adoption) {
+    EXPECT_GT(a, 0.0);
+    EXPECT_LT(a, 1.0);
+  }
+  // Logistic growth: end adoption clearly above start.
+  EXPECT_GT(state->adoption.back(), state->adoption.front());
+}
+
+TEST(LatentTest, MacroFactorBounded) {
+  const auto state = GenerateLatentState(SmallConfig());
+  for (double m : state->macro_factor) {
+    EXPECT_GE(m, -1.5);
+    EXPECT_LE(m, 1.5);
+  }
+}
+
+TEST(LatentTest, MacroSmoothLagsMacroFactor) {
+  const auto state = GenerateLatentState(SmallConfig());
+  // Smoothed macro is less volatile than the raw factor.
+  double raw_var = 0.0, smooth_var = 0.0;
+  for (size_t t = 1; t < state->num_days(); ++t) {
+    raw_var += std::pow(state->macro_factor[t] - state->macro_factor[t - 1], 2);
+    smooth_var +=
+        std::pow(state->macro_smooth[t] - state->macro_smooth[t - 1], 2);
+  }
+  EXPECT_LT(smooth_var, raw_var / 10.0);
+}
+
+TEST(LatentTest, FindDayMapsDates) {
+  const auto state = GenerateLatentState(SmallConfig());
+  EXPECT_EQ(state->FindDay(Date(2016, 7, 1)), 0);
+  EXPECT_EQ(state->FindDay(Date(2016, 7, 11)), 10);
+  EXPECT_EQ(state->FindDay(Date(2030, 1, 1)), -1);
+  EXPECT_EQ(state->FindDay(Date(2010, 1, 1)), -1);
+}
+
+TEST(LatentTest, EraDriftMatchesCycleSigns) {
+  EXPECT_GT(EraDrift(Date(2017, 8, 1)), 0.0);   // 2017 bull
+  EXPECT_LT(EraDrift(Date(2018, 2, 1)), 0.0);   // 2018 bear
+  EXPECT_GT(EraDrift(Date(2020, 12, 1)), 0.0);  // 2020-21 bull
+  EXPECT_LT(EraDrift(Date(2022, 4, 1)), 0.0);   // 2022 bear
+  EXPECT_GT(EraDrift(Date(2023, 3, 1)), 0.0);   // 2023 recovery
+}
+
+TEST(LatentTest, BullRegimesOutnumberBearInEasyMoney) {
+  // Over the 2016-2019 window macro is mostly supportive, so bull days
+  // should not be dominated by bear days.
+  const auto state = GenerateLatentState(SmallConfig());
+  int bull = 0, bear = 0;
+  for (Regime r : state->regime) {
+    bull += (r == Regime::kBull);
+    bear += (r == Regime::kBear);
+  }
+  EXPECT_GT(bull, 0);
+  EXPECT_GT(bear, 0);
+  EXPECT_GT(static_cast<double>(bull) / bear, 0.7);
+}
+
+TEST(LatentTest, PriceCycleShapeRoughlyMatchesHistory) {
+  LatentConfig config;
+  config.seed = 42;  // the library's default calibration seed
+  const auto state = GenerateLatentState(config);
+  ASSERT_TRUE(state.ok());
+  auto price_on = [&](Date d) {
+    return state->btc_close[static_cast<size_t>(state->FindDay(d))];
+  };
+  const double p2017_top = price_on(Date(2017, 12, 17));
+  const double p2018_bottom = price_on(Date(2018, 12, 15));
+  const double p2021_top = price_on(Date(2021, 11, 10));
+  const double p2022_bottom = price_on(Date(2022, 11, 21));
+  // Cycle shape: a big 2017 bull, a deep 2018 bear, a larger 2021 top,
+  // a 2022 bear. Exact levels are not asserted.
+  EXPECT_GT(p2017_top, 4.0 * price_on(Date(2017, 1, 1)));
+  EXPECT_LT(p2018_bottom, 0.5 * p2017_top);
+  EXPECT_GT(p2021_top, 2.0 * p2017_top);
+  EXPECT_LT(p2022_bottom, 0.4 * p2021_top);
+}
+
+}  // namespace
+}  // namespace fab::sim

@@ -1,0 +1,162 @@
+#include "sim/market_sim.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace fab::sim {
+namespace {
+
+MarketSimConfig SmallConfig(uint64_t seed = 42) {
+  MarketSimConfig config;
+  config.latent.start = Date(2017, 6, 1);
+  config.latent.end = Date(2019, 12, 31);
+  config.seed = seed;
+  return config;
+}
+
+TEST(MarketSimTest, ProducesAllCategories) {
+  const auto market = SimulateMarket(SmallConfig());
+  ASSERT_TRUE(market.ok());
+  for (DataCategory c : AllCategories()) {
+    if (c == DataCategory::kOnChainEth) {
+      // Extension family, off by default.
+      EXPECT_EQ(market->catalog.CountInCategory(c), 0u);
+      continue;
+    }
+    EXPECT_GT(market->catalog.CountInCategory(c), 0u) << CategoryName(c);
+  }
+  // Rough family sizes (pre-technical-derivation).
+  EXPECT_GT(market->catalog.CountInCategory(DataCategory::kOnChainBtc), 80u);
+  EXPECT_GT(market->catalog.CountInCategory(DataCategory::kSentiment), 10u);
+  EXPECT_GT(market->catalog.CountInCategory(DataCategory::kTradFi), 10u);
+  EXPECT_GT(market->catalog.CountInCategory(DataCategory::kMacro), 10u);
+}
+
+TEST(MarketSimTest, EveryMetricColumnIsInCatalog) {
+  const auto market = SimulateMarket(SmallConfig());
+  for (const auto& name : market->metrics.column_names()) {
+    EXPECT_TRUE(market->catalog.Has(name)) << name;
+  }
+  EXPECT_EQ(market->metrics.num_columns(), market->catalog.size());
+}
+
+TEST(MarketSimTest, AggregatesAreConsistent) {
+  const auto market = SimulateMarket(SmallConfig());
+  for (size_t t = 0; t < market->latent.num_days(); t += 60) {
+    EXPECT_LE(market->top100_mcap_sum[t], market->total_mcap_sum[t]);
+    EXPECT_GT(market->top100_mcap_sum[t], 0.0);
+    // BTC alone is part of the top 100.
+    EXPECT_GE(market->top100_mcap_sum[t], market->panel.mcap[t][0]);
+  }
+}
+
+TEST(MarketSimTest, DeterministicInSeed) {
+  const auto a = SimulateMarket(SmallConfig(5));
+  const auto b = SimulateMarket(SmallConfig(5));
+  EXPECT_EQ(a->latent.btc_close, b->latent.btc_close);
+  EXPECT_EQ(a->top100_mcap_sum, b->top100_mcap_sum);
+  const table::Column& ca = **a->metrics.GetColumn("SplyCur");
+  const table::Column& cb = **b->metrics.GetColumn("SplyCur");
+  EXPECT_TRUE(ca.EqualsExactly(cb));
+}
+
+TEST(MarketSimTest, SeedsChangeTheWorld) {
+  const auto a = SimulateMarket(SmallConfig(5));
+  const auto b = SimulateMarket(SmallConfig(6));
+  EXPECT_NE(a->latent.btc_close, b->latent.btc_close);
+}
+
+TEST(MarketSimTest, RawBtcColumnsRegisteredAsTechnical) {
+  const auto market = SimulateMarket(SmallConfig());
+  EXPECT_EQ(*market->catalog.CategoryOf(kBtcCloseColumn),
+            DataCategory::kTechnical);
+  EXPECT_EQ(*market->catalog.CategoryOf(kBtcVolumeColumn),
+            DataCategory::kTechnical);
+  const table::Column& close = **market->metrics.GetColumn(kBtcCloseColumn);
+  for (size_t t = 0; t < close.size(); t += 97) {
+    EXPECT_DOUBLE_EQ(close.value(t), market->latent.btc_close[t]);
+  }
+}
+
+TEST(MarketSimTest, MonthlySeriesAreStepFunctions) {
+  const auto market = SimulateMarket(SmallConfig());
+  const table::Column& cpi = **market->metrics.GetColumn("us_cpi_yoy");
+  // Within a month the value is constant.
+  int changes = 0;
+  for (size_t t = 1; t < cpi.size(); ++t) {
+    if (cpi.value(t) != cpi.value(t - 1)) ++changes;
+  }
+  // ~31 months in the window: one change per month boundary at most.
+  EXPECT_LE(changes, 32);
+  EXPECT_GT(changes, 20);
+}
+
+TEST(MarketSimTest, SentimentSharesSumToRoughlyOne) {
+  const auto market = SimulateMarket(SmallConfig());
+  const table::Column& pos =
+      **market->metrics.GetColumn("social_sentiment_positive");
+  const table::Column& neg =
+      **market->metrics.GetColumn("social_sentiment_negative");
+  const table::Column& neu =
+      **market->metrics.GetColumn("social_sentiment_neutral");
+  for (size_t t = 0; t < pos.size(); t += 43) {
+    const double sum = pos.value(t) + neg.value(t) + neu.value(t);
+    EXPECT_GT(sum, 0.8);
+    EXPECT_LT(sum, 1.2);
+  }
+}
+
+TEST(MarketSimTest, FearGreedBoundedAndStartsIn2018) {
+  const auto market = SimulateMarket(SmallConfig());
+  const table::Column& fg = **market->metrics.GetColumn("fear_greed");
+  const int start = market->latent.FindDay(Date(2018, 2, 1));
+  EXPECT_TRUE(fg.is_null(static_cast<size_t>(start - 1)));
+  for (size_t t = static_cast<size_t>(start); t < fg.size(); t += 17) {
+    EXPECT_GE(fg.value(t), 0.0);
+    EXPECT_LE(fg.value(t), 100.0);
+  }
+}
+
+TEST(MarketSimTest, TradFiSeriesPositive) {
+  const auto market = SimulateMarket(SmallConfig());
+  for (const char* name : {"QQQ_Close", "SPY_Close", "UUP_Close",
+                           "EURUSD_Close", "BSV_Close", "MBB_Close",
+                           "GLD_Close", "VIX_Close"}) {
+    const table::Column& c = **market->metrics.GetColumn(name);
+    for (size_t t = 0; t < c.size(); t += 59) {
+      EXPECT_GT(c.value(t), 0.0) << name;
+    }
+  }
+}
+
+TEST(MarketSimTest, EthFamilyIsOptIn) {
+  MarketSimConfig config = SmallConfig();
+  config.include_eth = true;
+  const auto market = SimulateMarket(config);
+  ASSERT_TRUE(market.ok());
+  EXPECT_GT(market->catalog.CountInCategory(DataCategory::kOnChainEth), 15u);
+  ASSERT_TRUE(market->metrics.HasColumn("eth_SplyCur"));
+  ASSERT_TRUE(market->metrics.HasColumn("eth_DefiTvlUSD"));
+  EXPECT_EQ(*market->catalog.CategoryOf("eth_GasUsedTot"),
+            DataCategory::kOnChainEth);
+  // ETH price and supply positive throughout.
+  const table::Column& price = **market->metrics.GetColumn("eth_PriceUSD");
+  const table::Column& supply = **market->metrics.GetColumn("eth_SplyCur");
+  for (size_t t = 0; t < price.size(); t += 67) {
+    EXPECT_GT(price.value(t), 0.0);
+    EXPECT_GT(supply.value(t), 0.0);
+  }
+}
+
+TEST(MarketSimTest, VixBounded) {
+  const auto market = SimulateMarket(SmallConfig());
+  const table::Column& vix = **market->metrics.GetColumn("VIX_Close");
+  for (size_t t = 0; t < vix.size(); ++t) {
+    EXPECT_GE(vix.value(t), 9.0);
+    EXPECT_LE(vix.value(t), 85.0);
+  }
+}
+
+}  // namespace
+}  // namespace fab::sim

@@ -1,0 +1,131 @@
+#include "sim/onchain_eth.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/stats.h"
+
+#include "sim/market_sim.h"
+
+namespace fab::sim {
+namespace {
+
+/// Shared fixture covering the burn activation (Aug 2021) and the merge
+/// (Sep 2022).
+class OnChainEthTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    MarketSimConfig config;
+    config.latent.start = Date(2017, 6, 1);  // covers the USDC launch
+    config.latent.end = Date(2023, 6, 30);
+    config.seed = 314;
+    config.include_eth = true;
+    market_ = new SimulatedMarket(std::move(SimulateMarket(config)).value());
+  }
+  static void TearDownTestSuite() {
+    delete market_;
+    market_ = nullptr;
+  }
+  static const SimulatedMarket* market_;
+
+  const table::Column& Col(const char* name) {
+    return **market_->metrics.GetColumn(name);
+  }
+  size_t Day(Date d) {
+    return static_cast<size_t>(market_->latent.FindDay(d));
+  }
+};
+
+const SimulatedMarket* OnChainEthTest::market_ = nullptr;
+
+TEST_F(OnChainEthTest, FamilyRegisteredUnderEthCategory) {
+  size_t eth_columns = 0;
+  for (const auto& m : market_->catalog.metrics()) {
+    if (m.category == DataCategory::kOnChainEth) {
+      EXPECT_EQ(m.name.rfind("eth_", 0), 0u) << m.name;
+      ++eth_columns;
+    }
+  }
+  EXPECT_GE(eth_columns, 20u);
+}
+
+TEST_F(OnChainEthTest, CoreSeriesPositive) {
+  for (const char* name :
+       {"eth_PriceUSD", "eth_SplyCur", "eth_GasUsedTot", "eth_DefiTvlUSD",
+        "eth_CapMrktCurUSD", "eth_TxCnt", "eth_FeeTotUSD", "eth_CapRealUSD"}) {
+    const table::Column& c = Col(name);
+    for (size_t t = 0; t < c.size(); t += 71) {
+      ASSERT_TRUE(c.is_valid(t)) << name;
+      EXPECT_GT(c.value(t), 0.0) << name;
+    }
+  }
+}
+
+TEST_F(OnChainEthTest, SupplyGrowthSlowsAfterMerge) {
+  const table::Column& supply = Col("eth_SplyCur");
+  // Average daily growth in a pre-merge year vs post-merge period.
+  const size_t pre_a = Day(Date(2020, 1, 1));
+  const size_t pre_b = Day(Date(2021, 1, 1));
+  const size_t post_a = Day(Date(2022, 10, 1));
+  const size_t post_b = Day(Date(2023, 6, 1));
+  const double pre_growth = (supply.value(pre_b) - supply.value(pre_a)) /
+                            static_cast<double>(pre_b - pre_a);
+  const double post_growth = (supply.value(post_b) - supply.value(post_a)) /
+                             static_cast<double>(post_b - post_a);
+  EXPECT_GT(pre_growth, 10000.0);       // PoW issuance ~13.5k/day
+  EXPECT_LT(post_growth, pre_growth / 2.0);  // merge + burn
+}
+
+TEST_F(OnChainEthTest, StakingRampsFromDec2020) {
+  const table::Column& staked = Col("eth_SplyStaked");
+  const double before = staked.value(Day(Date(2020, 11, 1)));
+  const double after = staked.value(Day(Date(2023, 5, 1)));
+  EXPECT_LT(before, 2e6);
+  EXPECT_GT(after, 10e6);
+}
+
+TEST_F(OnChainEthTest, MarketCapIsPriceTimesSupply) {
+  const table::Column& price = Col("eth_PriceUSD");
+  const table::Column& supply = Col("eth_SplyCur");
+  const table::Column& cap = Col("eth_CapMrktCurUSD");
+  for (size_t t = 0; t < cap.size(); t += 97) {
+    EXPECT_NEAR(cap.value(t), price.value(t) * supply.value(t),
+                1e-6 * cap.value(t));
+  }
+}
+
+TEST_F(OnChainEthTest, BucketCountsDecreaseWithThreshold) {
+  const table::Column& c1 = Col("eth_AdrBalNtv1Cnt");
+  const table::Column& c1k = Col("eth_AdrBalNtv1KCnt");
+  for (size_t t = 0; t < c1.size(); t += 83) {
+    EXPECT_GT(c1.value(t), c1k.value(t));
+  }
+}
+
+TEST_F(OnChainEthTest, EthCorrelatesWithBtcButIsNotAClone) {
+  const table::Column& eth = Col("eth_PriceUSD");
+  std::vector<double> eth_ret, btc_ret;
+  for (size_t t = 1; t < eth.size(); ++t) {
+    eth_ret.push_back(std::log(eth.value(t) / eth.value(t - 1)));
+    btc_ret.push_back(std::log(market_->latent.btc_close[t] /
+                               market_->latent.btc_close[t - 1]));
+  }
+  const double corr = stats::PearsonCorrelation(eth_ret, btc_ret);
+  EXPECT_GT(corr, 0.5);   // strongly coupled, like the real pair
+  EXPECT_LT(corr, 0.98);  // but with genuine idiosyncratic dynamics
+}
+
+TEST(OnChainEthStandaloneTest, RejectsMismatchedTable) {
+  LatentConfig config;
+  config.start = Date(2020, 1, 1);
+  config.end = Date(2020, 6, 30);
+  const auto latent = GenerateLatentState(config);
+  auto table = table::Table::Create(DailyRange(Date(2020, 1, 1),
+                                               Date(2020, 1, 10)));
+  MetricCatalog catalog;
+  EXPECT_FALSE(AddEthOnChainMetrics(*latent, 1, &table.value(), &catalog).ok());
+}
+
+}  // namespace
+}  // namespace fab::sim

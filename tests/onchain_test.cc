@@ -1,0 +1,177 @@
+#include "sim/onchain_btc.h"
+#include "sim/onchain_usdc.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "sim/market_sim.h"
+
+namespace fab::sim {
+namespace {
+
+/// Shared fixture: one small simulated market covering the USDC launch.
+class OnChainTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    MarketSimConfig config;
+    config.latent.start = Date(2017, 6, 1);
+    config.latent.end = Date(2020, 6, 30);
+    config.seed = 77;
+    market_ = new SimulatedMarket(std::move(SimulateMarket(config)).value());
+  }
+  static void TearDownTestSuite() {
+    delete market_;
+    market_ = nullptr;
+  }
+
+  static const SimulatedMarket* market_;
+};
+
+const SimulatedMarket* OnChainTest::market_ = nullptr;
+
+TEST_F(OnChainTest, BtcMetricsAllPresentAndPositive) {
+  const char* kSpotChecks[] = {
+      "SplyCur",      "RevAllTimeUSD", "CapRealUSD",   "HashRate",
+      "AdrActCnt",    "market_cap",    "s2f_ratio",    "SER",
+      "fish_pct",     "VelCur1yr",     "TxCnt",        "NVTAdj",
+      "SplyAct1yr",   "SplyActEver",   "AdrBalNtv1Cnt"};
+  for (const char* name : kSpotChecks) {
+    ASSERT_TRUE(market_->metrics.HasColumn(name)) << name;
+    const table::Column& c = **market_->metrics.GetColumn(name);
+    for (size_t t = 0; t < c.size(); t += 37) {
+      ASSERT_TRUE(c.is_valid(t)) << name;
+      EXPECT_GT(c.value(t), 0.0) << name << " at row " << t;
+    }
+  }
+}
+
+TEST_F(OnChainTest, CountsDecreaseWithThreshold) {
+  // More addresses hold >= 0.01 BTC than >= 1 BTC than >= 100 BTC.
+  const table::Column& c001 = **market_->metrics.GetColumn("AdrBalNtv0.01Cnt");
+  const table::Column& c1 = **market_->metrics.GetColumn("AdrBalNtv1Cnt");
+  const table::Column& c100 = **market_->metrics.GetColumn("AdrBalNtv100Cnt");
+  for (size_t t = 0; t < c1.size(); t += 53) {
+    EXPECT_GT(c001.value(t), c1.value(t));
+    EXPECT_GT(c1.value(t), c100.value(t));
+  }
+}
+
+TEST_F(OnChainTest, SupplySharesDecreaseWithThreshold) {
+  const table::Column& s1 = **market_->metrics.GetColumn("SplyAdrBalNtv1");
+  const table::Column& s1k = **market_->metrics.GetColumn("SplyAdrBalNtv1K");
+  const table::Column& cur = **market_->metrics.GetColumn("SplyCur");
+  for (size_t t = 0; t < s1.size(); t += 53) {
+    EXPECT_GT(s1.value(t), s1k.value(t));
+    // Held supply cannot much exceed current supply (wobble/noise ~ a few %).
+    EXPECT_LT(s1.value(t), 1.25 * cur.value(t));
+  }
+}
+
+TEST_F(OnChainTest, RevAllTimeIsNonDecreasing) {
+  const table::Column& rev = **market_->metrics.GetColumn("RevAllTimeUSD");
+  for (size_t t = 1; t < rev.size(); ++t) {
+    EXPECT_GE(rev.value(t), rev.value(t - 1) * 0.995);  // small obs noise
+  }
+  EXPECT_GT(rev.value(rev.size() - 1), rev.value(0));
+}
+
+TEST_F(OnChainTest, CohortPercentagesAreFractions) {
+  for (const char* name : {"shrimps_pct", "fish_pct", "sharks_pct",
+                           "whales_pct"}) {
+    const table::Column& c = **market_->metrics.GetColumn(name);
+    for (size_t t = 0; t < c.size(); t += 41) {
+      EXPECT_GT(c.value(t), 0.0) << name;
+      EXPECT_LT(c.value(t), 1.0) << name;
+    }
+  }
+}
+
+TEST_F(OnChainTest, UsdcNullBeforeLaunchValidAfter) {
+  const int launch = market_->latent.FindDay(UsdcLaunchDate());
+  ASSERT_GT(launch, 0);
+  const table::Column& c = **market_->metrics.GetColumn("usdc_SplyCur");
+  EXPECT_TRUE(c.is_null(static_cast<size_t>(launch - 1)));
+  EXPECT_TRUE(c.is_valid(static_cast<size_t>(launch)));
+  EXPECT_TRUE(c.is_valid(c.size() - 1));
+}
+
+TEST_F(OnChainTest, UsdcSupplyPositiveAndGrowsWithMarket) {
+  const int launch = market_->latent.FindDay(UsdcLaunchDate());
+  const table::Column& c = **market_->metrics.GetColumn("usdc_SplyCur");
+  const double early = c.value(static_cast<size_t>(launch + 30));
+  const double late = c.value(c.size() - 1);
+  EXPECT_GT(early, 0.0);
+  EXPECT_GT(late, early);  // adoption-era growth
+}
+
+TEST_F(OnChainTest, UsdcCountsDecreaseWithThreshold) {
+  const table::Column& c1 = **market_->metrics.GetColumn("usdc_AdrBalNtv1Cnt");
+  const table::Column& c1m =
+      **market_->metrics.GetColumn("usdc_AdrBalNtv1MCnt");
+  for (size_t t = c1.size() - 200; t < c1.size(); t += 31) {
+    EXPECT_GT(c1.value(t), c1m.value(t));
+  }
+}
+
+TEST_F(OnChainTest, CategoriesRegisteredCorrectly) {
+  EXPECT_EQ(*market_->catalog.CategoryOf("SplyCur"),
+            DataCategory::kOnChainBtc);
+  EXPECT_EQ(*market_->catalog.CategoryOf("usdc_SplyCur"),
+            DataCategory::kOnChainUsdc);
+  EXPECT_GT(market_->catalog.CountInCategory(DataCategory::kOnChainBtc), 80u);
+  EXPECT_GT(market_->catalog.CountInCategory(DataCategory::kOnChainUsdc), 50u);
+}
+
+TEST(WealthModelTest, CountAtLeastMonotoneAndCapped) {
+  WealthModel w;
+  w.num_addresses = 1e6;
+  w.b_min = 1e-4;
+  w.alpha = 0.5;
+  EXPECT_DOUBLE_EQ(w.CountAtLeast(1e-5), 1e6);  // below b_min: everyone
+  EXPECT_DOUBLE_EQ(w.CountAtLeast(w.b_min), 1e6);
+  double prev = 1e18;
+  for (double b : {0.001, 0.01, 0.1, 1.0, 10.0, 100.0}) {
+    const double c = w.CountAtLeast(b);
+    EXPECT_LT(c, prev);
+    EXPECT_GT(c, 0.0);
+    prev = c;
+  }
+}
+
+TEST(WealthModelTest, SupplyShareBounds) {
+  WealthModel w;
+  w.b_scale = 2.0;
+  w.gamma = 0.35;
+  EXPECT_DOUBLE_EQ(w.SupplyShareAtLeast(0.0), 1.0);
+  double prev = 1.0;
+  for (double b : {0.1, 1.0, 10.0, 100.0, 1e4}) {
+    const double s = w.SupplyShareAtLeast(b);
+    EXPECT_LE(s, prev);
+    EXPECT_GT(s, 0.0);
+    prev = s;
+  }
+}
+
+class WealthModelSweep
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(WealthModelSweep, PercentileThresholdConsistency) {
+  // The balance threshold that selects the top q of addresses should
+  // indeed select ~q of them.
+  const auto [alpha, q] = GetParam();
+  WealthModel w;
+  w.num_addresses = 1e7;
+  w.alpha = alpha;
+  const double b_top = w.b_min * std::pow(q, -1.0 / alpha);
+  EXPECT_NEAR(w.CountAtLeast(b_top) / w.num_addresses, q, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlphaQ, WealthModelSweep,
+    ::testing::Values(std::make_pair(0.4, 0.01), std::make_pair(0.55, 0.01),
+                      std::make_pair(0.55, 0.10), std::make_pair(0.7, 0.05)));
+
+}  // namespace
+}  // namespace fab::sim

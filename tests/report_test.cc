@@ -1,0 +1,83 @@
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+namespace fab::core {
+namespace {
+
+TEST(AsciiTableTest, RendersHeaderAndRows) {
+  AsciiTable table({"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"bb", "22"});
+  const std::string out = table.Render();
+  EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(out.find("| bb    | 22    |"), std::string::npos);
+  EXPECT_NE(out.find("+-------+-------+"), std::string::npos);
+}
+
+TEST(AsciiTableTest, ColumnWidthFollowsWidestCell) {
+  AsciiTable table({"x"});
+  table.AddRow({"longer_cell"});
+  const std::string out = table.Render();
+  EXPECT_NE(out.find("| longer_cell |"), std::string::npos);
+}
+
+TEST(AsciiTableTest, EmptyTableStillRendersHeader) {
+  AsciiTable table({"only"});
+  const std::string out = table.Render();
+  EXPECT_NE(out.find("| only |"), std::string::npos);
+}
+
+TEST(AsciiSeriesTest, ContainsTitleAndBounds) {
+  const std::string out =
+      AsciiSeries("My series", {"d1", "d2", "d3"}, {1.0, 3.0, 2.0});
+  EXPECT_NE(out.find("My series"), std::string::npos);
+  EXPECT_NE(out.find("max 3.00"), std::string::npos);
+  EXPECT_NE(out.find("min 1.00"), std::string::npos);
+  EXPECT_NE(out.find("[d1 .. d3]"), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+TEST(AsciiSeriesTest, HandlesEmptyAndMismatchedInput) {
+  EXPECT_NE(AsciiSeries("t", {}, {}).find("empty"), std::string::npos);
+  EXPECT_NE(AsciiSeries("t", {"a"}, {1.0, 2.0}).find("empty"),
+            std::string::npos);
+}
+
+TEST(AsciiSeriesTest, ConstantSeriesDoesNotDivideByZero) {
+  const std::string out =
+      AsciiSeries("flat", {"a", "b"}, {5.0, 5.0});
+  EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+TEST(AsciiSeriesTest, DownsamplesLongSeries) {
+  std::vector<std::string> labels(1000, "d");
+  std::vector<double> values(1000, 1.0);
+  values[500] = 2.0;
+  const std::string out = AsciiSeries("long", labels, values, 40);
+  // Each grid row is at most ~40 characters of plot area.
+  EXPECT_LT(out.size(), 2000u);
+}
+
+TEST(AsciiGroupedBarsTest, RendersAllGroupsAndSeries) {
+  const std::string out = AsciiGroupedBars(
+      "Contribution", {"w=1", "w=7"}, {"macro", "technical"},
+      {{0.1, 0.2}, {0.7, 0.4}});
+  EXPECT_NE(out.find("Contribution"), std::string::npos);
+  EXPECT_NE(out.find("w=1"), std::string::npos);
+  EXPECT_NE(out.find("w=7"), std::string::npos);
+  EXPECT_NE(out.find("macro"), std::string::npos);
+  EXPECT_NE(out.find("technical"), std::string::npos);
+  EXPECT_NE(out.find('#'), std::string::npos);
+  EXPECT_NE(out.find("0.700"), std::string::npos);
+}
+
+TEST(AsciiGroupedBarsTest, AllZeroValuesSafe) {
+  const std::string out =
+      AsciiGroupedBars("Zeros", {"g"}, {"s"}, {{0.0}});
+  EXPECT_NE(out.find("0.000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fab::core

@@ -1,0 +1,93 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace fab {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryHelpersCarryCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("bad").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::NotFound("missing thing").message(), "missing thing");
+}
+
+TEST(StatusTest, ToStringIncludesCodeNameAndMessage) {
+  const Status s = Status::InvalidArgument("negative length");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: negative length");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("hello");
+  ASSERT_TRUE(r.ok());
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "hello");
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  FAB_ASSIGN_OR_RETURN(int half, Half(x));
+  FAB_ASSIGN_OR_RETURN(int quarter, Half(half));
+  return quarter;
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesErrors) {
+  EXPECT_EQ(*Quarter(8), 2);
+  EXPECT_FALSE(Quarter(6).ok());
+  EXPECT_FALSE(Quarter(3).ok());
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::OutOfRange("negative");
+  return Status::OK();
+}
+
+Status Check(int a, int b) {
+  FAB_RETURN_IF_ERROR(FailIfNegative(a));
+  FAB_RETURN_IF_ERROR(FailIfNegative(b));
+  return Status::OK();
+}
+
+TEST(ResultTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(Check(1, 2).ok());
+  EXPECT_FALSE(Check(-1, 2).ok());
+  EXPECT_FALSE(Check(1, -2).ok());
+}
+
+}  // namespace
+}  // namespace fab

@@ -1,0 +1,123 @@
+#include "ta/volatility.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.h"
+
+namespace fab::ta {
+namespace {
+
+std::vector<double> RandomWalk(size_t n, uint64_t seed, double vol) {
+  Rng rng(seed);
+  std::vector<double> out(n);
+  double p = 100.0;
+  for (auto& v : out) {
+    p *= std::exp(vol * rng.Normal());
+    v = p;
+  }
+  return out;
+}
+
+TEST(BollingerTest, BandsOrderAndMiddleIsSma) {
+  const std::vector<double> series = RandomWalk(200, 3, 0.02);
+  const BollingerResult b = Bollinger(series, 20);
+  for (size_t i = 19; i < series.size(); ++i) {
+    EXPECT_LT(b.lower.value(i), b.middle.value(i));
+    EXPECT_LT(b.middle.value(i), b.upper.value(i));
+  }
+}
+
+TEST(BollingerTest, FlatSeriesBandsCollapse) {
+  const BollingerResult b = Bollinger(std::vector<double>(50, 10.0), 20);
+  EXPECT_DOUBLE_EQ(b.upper.value(30), 10.0);
+  EXPECT_DOUBLE_EQ(b.lower.value(30), 10.0);
+  EXPECT_DOUBLE_EQ(b.bandwidth.value(30), 0.0);
+  EXPECT_TRUE(b.percent_b.is_null(30));  // undefined when bands collapse
+}
+
+TEST(BollingerTest, BandwidthGrowsWithVolatility) {
+  const BollingerResult calm = Bollinger(RandomWalk(300, 5, 0.005), 20);
+  const BollingerResult wild = Bollinger(RandomWalk(300, 5, 0.05), 20);
+  double calm_mean = 0.0, wild_mean = 0.0;
+  int n = 0;
+  for (size_t i = 19; i < 300; ++i) {
+    calm_mean += calm.bandwidth.value(i);
+    wild_mean += wild.bandwidth.value(i);
+    ++n;
+  }
+  EXPECT_GT(wild_mean / n, 3.0 * calm_mean / n);
+}
+
+TEST(BollingerTest, PercentBInUnitIntervalWhenInsideBands) {
+  const std::vector<double> series = RandomWalk(300, 7, 0.02);
+  const BollingerResult b = Bollinger(series, 20);
+  int outside = 0;
+  int total = 0;
+  for (size_t i = 19; i < series.size(); ++i) {
+    if (b.percent_b.is_null(i)) continue;
+    ++total;
+    if (b.percent_b.value(i) < 0.0 || b.percent_b.value(i) > 1.0) ++outside;
+  }
+  // 2-sigma bands: a small minority of closes lie outside.
+  EXPECT_LT(outside, total / 5);
+}
+
+TEST(AtrTest, FlatMarketHasZeroAtr) {
+  const std::vector<double> flat(50, 10.0);
+  const table::Column atr = Atr(flat, flat, flat, 14);
+  EXPECT_DOUBLE_EQ(atr.value(30), 0.0);
+}
+
+TEST(AtrTest, PositiveAndScalesWithRange) {
+  const std::vector<double> close = RandomWalk(300, 9, 0.02);
+  std::vector<double> hi_narrow(close), lo_narrow(close);
+  std::vector<double> hi_wide(close), lo_wide(close);
+  for (size_t i = 0; i < close.size(); ++i) {
+    hi_narrow[i] *= 1.005;
+    lo_narrow[i] *= 0.995;
+    hi_wide[i] *= 1.05;
+    lo_wide[i] *= 0.95;
+  }
+  const table::Column narrow = Atr(hi_narrow, lo_narrow, close, 14);
+  const table::Column wide = Atr(hi_wide, lo_wide, close, 14);
+  EXPECT_GT(narrow.value(200), 0.0);
+  EXPECT_GT(wide.value(200), narrow.value(200));
+}
+
+TEST(RealizedVolatilityTest, RecoversTrueVolatility) {
+  // Daily log-vol 0.03 -> annualized ~ 0.03 * sqrt(365) ≈ 0.573.
+  const std::vector<double> series = RandomWalk(2000, 11, 0.03);
+  const table::Column rv = RealizedVolatility(series, 365);
+  const double expected = 0.03 * std::sqrt(365.0);
+  EXPECT_NEAR(rv.value(1999), expected, 0.08);
+}
+
+TEST(RealizedVolatilityTest, HigherVolGivesHigherEstimate) {
+  const table::Column lo = RealizedVolatility(RandomWalk(500, 13, 0.01), 60);
+  const table::Column hi = RealizedVolatility(RandomWalk(500, 13, 0.04), 60);
+  EXPECT_GT(hi.value(499), lo.value(499));
+}
+
+TEST(DrawdownTest, NonPositiveAndZeroAtHighs) {
+  std::vector<double> series{10, 12, 9, 11, 15, 12};
+  const table::Column dd = Drawdown(series);
+  EXPECT_DOUBLE_EQ(dd.value(0), 0.0);
+  EXPECT_DOUBLE_EQ(dd.value(1), 0.0);
+  EXPECT_NEAR(dd.value(2), 9.0 / 12.0 - 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(dd.value(4), 0.0);
+  EXPECT_NEAR(dd.value(5), 12.0 / 15.0 - 1.0, 1e-12);
+  for (size_t i = 0; i < series.size(); ++i) EXPECT_LE(dd.value(i), 0.0);
+}
+
+TEST(DrawdownTest, BoundedBelowByMinusOne) {
+  const table::Column dd = Drawdown(RandomWalk(1000, 17, 0.05));
+  for (size_t i = 0; i < dd.size(); ++i) {
+    EXPECT_GE(dd.value(i), -1.0);
+    EXPECT_LE(dd.value(i), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace fab::ta
