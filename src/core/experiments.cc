@@ -5,6 +5,10 @@
 #include <fstream>
 #include <iomanip>
 
+#include "ml/forest.h"
+#include "ml/gbdt.h"
+#include "serve/registry.h"
+#include "serve/snapshot.h"
 #include "util/string_util.h"
 
 namespace fab::core {
@@ -69,6 +73,12 @@ ExperimentConfig ExperimentConfig::FromEnv() {
   cfg.improvement.xgb.subsample = 0.9;
   cfg.improvement.xgb.colsample = 0.8;
   cfg.improvement.seed = cfg.seed ^ 0x1417ull;
+
+  // Exported-snapshot MLP (mirrors the ablation_complex_models setup).
+  cfg.serving_mlp.hidden = {64, 32};
+  cfg.serving_mlp.epochs = cfg.fast ? 40 : 120;
+  cfg.serving_mlp.learning_rate = 2e-3;
+  cfg.serving_mlp.seed = cfg.seed ^ 0x3E47ull;
   return cfg;
 }
 
@@ -300,6 +310,64 @@ Result<std::vector<CategoryContribution>> Experiments::Contributions(
                        Scenario(period, window));
   FAB_ASSIGN_OR_RETURN(FinalFeatureVector fvec, FinalVector(period, window));
   return ComputeContributions(*scenario, fvec.features);
+}
+
+std::string Experiments::ModelDir() const { return CachePath("models"); }
+
+Result<std::string> Experiments::ExportModel(StudyPeriod period, int window,
+                                             const std::string& model) {
+  serve::ModelKey key;
+  key.period = PeriodName(period);
+  key.window = window;
+  key.model = model;
+  const std::string path = ModelDir() + "/" + serve::SnapshotFileName(key);
+  // Snapshot cache hit: a loadable file means the model is already
+  // exported — snapshots carry full fitted state, nothing to recompute.
+  if (serve::SnapshotCodec::Probe(path).ok()) return path;
+
+  // Resolve the model name before any expensive pipeline work so a typo
+  // fails fast.
+  std::unique_ptr<ml::Regressor> fitted;
+  if (model == "rf") {
+    ml::ForestParams params = config_.scoring_rf;
+    params.seed = config_.scoring_rf.seed + static_cast<uint64_t>(window);
+    fitted = std::make_unique<ml::RandomForestRegressor>(params);
+  } else if (model == "xgb") {
+    ml::GbdtParams params = config_.improvement.xgb;
+    params.seed = config_.improvement.seed + static_cast<uint64_t>(window);
+    fitted = std::make_unique<ml::GbdtRegressor>(params);
+  } else if (model == "mlp") {
+    ml::MlpParams params = config_.serving_mlp;
+    params.seed = config_.serving_mlp.seed + static_cast<uint64_t>(window);
+    fitted = std::make_unique<ml::MlpRegressor>(params);
+  } else {
+    return Status::InvalidArgument("unknown exportable model: " + model);
+  }
+
+  FAB_ASSIGN_OR_RETURN(const ScenarioDataset* scenario,
+                       Scenario(period, window));
+  FAB_ASSIGN_OR_RETURN(FinalFeatureVector fvec, FinalVector(period, window));
+  FAB_ASSIGN_OR_RETURN(std::vector<int> positions,
+                       scenario->data.FeaturePositions(fvec.features));
+  FAB_ASSIGN_OR_RETURN(ml::Dataset sub,
+                       scenario->data.SelectFeatures(positions));
+  FAB_RETURN_IF_ERROR(fitted->Fit(sub.x, sub.y));
+
+  std::error_code ec;
+  std::filesystem::create_directories(ModelDir(), ec);
+  if (ec) return Status::IoError("cannot create model dir: " + ec.message());
+  FAB_RETURN_IF_ERROR(serve::SnapshotCodec::Save(*fitted, path));
+  return path;
+}
+
+Result<std::vector<std::string>> Experiments::ExportModels(StudyPeriod period,
+                                                           int window) {
+  std::vector<std::string> paths;
+  for (const char* model : {"rf", "xgb", "mlp"}) {
+    FAB_ASSIGN_OR_RETURN(std::string path, ExportModel(period, window, model));
+    paths.push_back(std::move(path));
+  }
+  return paths;
 }
 
 Result<HorizonGroup> Experiments::Group(StudyPeriod period,

@@ -12,6 +12,7 @@
 #include "core/fra.h"
 #include "core/groups.h"
 #include "core/improvement.h"
+#include "ml/mlp.h"
 #include "sim/market_sim.h"
 #include "util/status.h"
 
@@ -32,6 +33,8 @@ struct ExperimentConfig {
   ImprovementOptions improvement;
   /// The fine-tuned RF used to score final-vector features (Table 3/4).
   ml::ForestParams scoring_rf;
+  /// The MLP trained for snapshot export (the serving layer's third model).
+  ml::MlpParams serving_mlp;
 
   static ExperimentConfig FromEnv();
 };
@@ -72,6 +75,22 @@ class Experiments {
   /// Merged horizon group over `windows` (e.g. {1, 7} = short-term).
   Result<HorizonGroup> Group(StudyPeriod period,
                              const std::vector<int>& windows);
+
+  /// Directory the serving layer loads snapshots from:
+  /// `<cache_dir>/seed<seed>_<fast|full>/models`. A serve::ModelRegistry
+  /// rooted here sees every exported model.
+  std::string ModelDir() const;
+
+  /// Trains the fine-tuned `model` ("rf", "xgb" or "mlp") for a scenario
+  /// on its final feature vector and exports it as a serve snapshot under
+  /// ModelDir(). Memoized on disk: a valid existing snapshot short-circuits
+  /// retraining. Returns the snapshot path.
+  Result<std::string> ExportModel(StudyPeriod period, int window,
+                                  const std::string& model);
+
+  /// Exports all three model kinds for a scenario; returns their paths.
+  Result<std::vector<std::string>> ExportModels(StudyPeriod period,
+                                                int window);
 
  private:
   std::string ScenarioTag(StudyPeriod period, int window) const;

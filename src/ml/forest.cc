@@ -84,6 +84,28 @@ double RandomForestRegressor::PredictOne(const ColMatrix& x,
   return trees_.empty() ? 0.0 : sum / static_cast<double>(trees_.size());
 }
 
+std::vector<double> RandomForestRegressor::Predict(const ColMatrix& x) const {
+  std::vector<double> out(x.rows(), 0.0);
+  if (trees_.empty()) return out;
+  for (const RegressionTree& tree : trees_) {
+    for (size_t r = 0; r < x.rows(); ++r) out[r] += tree.PredictOne(x, r);
+  }
+  // Same tree order and final division as PredictOne, so batch and
+  // per-row predictions are bitwise identical.
+  const double n = static_cast<double>(trees_.size());
+  for (double& v : out) v /= n;
+  return out;
+}
+
+RandomForestRegressor RandomForestRegressor::FromFitted(
+    const ForestParams& params, std::vector<RegressionTree> trees,
+    size_t num_features) {
+  RandomForestRegressor rf(params);
+  rf.trees_ = std::move(trees);
+  rf.num_features_ = num_features;
+  return rf;
+}
+
 Status RandomForestRegressor::SetParam(const std::string& name, double value) {
   if (name == "n_trees") {
     params_.n_trees = static_cast<int>(value);

@@ -38,6 +38,10 @@ class RandomForestRegressor : public Regressor {
 
   Status Fit(const ColMatrix& x, const std::vector<double>& y) override;
   double PredictOne(const ColMatrix& x, size_t row) const override;
+  /// Batch fast-path: iterates trees outer / rows inner so each tree's
+  /// node list stays cache-hot across the whole batch, instead of the
+  /// per-row default that re-walks all trees for every row.
+  std::vector<double> Predict(const ColMatrix& x) const override;
   Status SetParam(const std::string& name, double value) override;
   std::unique_ptr<Regressor> CloneUnfitted() const override;
   std::vector<double> FeatureImportances() const override;
@@ -45,6 +49,12 @@ class RandomForestRegressor : public Regressor {
 
   const ForestParams& params() const { return params_; }
   const std::vector<RegressionTree>& trees() const { return trees_; }
+  size_t num_features() const { return num_features_; }
+
+  /// Reconstructs a fitted forest from serialized parts (snapshot load).
+  static RandomForestRegressor FromFitted(const ForestParams& params,
+                                          std::vector<RegressionTree> trees,
+                                          size_t num_features);
 
  private:
   ForestParams params_;

@@ -41,6 +41,8 @@ class GbdtRegressor : public Regressor {
 
   Status Fit(const ColMatrix& x, const std::vector<double>& y) override;
   double PredictOne(const ColMatrix& x, size_t row) const override;
+  /// Batch fast-path: trees outer / rows inner (see RandomForestRegressor).
+  std::vector<double> Predict(const ColMatrix& x) const override;
   Status SetParam(const std::string& name, double value) override;
   std::unique_ptr<Regressor> CloneUnfitted() const override;
   std::vector<double> FeatureImportances() const override;
@@ -49,6 +51,12 @@ class GbdtRegressor : public Regressor {
   const GbdtParams& params() const { return params_; }
   double base_score() const { return base_score_; }
   const std::vector<RegressionTree>& trees() const { return trees_; }
+  size_t num_features() const { return num_features_; }
+
+  /// Reconstructs a fitted booster from serialized parts (snapshot load).
+  static GbdtRegressor FromFitted(const GbdtParams& params,
+                                  std::vector<RegressionTree> trees,
+                                  double base_score, size_t num_features);
 
  private:
   GbdtParams params_;

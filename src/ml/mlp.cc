@@ -287,6 +287,20 @@ Status MlpRegressor::SetParam(const std::string& name, double value) {
   return Status::OK();
 }
 
+MlpRegressor MlpRegressor::FromFitted(const MlpParams& params,
+                                      std::vector<Layer> layers,
+                                      std::vector<double> x_mean,
+                                      std::vector<double> x_std, double y_mean,
+                                      double y_std) {
+  MlpRegressor mlp(params);
+  mlp.layers_ = std::move(layers);
+  mlp.x_mean_ = std::move(x_mean);
+  mlp.x_std_ = std::move(x_std);
+  mlp.y_mean_ = y_mean;
+  mlp.y_std_ = y_std;
+  return mlp;
+}
+
 std::unique_ptr<Regressor> MlpRegressor::CloneUnfitted() const {
   return std::make_unique<MlpRegressor>(params_);
 }

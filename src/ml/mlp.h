@@ -30,6 +30,15 @@ struct MlpParams {
 /// care about scale, networks do), so it plugs into the same pipelines.
 class MlpRegressor : public Regressor {
  public:
+  /// One fully-connected layer's fitted parameters (public so snapshot
+  /// serialization can round-trip the network exactly).
+  struct Layer {
+    int in = 0;
+    int out = 0;
+    std::vector<double> w;  // out × in, row-major
+    std::vector<double> b;  // out
+  };
+
   MlpRegressor() = default;
   explicit MlpRegressor(const MlpParams& params) : params_(params) {}
 
@@ -45,14 +54,21 @@ class MlpRegressor : public Regressor {
   const MlpParams& params() const { return params_; }
   bool fitted() const { return !layers_.empty(); }
 
- private:
-  struct Layer {
-    int in = 0;
-    int out = 0;
-    std::vector<double> w;  // out × in, row-major
-    std::vector<double> b;  // out
-  };
+  /// Fitted state, exposed for snapshot serialization.
+  const std::vector<Layer>& layers() const { return layers_; }
+  const std::vector<double>& x_mean() const { return x_mean_; }
+  const std::vector<double>& x_std() const { return x_std_; }
+  double y_mean() const { return y_mean_; }
+  double y_std() const { return y_std_; }
 
+  /// Reconstructs a fitted network from serialized parts (snapshot load).
+  static MlpRegressor FromFitted(const MlpParams& params,
+                                 std::vector<Layer> layers,
+                                 std::vector<double> x_mean,
+                                 std::vector<double> x_std, double y_mean,
+                                 double y_std);
+
+ private:
   /// Forward pass on a standardized input; scratch holds activations.
   double Forward(const std::vector<double>& input,
                  std::vector<std::vector<double>>* activations) const;

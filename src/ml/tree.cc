@@ -252,6 +252,14 @@ double RegressionTree::PredictOne(const ColMatrix& x, size_t row) const {
   return nodes_[static_cast<size_t>(id)].value;
 }
 
+RegressionTree RegressionTree::FromParts(std::vector<TreeNode> nodes,
+                                         std::vector<double> gain) {
+  RegressionTree tree;
+  tree.nodes_ = std::move(nodes);
+  tree.gain_ = std::move(gain);
+  return tree;
+}
+
 int RegressionTree::NumLeaves() const {
   int leaves = 0;
   for (const TreeNode& node : nodes_) leaves += (node.feature < 0);

@@ -63,6 +63,12 @@ class RegressionTree {
   /// schema; thresholds are real feature values.
   double PredictOne(const ColMatrix& x, size_t row) const;
 
+  /// Reconstructs a fitted tree from its serialized parts (snapshot load).
+  /// `gain` must have one entry per training feature; `nodes` must be a
+  /// valid node list (children in range, root at index 0).
+  static RegressionTree FromParts(std::vector<TreeNode> nodes,
+                                  std::vector<double> gain);
+
   /// Per-feature total split gain (MDI numerator). Length = num features.
   const std::vector<double>& gain_importance() const { return gain_; }
 

@@ -1,0 +1,173 @@
+#include "serve/batch_server.h"
+
+#include <algorithm>
+
+namespace fab::serve {
+
+namespace {
+
+double Percentile(std::vector<double> sorted_copy, double q) {
+  if (sorted_copy.empty()) return 0.0;
+  std::sort(sorted_copy.begin(), sorted_copy.end());
+  const double pos = q * static_cast<double>(sorted_copy.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, sorted_copy.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted_copy[lo] * (1.0 - frac) + sorted_copy[hi] * frac;
+}
+
+}  // namespace
+
+BatchServer::BatchServer(std::shared_ptr<const Servable> model,
+                         const BatchServerOptions& options)
+    : options_(options), model_(std::move(model)) {
+  if (model_ != nullptr) num_features_ = model_->num_features();
+  const int threads = std::max(1, options_.num_threads);
+  workers_.reserve(static_cast<size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+BatchServer::~BatchServer() { Shutdown(); }
+
+Result<std::future<double>> BatchServer::Submit(std::vector<double> features) {
+  const size_t expected = num_features_.load();
+  if (expected != 0 && features.size() != expected) {
+    return Status::InvalidArgument(
+        "feature count mismatch: got " + std::to_string(features.size()) +
+        ", model expects " + std::to_string(expected));
+  }
+  Request request;
+  request.features = std::move(features);
+  request.enqueued = std::chrono::steady_clock::now();
+  std::future<double> future = request.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      return Status::FailedPrecondition("server is shut down");
+    }
+    queue_.push_back(std::move(request));
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    if (!have_first_submit_) {
+      have_first_submit_ = true;
+      first_submit_ = std::chrono::steady_clock::now();
+    }
+  }
+  cv_.notify_one();
+  return future;
+}
+
+Result<double> BatchServer::Forecast(std::vector<double> features) {
+  FAB_ASSIGN_OR_RETURN(std::future<double> future,
+                       Submit(std::move(features)));
+  return future.get();
+}
+
+void BatchServer::UpdateModel(std::shared_ptr<const Servable> model) {
+  std::lock_guard<std::mutex> lock(mu_);
+  model_ = std::move(model);
+  if (model_ != nullptr) num_features_ = model_->num_features();
+}
+
+void BatchServer::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ && workers_.empty()) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+void BatchServer::WorkerLoop() {
+  while (true) {
+    std::vector<Request> batch;
+    std::shared_ptr<const Servable> model;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and fully drained
+      if (queue_.size() < options_.max_batch && options_.coalesce_wait_us > 0 &&
+          !stopping_) {
+        // Hold the batch open briefly so bursty single-row traffic
+        // coalesces instead of running one row at a time.
+        cv_.wait_for(lock, std::chrono::microseconds(options_.coalesce_wait_us),
+                     [this] {
+                       return stopping_ || queue_.size() >= options_.max_batch;
+                     });
+      }
+      const size_t take = std::min(queue_.size(), options_.max_batch);
+      batch.reserve(take);
+      for (size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      model = model_;
+    }
+    if (!batch.empty()) RunBatch(std::move(batch), model);
+  }
+}
+
+void BatchServer::RunBatch(std::vector<Request> batch,
+                           const std::shared_ptr<const Servable>& model) {
+  const size_t rows = batch.size();
+  const size_t expected = num_features_.load();
+  const size_t cols = expected != 0 ? expected : batch.front().features.size();
+  ml::ColMatrix x(rows, cols);
+  for (size_t r = 0; r < rows; ++r) {
+    const std::vector<double>& features = batch[r].features;
+    for (size_t c = 0; c < cols && c < features.size(); ++c) {
+      x.set(r, c, features[c]);
+    }
+  }
+  std::vector<double> pred =
+      model != nullptr ? model->Predict(x) : std::vector<double>(rows, 0.0);
+  const auto done = std::chrono::steady_clock::now();
+  {
+    // Record stats before fulfilling the promises: once a caller's future
+    // resolves, a subsequent Stats() call must already count that request.
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    requests_completed_ += rows;
+    batches_run_ += 1;
+    last_complete_ = done;
+    for (const Request& request : batch) {
+      if (latency_us_.size() >= options_.latency_sample_cap) break;
+      latency_us_.push_back(
+          std::chrono::duration<double, std::micro>(done - request.enqueued)
+              .count());
+    }
+  }
+  for (size_t r = 0; r < rows; ++r) {
+    batch[r].promise.set_value(pred[r]);
+  }
+}
+
+BatchServerStats BatchServer::Stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  BatchServerStats stats;
+  stats.requests_completed = requests_completed_;
+  stats.batches_run = batches_run_;
+  stats.mean_batch_size =
+      batches_run_ > 0 ? static_cast<double>(requests_completed_) /
+                             static_cast<double>(batches_run_)
+                       : 0.0;
+  stats.p50_latency_us = Percentile(latency_us_, 0.50);
+  stats.p99_latency_us = Percentile(latency_us_, 0.99);
+  for (double v : latency_us_) stats.max_latency_us = std::max(stats.max_latency_us, v);
+  if (have_first_submit_ && requests_completed_ > 0) {
+    const double span =
+        std::chrono::duration<double>(last_complete_ - first_submit_).count();
+    if (span > 0.0) {
+      stats.rows_per_sec = static_cast<double>(requests_completed_) / span;
+    }
+  }
+  return stats;
+}
+
+}  // namespace fab::serve

@@ -1,0 +1,117 @@
+#ifndef FAB_SERVE_BATCH_SERVER_H_
+#define FAB_SERVE_BATCH_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/servable.h"
+#include "util/status.h"
+
+namespace fab::serve {
+
+struct BatchServerOptions {
+  /// Worker threads draining the request queue.
+  int num_threads = 2;
+  /// Upper bound on rows coalesced into one inference batch.
+  size_t max_batch = 64;
+  /// How long a worker holding a non-full batch waits for more requests
+  /// before running what it has (0 = run immediately).
+  int coalesce_wait_us = 200;
+  /// Latency samples kept for percentile stats (oldest-first cap).
+  size_t latency_sample_cap = 1 << 20;
+};
+
+/// Point-in-time serving counters.
+struct BatchServerStats {
+  uint64_t requests_completed = 0;
+  uint64_t batches_run = 0;
+  /// requests_completed / batches_run.
+  double mean_batch_size = 0.0;
+  /// End-to-end (enqueue → promise fulfilled) latency percentiles, µs.
+  double p50_latency_us = 0.0;
+  double p99_latency_us = 0.0;
+  double max_latency_us = 0.0;
+  /// Completed requests divided by the first-submit → last-completion span.
+  double rows_per_sec = 0.0;
+};
+
+/// A thread-pool-backed forecast server that coalesces single-row
+/// requests into batches and runs them through a Servable's batched
+/// kernel — the pattern that turns N queue-depth point lookups into one
+/// cache-friendly flat-forest sweep.
+///
+/// Thread-safe: any number of client threads may Submit concurrently;
+/// UpdateModel hot-swaps the served model without draining the queue
+/// (in-flight batches finish on the model they started with).
+class BatchServer {
+ public:
+  BatchServer(std::shared_ptr<const Servable> model,
+              const BatchServerOptions& options);
+  ~BatchServer();
+
+  BatchServer(const BatchServer&) = delete;
+  BatchServer& operator=(const BatchServer&) = delete;
+
+  /// Enqueues one feature row; the future resolves to the forecast.
+  /// Fails fast (before queueing) on a feature-count mismatch or after
+  /// Shutdown.
+  Result<std::future<double>> Submit(std::vector<double> features);
+
+  /// Blocking convenience wrapper around Submit.
+  Result<double> Forecast(std::vector<double> features);
+
+  /// Atomically replaces the served model (e.g. after a registry Reload).
+  void UpdateModel(std::shared_ptr<const Servable> model);
+
+  /// Stops accepting requests, drains the queue, joins the workers.
+  /// Idempotent; also run by the destructor.
+  void Shutdown();
+
+  BatchServerStats Stats() const;
+
+  /// Feature count the served model expects (0 when unknown).
+  size_t num_features() const { return num_features_.load(); }
+
+ private:
+  struct Request {
+    std::vector<double> features;
+    std::promise<double> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void WorkerLoop();
+  void RunBatch(std::vector<Request> batch,
+                const std::shared_ptr<const Servable>& model);
+
+  const BatchServerOptions options_;
+  /// Atomic: read lock-free on the Submit fast path, written by UpdateModel.
+  std::atomic<size_t> num_features_{0};
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Request> queue_;
+  std::shared_ptr<const Servable> model_;
+  bool stopping_ = false;
+
+  mutable std::mutex stats_mu_;
+  uint64_t requests_completed_ = 0;
+  uint64_t batches_run_ = 0;
+  std::vector<double> latency_us_;
+  bool have_first_submit_ = false;
+  std::chrono::steady_clock::time_point first_submit_;
+  std::chrono::steady_clock::time_point last_complete_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace fab::serve
+
+#endif  // FAB_SERVE_BATCH_SERVER_H_

@@ -1,0 +1,77 @@
+#ifndef FAB_SERVE_FLAT_FOREST_H_
+#define FAB_SERVE_FLAT_FOREST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/estimator.h"
+#include "ml/matrix.h"
+#include "ml/tree.h"
+#include "util/status.h"
+
+namespace fab::serve {
+
+/// A tree ensemble flattened into structure-of-arrays form for batched
+/// inference.
+///
+/// All trees share three parallel node arrays:
+///   feature_[i]    split feature, or -1 for a leaf
+///   threshold_[i]  split threshold; holds the LEAF VALUE when feature < 0
+///   left_[i]       index of the left child; the right child is always
+///                  left_[i] + 1 (children are laid out adjacently)
+///
+/// Compared with walking `RegressionTree::PredictOne` through an
+/// ensemble of independently-allocated 40-byte node vectors, this layout
+/// is 16 bytes per node, keeps every tree contiguous in one arena, and
+/// makes the two possible next nodes adjacent in memory. Prediction
+/// iterates trees outer / rows inner so a tree's nodes stay cache-hot
+/// across the whole batch.
+///
+/// The accumulation order matches the source model's PredictOne exactly
+/// (sum over trees in order, then mean for forests / base + lr * sum for
+/// boosters), so flat predictions are bitwise identical to the virtual
+/// path.
+class FlatForest {
+ public:
+  FlatForest() = default;
+
+  /// Flattens a fitted tree-ensemble regressor (RandomForestRegressor or
+  /// GbdtRegressor). Other model kinds get InvalidArgument — serve them
+  /// through Regressor::Predict instead.
+  static Result<FlatForest> FromRegressor(const ml::Regressor& model);
+
+  /// Flattens raw trees with an explicit output transform
+  /// `base + scale * sum` (or `sum / n_trees` when `mean` is set).
+  static FlatForest FromTrees(const std::vector<ml::RegressionTree>& trees,
+                              double base, double scale, bool mean);
+
+  /// Predictions for rows [row_begin, row_end); writes row_end - row_begin
+  /// values into `out`.
+  void PredictRange(const ml::ColMatrix& x, size_t row_begin, size_t row_end,
+                    double* out) const;
+
+  /// Predictions for every row of `x`.
+  std::vector<double> Predict(const ml::ColMatrix& x) const;
+
+  /// Single-row prediction (the low-latency point-lookup path).
+  double PredictOne(const ml::ColMatrix& x, size_t row) const;
+
+  size_t num_trees() const { return roots_.size(); }
+  size_t num_nodes() const { return feature_.size(); }
+  bool empty() const { return roots_.empty(); }
+
+ private:
+  std::vector<int32_t> feature_;
+  std::vector<double> threshold_;
+  std::vector<int32_t> left_;
+  /// Root node index of each tree within the shared arrays.
+  std::vector<int32_t> roots_;
+  double base_ = 0.0;
+  double scale_ = 1.0;
+  /// True → output is the tree mean (random forest); false → base + scale*sum.
+  bool mean_ = false;
+};
+
+}  // namespace fab::serve
+
+#endif  // FAB_SERVE_FLAT_FOREST_H_

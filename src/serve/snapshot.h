@@ -1,0 +1,70 @@
+#ifndef FAB_SERVE_SNAPSHOT_H_
+#define FAB_SERVE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "ml/estimator.h"
+#include "util/status.h"
+
+namespace fab::serve {
+
+/// Model kinds a snapshot can carry (stable on-disk ids — append only).
+enum class ModelKind : uint32_t {
+  kRandomForest = 0,
+  kGbdt = 1,
+  kMlp = 2,
+};
+
+/// Returns the serialization id for a fitted `model`, or InvalidArgument
+/// for regressor types the codec does not know.
+Result<ModelKind> KindOf(const ml::Regressor& model);
+
+/// "rf" / "xgb" / "mlp" — matches Regressor::name().
+const char* ModelKindName(ModelKind kind);
+
+/// Parsed snapshot header.
+struct SnapshotInfo {
+  uint32_t version = 0;
+  ModelKind kind = ModelKind::kRandomForest;
+};
+
+/// Versioned binary serialization of fitted models.
+///
+/// Layout (all integers little-endian, doubles as raw IEEE-754 bits so a
+/// round-trip is bitwise exact):
+///
+///   [0..7]   magic "FABSNAP\0"
+///   [8..11]  u32 format version (currently 1)
+///   [12..15] u32 ModelKind
+///   [16..]   kind-specific payload: hyperparameters, then fitted state
+///            (flattened tree node lists + per-feature gains for rf/xgb,
+///            layer weights + standardization constants for mlp)
+///
+/// Decode validates structure (magic, version, lengths, node child
+/// indices) and rejects corrupt or truncated bytes with a non-OK Status.
+class SnapshotCodec {
+ public:
+  /// Serializes a fitted model into a byte buffer.
+  static Result<std::string> Encode(const ml::Regressor& model);
+
+  /// Parses a byte buffer back into a concrete fitted model.
+  static Result<std::unique_ptr<ml::Regressor>> Decode(const std::string& bytes);
+
+  /// Encode + atomic write (temp file then rename), so concurrent loaders
+  /// never observe a half-written snapshot.
+  static Status Save(const ml::Regressor& model, const std::string& path);
+
+  /// Reads and decodes a snapshot file.
+  static Result<std::unique_ptr<ml::Regressor>> Load(const std::string& path);
+
+  /// Reads just the header of a snapshot file (cheap existence/kind check).
+  static Result<SnapshotInfo> Probe(const std::string& path);
+
+  static constexpr uint32_t kFormatVersion = 1;
+};
+
+}  // namespace fab::serve
+
+#endif  // FAB_SERVE_SNAPSHOT_H_

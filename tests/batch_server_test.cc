@@ -1,0 +1,155 @@
+#include "serve/batch_server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "ml/forest.h"
+#include "util/random.h"
+
+namespace fab::serve {
+namespace {
+
+ml::ColMatrix MakeMatrix(size_t n, size_t f, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> cols(f, std::vector<double>(n));
+  for (auto& c : cols) {
+    for (auto& v : c) v = rng.Normal();
+  }
+  return *ml::ColMatrix::FromColumns(std::move(cols));
+}
+
+std::vector<double> RowOf(const ml::ColMatrix& x, size_t row) {
+  std::vector<double> features(x.cols());
+  for (size_t j = 0; j < x.cols(); ++j) features[j] = x.at(row, j);
+  return features;
+}
+
+std::shared_ptr<const Servable> TrainServable(uint64_t seed,
+                                              size_t features = 6) {
+  const ml::ColMatrix train = MakeMatrix(200, features, seed);
+  Rng rng(seed + 1);
+  std::vector<double> y(train.rows());
+  for (size_t i = 0; i < train.rows(); ++i) {
+    y[i] = train.at(i, 0) + 2.0 * train.at(i, 1) + 0.1 * rng.Normal();
+  }
+  ml::ForestParams params;
+  params.n_trees = 12;
+  params.seed = seed;
+  auto rf = std::make_unique<ml::RandomForestRegressor>(params);
+  EXPECT_TRUE(rf->Fit(train, y).ok());
+  auto servable = Servable::Wrap(std::move(rf));
+  EXPECT_TRUE(servable.ok());
+  return *servable;
+}
+
+TEST(BatchServerTest, ServesSameResultsAsDirectPredict) {
+  auto servable = TrainServable(31);
+  const ml::ColMatrix queries = MakeMatrix(80, 6, 32);
+  const std::vector<double> want = servable->Predict(queries);
+
+  BatchServerOptions options;
+  options.num_threads = 3;
+  options.max_batch = 16;
+  BatchServer server(servable, options);
+
+  std::vector<std::future<double>> futures;
+  for (size_t i = 0; i < queries.rows(); ++i) {
+    auto submitted = server.Submit(RowOf(queries, i));
+    ASSERT_TRUE(submitted.ok());
+    futures.push_back(std::move(*submitted));
+  }
+  for (size_t i = 0; i < futures.size(); ++i) {
+    EXPECT_EQ(futures[i].get(), want[i]) << "request " << i;
+  }
+}
+
+TEST(BatchServerTest, ConcurrentClientsAndStats) {
+  auto servable = TrainServable(33);
+  const ml::ColMatrix queries = MakeMatrix(64, 6, 34);
+  const std::vector<double> want = servable->Predict(queries);
+
+  BatchServerOptions options;
+  options.num_threads = 2;
+  options.max_batch = 8;
+  BatchServer server(servable, options);
+
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 50;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(static_cast<uint64_t>(c) + 100);
+      for (int i = 0; i < kPerClient; ++i) {
+        const size_t row = rng.UniformInt(queries.rows());
+        auto result = server.Forecast(RowOf(queries, row));
+        if (!result.ok() || *result != want[row]) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  const BatchServerStats stats = server.Stats();
+  EXPECT_EQ(stats.requests_completed,
+            static_cast<uint64_t>(kClients * kPerClient));
+  EXPECT_GE(stats.batches_run, 1u);
+  EXPECT_LE(stats.batches_run, stats.requests_completed);
+  EXPECT_GE(stats.mean_batch_size, 1.0);
+  EXPECT_LE(stats.p50_latency_us, stats.p99_latency_us);
+  EXPECT_LE(stats.p99_latency_us, stats.max_latency_us);
+  EXPECT_GT(stats.rows_per_sec, 0.0);
+}
+
+TEST(BatchServerTest, RejectsWrongFeatureCount) {
+  BatchServer server(TrainServable(35), BatchServerOptions{});
+  EXPECT_EQ(server.num_features(), 6u);
+  auto result = server.Submit({1.0, 2.0});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BatchServerTest, HotSwapServesNewModel) {
+  auto old_model = TrainServable(36);
+  auto new_model = TrainServable(37);
+  const ml::ColMatrix queries = MakeMatrix(4, 6, 38);
+
+  BatchServerOptions options;
+  options.num_threads = 1;
+  options.coalesce_wait_us = 0;
+  BatchServer server(old_model, options);
+  auto before = server.Forecast(RowOf(queries, 0));
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(*before, old_model->PredictOne(queries, 0));
+
+  server.UpdateModel(new_model);
+  auto after = server.Forecast(RowOf(queries, 0));
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(*after, new_model->PredictOne(queries, 0));
+}
+
+TEST(BatchServerTest, ShutdownDrainsAndRejectsNewWork) {
+  auto servable = TrainServable(39);
+  const ml::ColMatrix queries = MakeMatrix(32, 6, 40);
+  BatchServerOptions options;
+  options.num_threads = 2;
+  BatchServer server(servable, options);
+
+  std::vector<std::future<double>> futures;
+  for (size_t i = 0; i < queries.rows(); ++i) {
+    auto submitted = server.Submit(RowOf(queries, i));
+    ASSERT_TRUE(submitted.ok());
+    futures.push_back(std::move(*submitted));
+  }
+  server.Shutdown();
+  // Every accepted request was answered before the workers exited.
+  for (auto& future : futures) (void)future.get();
+  EXPECT_EQ(server.Stats().requests_completed, queries.rows());
+  // New work is refused after shutdown.
+  EXPECT_FALSE(server.Submit(RowOf(queries, 0)).ok());
+}
+
+}  // namespace
+}  // namespace fab::serve

@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <filesystem>
 
+#include "serve/registry.h"
+
 namespace fab::core {
 namespace {
 
@@ -26,6 +28,8 @@ ExperimentConfig TinyConfig(const std::string& cache_dir) {
   config.improvement.cv_folds = 3;
   config.improvement.rf = config.fra.rf;
   config.improvement.xgb = config.fra.xgb;
+  config.serving_mlp.hidden = {8, 4};
+  config.serving_mlp.epochs = 10;
   return config;
 }
 
@@ -147,6 +151,39 @@ TEST_F(ExperimentsTest, ImprovementCachedAcrossInstances) {
                   first.per_category[i].improvement_pct, 1e-3);
     }
   }
+}
+
+TEST_F(ExperimentsTest, ExportModelWritesServableSnapshot) {
+  Experiments ex(TinyConfig(cache_dir_));
+  // Unknown model names fail before any pipeline work.
+  EXPECT_FALSE(ex.ExportModel(StudyPeriod::k2019, 30, "nope").ok());
+
+  const auto path = ex.ExportModel(StudyPeriod::k2019, 30, "rf");
+  ASSERT_TRUE(path.ok()) << path.status().ToString();
+  EXPECT_TRUE(std::filesystem::exists(*path));
+  EXPECT_EQ(std::filesystem::path(*path).parent_path().string(),
+            ex.ModelDir());
+
+  // Re-export short-circuits on the existing snapshot (same path back).
+  const auto again = ex.ExportModel(StudyPeriod::k2019, 30, "rf");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, *path);
+
+  // A registry rooted at ModelDir() can discover and serve the export.
+  serve::ModelRegistry registry(ex.ModelDir());
+  const std::vector<serve::ModelKey> keys = registry.ListOnDisk();
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0].period, "2019");
+  EXPECT_EQ(keys[0].window, 30);
+  EXPECT_EQ(keys[0].model, "rf");
+  auto servable = registry.Get(keys[0]);
+  ASSERT_TRUE(servable.ok());
+  EXPECT_TRUE((*servable)->flattened());
+
+  // The exported model was fitted on the scenario's final feature vector.
+  const auto fvec = ex.FinalVector(StudyPeriod::k2019, 30);
+  ASSERT_TRUE(fvec.ok());
+  EXPECT_EQ((*servable)->num_features(), fvec->features.size());
 }
 
 TEST_F(ExperimentsTest, GroupMergesScoredVectors) {

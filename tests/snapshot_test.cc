@@ -1,0 +1,175 @@
+#include "serve/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "ml/forest.h"
+#include "ml/gbdt.h"
+#include "ml/mlp.h"
+#include "util/random.h"
+
+namespace fab::serve {
+namespace {
+
+ml::ColMatrix MakeMatrix(size_t n, size_t f, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> cols(f, std::vector<double>(n));
+  for (auto& c : cols) {
+    for (auto& v : c) v = rng.Normal();
+  }
+  return *ml::ColMatrix::FromColumns(std::move(cols));
+}
+
+std::vector<double> MakeTarget(const ml::ColMatrix& x, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> y(x.rows());
+  for (size_t i = 0; i < x.rows(); ++i) {
+    y[i] = 2.0 * x.at(i, 0) - x.at(i, 1) + 0.3 * rng.Normal();
+  }
+  return y;
+}
+
+std::string TempDir() {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("fab_snapshot_test_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+/// Round-trips `model` through the codec and asserts bitwise-identical
+/// predictions on a held-out matrix.
+void ExpectExactRoundTrip(const ml::Regressor& model,
+                          const ml::ColMatrix& held_out,
+                          const std::string& path) {
+  ASSERT_TRUE(SnapshotCodec::Save(model, path).ok());
+  auto loaded = SnapshotCodec::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->name(), model.name());
+  const std::vector<double> want = model.Predict(held_out);
+  const std::vector<double> got = (*loaded)->Predict(held_out);
+  ASSERT_EQ(want.size(), got.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    // EXPECT_EQ on doubles: bitwise-identical is the contract, not "close".
+    EXPECT_EQ(want[i], got[i]) << "row " << i;
+  }
+  // Per-row path must round-trip exactly too.
+  for (size_t i = 0; i < held_out.rows(); ++i) {
+    EXPECT_EQ(model.PredictOne(held_out, i), (*loaded)->PredictOne(held_out, i));
+  }
+}
+
+TEST(SnapshotTest, RandomForestRoundTripIsBitwiseExact) {
+  const ml::ColMatrix train = MakeMatrix(300, 8, 1);
+  const ml::ColMatrix held_out = MakeMatrix(64, 8, 2);
+  ml::ForestParams params;
+  params.n_trees = 20;
+  params.max_depth = 6;
+  ml::RandomForestRegressor rf(params);
+  ASSERT_TRUE(rf.Fit(train, MakeTarget(train, 3)).ok());
+  ExpectExactRoundTrip(rf, held_out, TempDir() + "/rf.fabsnap");
+}
+
+TEST(SnapshotTest, GbdtRoundTripIsBitwiseExact) {
+  const ml::ColMatrix train = MakeMatrix(300, 8, 4);
+  const ml::ColMatrix held_out = MakeMatrix(64, 8, 5);
+  ml::GbdtParams params;
+  params.n_rounds = 25;
+  params.max_depth = 4;
+  ml::GbdtRegressor gbdt(params);
+  ASSERT_TRUE(gbdt.Fit(train, MakeTarget(train, 6)).ok());
+  ExpectExactRoundTrip(gbdt, held_out, TempDir() + "/xgb.fabsnap");
+}
+
+TEST(SnapshotTest, MlpRoundTripIsBitwiseExact) {
+  const ml::ColMatrix train = MakeMatrix(200, 6, 7);
+  const ml::ColMatrix held_out = MakeMatrix(64, 6, 8);
+  ml::MlpParams params;
+  params.hidden = {16, 8};
+  params.epochs = 15;
+  ml::MlpRegressor mlp(params);
+  ASSERT_TRUE(mlp.Fit(train, MakeTarget(train, 9)).ok());
+  ExpectExactRoundTrip(mlp, held_out, TempDir() + "/mlp.fabsnap");
+}
+
+TEST(SnapshotTest, RoundTripPreservesHyperparameters) {
+  const ml::ColMatrix train = MakeMatrix(120, 4, 10);
+  ml::GbdtParams params;
+  params.n_rounds = 10;
+  params.learning_rate = 0.07;
+  params.lambda = 2.5;
+  params.seed = 12345;
+  ml::GbdtRegressor gbdt(params);
+  ASSERT_TRUE(gbdt.Fit(train, MakeTarget(train, 11)).ok());
+  auto encoded = SnapshotCodec::Encode(gbdt);
+  ASSERT_TRUE(encoded.ok());
+  auto decoded = SnapshotCodec::Decode(*encoded);
+  ASSERT_TRUE(decoded.ok());
+  const auto* loaded = dynamic_cast<const ml::GbdtRegressor*>(decoded->get());
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(loaded->params().n_rounds, 10);
+  EXPECT_EQ(loaded->params().learning_rate, 0.07);
+  EXPECT_EQ(loaded->params().lambda, 2.5);
+  EXPECT_EQ(loaded->params().seed, 12345u);
+  EXPECT_EQ(loaded->base_score(), gbdt.base_score());
+  EXPECT_EQ(loaded->num_features(), 4u);
+}
+
+TEST(SnapshotTest, RejectsCorruptedHeader) {
+  const ml::ColMatrix train = MakeMatrix(120, 4, 12);
+  ml::ForestParams params;
+  params.n_trees = 5;
+  ml::RandomForestRegressor rf(params);
+  ASSERT_TRUE(rf.Fit(train, MakeTarget(train, 13)).ok());
+  auto encoded = SnapshotCodec::Encode(rf);
+  ASSERT_TRUE(encoded.ok());
+
+  // Bad magic.
+  std::string bad_magic = *encoded;
+  bad_magic[0] = 'X';
+  EXPECT_FALSE(SnapshotCodec::Decode(bad_magic).ok());
+
+  // Unsupported format version.
+  std::string bad_version = *encoded;
+  bad_version[8] = static_cast<char>(99);
+  EXPECT_FALSE(SnapshotCodec::Decode(bad_version).ok());
+
+  // Unknown model kind.
+  std::string bad_kind = *encoded;
+  bad_kind[12] = static_cast<char>(7);
+  EXPECT_FALSE(SnapshotCodec::Decode(bad_kind).ok());
+
+  // Truncations at every prefix of the header and a mid-payload cut.
+  for (size_t len : {0ul, 4ul, 8ul, 12ul, 15ul, encoded->size() / 2}) {
+    EXPECT_FALSE(SnapshotCodec::Decode(encoded->substr(0, len)).ok())
+        << "prefix " << len;
+  }
+
+  // Empty / garbage files through the Load path.
+  const std::string dir = TempDir();
+  const std::string garbage_path = dir + "/garbage.fabsnap";
+  std::ofstream(garbage_path, std::ios::binary) << "not a snapshot at all";
+  EXPECT_FALSE(SnapshotCodec::Load(garbage_path).ok());
+  EXPECT_FALSE(SnapshotCodec::Load(dir + "/missing.fabsnap").ok());
+}
+
+TEST(SnapshotTest, ProbeReportsKind) {
+  const ml::ColMatrix train = MakeMatrix(120, 4, 14);
+  ml::ForestParams params;
+  params.n_trees = 3;
+  ml::RandomForestRegressor rf(params);
+  ASSERT_TRUE(rf.Fit(train, MakeTarget(train, 15)).ok());
+  const std::string path = TempDir() + "/probe.fabsnap";
+  ASSERT_TRUE(SnapshotCodec::Save(rf, path).ok());
+  auto info = SnapshotCodec::Probe(path);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->kind, ModelKind::kRandomForest);
+  EXPECT_EQ(info->version, SnapshotCodec::kFormatVersion);
+}
+
+}  // namespace
+}  // namespace fab::serve
