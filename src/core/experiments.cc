@@ -10,6 +10,7 @@
 #include "serve/registry.h"
 #include "serve/snapshot.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace fab::core {
 
@@ -38,6 +39,7 @@ ExperimentConfig ExperimentConfig::FromEnv() {
   cfg.seed = EnvU64("FAB_SEED", 42);
   cfg.fast = EnvFlag("FAB_FAST");
   cfg.cache_dir = EnvStr("FAB_CACHE_DIR", ".fab_cache");
+  cfg.num_threads = static_cast<int>(EnvU64("FAB_THREADS", 0));
 
   // FRA inner models: light but expressive.
   cfg.fra.rf.n_trees = cfg.fast ? 15 : 40;
@@ -83,7 +85,12 @@ ExperimentConfig ExperimentConfig::FromEnv() {
 }
 
 Experiments::Experiments(ExperimentConfig config)
-    : config_(std::move(config)) {}
+    : config_(std::move(config)) {
+  // Size the shared analysis pool once, up front: every downstream stage
+  // (FRA fits, PFI, SHAP, CV folds, scenario fan-out) draws from it, and
+  // thread count never changes results — only wall-clock.
+  util::SetSharedPoolThreads(config_.num_threads);
+}
 
 std::string Experiments::ScenarioTag(StudyPeriod period, int window) const {
   return std::string(PeriodName(period)) + "_" + std::to_string(window);
@@ -126,6 +133,30 @@ Result<const ScenarioDataset*> Experiments::Scenario(StudyPeriod period,
   const ScenarioDataset* ptr = owned.get();
   scenarios_[key] = std::move(owned);
   return ptr;
+}
+
+Status Experiments::PrecomputeAll(const std::vector<StudyPeriod>& periods,
+                                  const std::vector<int>& windows) {
+  // Warm the mutating in-RAM memos (market, scenario datasets) serially;
+  // after this, concurrent pipeline calls only read them.
+  FAB_RETURN_IF_ERROR(Market().status());
+  std::vector<std::pair<StudyPeriod, int>> pairs;
+  for (StudyPeriod period : periods) {
+    for (int window : windows) {
+      FAB_RETURN_IF_ERROR(Scenario(period, window).status());
+      pairs.emplace_back(period, window);
+    }
+  }
+  FAB_RETURN_IF_ERROR(EnsureCacheDir());
+  // Scenario fan-out: every final vector (FRA + SHAP) is seeded purely by
+  // (config seed, period, window) and caches to its own file, so the
+  // units are independent and the fan-out is thread-count invariant.
+  std::vector<Status> statuses(pairs.size());
+  util::ParallelFor(0, pairs.size(), [&](size_t i) {
+    statuses[i] = FinalVector(pairs[i].first, pairs[i].second).status();
+  });
+  for (const Status& s : statuses) FAB_RETURN_IF_ERROR(s);
+  return Status::OK();
 }
 
 Result<FraResult> Experiments::Fra(StudyPeriod period, int window) {

@@ -22,10 +22,15 @@ namespace fab::core {
 ///   FAB_SEED       master seed (default 42)
 ///   FAB_FAST       1 = small models / row limits for smoke runs
 ///   FAB_CACHE_DIR  artifact cache root (default ".fab_cache")
+///   FAB_THREADS    shared-pool width (0 = hardware concurrency); any
+///                  value produces bitwise-identical artifacts
 struct ExperimentConfig {
   uint64_t seed = 42;
   bool fast = false;
   std::string cache_dir = ".fab_cache";
+  /// Width of the shared analysis pool (util::ResolveThreads convention,
+  /// 0 = hardware concurrency). Applied by the Experiments constructor.
+  int num_threads = 0;
 
   /// Model settings used by the respective pipeline stages.
   FraOptions fra;
@@ -54,6 +59,14 @@ class Experiments {
 
   /// One scenario's prepared dataset (memoized in RAM).
   Result<const ScenarioDataset*> Scenario(StudyPeriod period, int window);
+
+  /// Scenario-level fan-out: materializes the market and every scenario
+  /// dataset serially (they mutate the memo maps), then computes all
+  /// periods × windows final feature vectors (FRA + SHAP) concurrently on
+  /// the shared pool. Artifacts are bitwise identical to computing each
+  /// scenario serially, at any thread count.
+  Status PrecomputeAll(const std::vector<StudyPeriod>& periods,
+                       const std::vector<int>& windows);
 
   /// FRA output for a scenario (disk-cached).
   Result<FraResult> Fra(StudyPeriod period, int window);

@@ -9,6 +9,7 @@
 #include "explain/ranking.h"
 #include "util/stats.h"
 #include "util/random.h"
+#include "util/thread_pool.h"
 
 namespace fab::core {
 
@@ -47,21 +48,34 @@ Result<MethodImportances> EvaluateMethods(const ml::Dataset& sub,
   ml::GbdtParams xgb_params = options.xgb;
   xgb_params.seed = iteration_seed ^ 0x9Bu;
 
+  // The two model fits are independent (each seeds its own RNG from the
+  // iteration seed), as are the two PFI passes afterwards — run each pair
+  // concurrently on the shared pool. Inner parallelism (tree training,
+  // per-feature PFI) nests safely by running inline on the worker.
   ml::RandomForestRegressor rf(rf_params);
-  FAB_RETURN_IF_ERROR(rf.Fit(train.x, train.y));
   ml::GbdtRegressor xgb(xgb_params);
-  FAB_RETURN_IF_ERROR(xgb.Fit(train.x, train.y));
+  Status fit_status[2];
+  util::ParallelFor(0, 2, [&](size_t i) {
+    fit_status[i] = i == 0 ? rf.Fit(train.x, train.y)
+                           : xgb.Fit(train.x, train.y);
+  });
+  FAB_RETURN_IF_ERROR(fit_status[0]);
+  FAB_RETURN_IF_ERROR(fit_status[1]);
 
   MethodImportances m;
   m.rf_mdi = rf.FeatureImportances();
   m.xgb_mdi = xgb.FeatureImportances();
-  explain::PermutationOptions pfi;
-  pfi.n_repeats = options.pfi_repeats;
-  pfi.seed = iteration_seed ^ 0xA7u;
-  FAB_ASSIGN_OR_RETURN(m.rf_pfi, explain::PermutationImportance(rf, valid, pfi));
-  pfi.seed = iteration_seed ^ 0xB3u;
-  FAB_ASSIGN_OR_RETURN(m.xgb_pfi,
-                       explain::PermutationImportance(xgb, valid, pfi));
+  Result<std::vector<double>> pfi_result[2] = {Status::Internal("pending"),
+                                               Status::Internal("pending")};
+  util::ParallelFor(0, 2, [&](size_t i) {
+    explain::PermutationOptions pfi;
+    pfi.n_repeats = options.pfi_repeats;
+    pfi.seed = iteration_seed ^ (i == 0 ? 0xA7u : 0xB3u);
+    pfi_result[i] = i == 0 ? explain::PermutationImportance(rf, valid, pfi)
+                           : explain::PermutationImportance(xgb, valid, pfi);
+  });
+  FAB_ASSIGN_OR_RETURN(m.rf_pfi, std::move(pfi_result[0]));
+  FAB_ASSIGN_OR_RETURN(m.xgb_pfi, std::move(pfi_result[1]));
   return m;
 }
 

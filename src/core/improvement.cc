@@ -1,6 +1,7 @@
 #include "core/improvement.h"
 
 #include "ml/model_selection.h"
+#include "util/thread_pool.h"
 
 namespace fab::core {
 
@@ -51,14 +52,33 @@ Result<ImprovementResult> RunImprovementExperiment(
       result.diverse_mse,
       CvMseOnFeatures(scenario, diverse_positions, model, options));
 
+  // Each represented category's CV measurement is independent (the fold
+  // split and model seeds come from `options`, not a shared stream), so
+  // they fan out on the shared pool; results assemble in category order.
+  std::vector<sim::DataCategory> categories;
+  std::vector<std::vector<int>> category_positions;
   for (sim::DataCategory category : sim::AllCategories()) {
-    const std::vector<int> positions =
-        scenario.FeaturePositionsInCategory(category);
+    std::vector<int> positions = scenario.FeaturePositionsInCategory(category);
     if (positions.empty()) continue;
+    categories.push_back(category);
+    category_positions.push_back(std::move(positions));
+  }
+  std::vector<double> single_mse(categories.size(), 0.0);
+  std::vector<Status> statuses(categories.size());
+  util::ParallelFor(0, categories.size(), [&](size_t c) {
+    Result<double> mse =
+        CvMseOnFeatures(scenario, category_positions[c], model, options);
+    if (!mse.ok()) {
+      statuses[c] = mse.status();
+      return;
+    }
+    single_mse[c] = *mse;
+  });
+  for (size_t c = 0; c < categories.size(); ++c) {
+    FAB_RETURN_IF_ERROR(statuses[c]);
     CategoryImprovement ci;
-    ci.category = category;
-    FAB_ASSIGN_OR_RETURN(ci.single_mse,
-                         CvMseOnFeatures(scenario, positions, model, options));
+    ci.category = categories[c];
+    ci.single_mse = single_mse[c];
     ci.diverse_mse = result.diverse_mse;
     ci.improvement_pct = result.diverse_mse > 0.0
                              ? 100.0 * (ci.single_mse - result.diverse_mse) /

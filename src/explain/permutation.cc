@@ -2,6 +2,7 @@
 
 #include "ml/metrics.h"
 #include "util/random.h"
+#include "util/thread_pool.h"
 
 namespace fab::explain {
 
@@ -17,22 +18,33 @@ Result<std::vector<double>> PermutationImportance(
   const std::vector<double> base_pred = model.Predict(data.x);
   const double base_mse = ml::MeanSquaredError(data.y, base_pred);
 
-  Rng rng(options.seed);
-  ml::ColMatrix scratch = data.x;  // one mutable copy, column restored after use
-  std::vector<double> importance(data.num_features(), 0.0);
-  for (size_t j = 0; j < data.num_features(); ++j) {
-    const std::vector<double> original = data.x.column(j);
-    double acc = 0.0;
-    for (int r = 0; r < options.n_repeats; ++r) {
-      std::vector<double> shuffled = original;
-      rng.Shuffle(shuffled);
-      scratch.mutable_column(j) = std::move(shuffled);
-      const std::vector<double> pred = model.Predict(scratch);
-      acc += ml::MeanSquaredError(data.y, pred) - base_mse;
-    }
-    scratch.mutable_column(j) = original;
-    importance[j] = acc / static_cast<double>(options.n_repeats);
+  // Every feature gets its own shuffle stream derived from (seed, j) and
+  // writes only slot j, so the result is bitwise identical at any thread
+  // count. Each task mutates a private copy of the matrix; the copy is
+  // cheap next to the n_repeats model.Predict sweeps it feeds.
+  Rng master(options.seed);
+  std::vector<uint64_t> feature_seeds(data.num_features());
+  for (size_t j = 0; j < feature_seeds.size(); ++j) {
+    feature_seeds[j] = master.Fork(j);
   }
+  std::vector<double> importance(data.num_features(), 0.0);
+  util::ParallelFor(
+      0, data.num_features(),
+      [&](size_t j) {
+        Rng rng(feature_seeds[j]);
+        ml::ColMatrix scratch = data.x;
+        const std::vector<double>& original = data.x.column(j);
+        double acc = 0.0;
+        for (int r = 0; r < options.n_repeats; ++r) {
+          std::vector<double> shuffled = original;
+          rng.Shuffle(shuffled);
+          scratch.mutable_column(j) = std::move(shuffled);
+          const std::vector<double> pred = model.Predict(scratch);
+          acc += ml::MeanSquaredError(data.y, pred) - base_mse;
+        }
+        importance[j] = acc / static_cast<double>(options.n_repeats);
+      },
+      options.num_threads);
   return importance;
 }
 

@@ -14,6 +14,10 @@ namespace fab::explain {
 struct PermutationOptions {
   int n_repeats = 3;
   uint64_t seed = 17;
+  /// Concurrency cap on the shared pool (util::ResolveThreads convention,
+  /// 0 = full pool width). Results are identical at any thread count:
+  /// each feature's shuffle stream is derived from (seed, feature).
+  int num_threads = 0;
 };
 
 /// Permutation Feature Importance (PFI): the increase in MSE when a

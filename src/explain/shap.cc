@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "util/thread_pool.h"
+
 namespace fab::explain {
 
 namespace {
@@ -174,6 +176,38 @@ Status AccumulateShap(const ml::RegressionTree& tree, const ml::ColMatrix& x,
   return Status::OK();
 }
 
+/// Shared mean-|SHAP| kernel: per-row attributions run concurrently on
+/// the shared pool (each row owns its slot), then reduce sequentially in
+/// row order — bitwise identical to the serial loop at any thread count.
+Result<std::vector<double>> MeanAbsShapTrees(
+    const std::vector<ml::RegressionTree>& trees, const ml::ColMatrix& x,
+    double scale) {
+  const size_t rows = x.rows();
+  std::vector<std::vector<double>> row_abs(rows);
+  std::vector<Status> statuses(rows);
+  util::ParallelFor(0, rows, [&](size_t r) {
+    std::vector<double> phi(x.cols(), 0.0);
+    for (const ml::RegressionTree& tree : trees) {
+      const Status s = AccumulateShap(tree, x, r, scale, &phi);
+      if (!s.ok()) {
+        statuses[r] = s;
+        return;
+      }
+    }
+    for (double& v : phi) v = std::fabs(v);
+    row_abs[r] = std::move(phi);
+  });
+  for (const Status& s : statuses) {
+    if (!s.ok()) return s;
+  }
+  std::vector<double> mean_abs(x.cols(), 0.0);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t j = 0; j < mean_abs.size(); ++j) mean_abs[j] += row_abs[r][j];
+  }
+  for (double& v : mean_abs) v /= static_cast<double>(rows);
+  return mean_abs;
+}
+
 }  // namespace
 
 Result<std::vector<double>> TreeShapOne(const ml::RegressionTree& tree,
@@ -190,17 +224,7 @@ Result<std::vector<double>> MeanAbsShapForest(
     return Status::FailedPrecondition("forest not fitted");
   }
   const double scale = 1.0 / static_cast<double>(model.trees().size());
-  std::vector<double> mean_abs(x.cols(), 0.0);
-  std::vector<double> phi(x.cols());
-  for (size_t r = 0; r < x.rows(); ++r) {
-    std::fill(phi.begin(), phi.end(), 0.0);
-    for (const ml::RegressionTree& tree : model.trees()) {
-      FAB_RETURN_IF_ERROR(AccumulateShap(tree, x, r, scale, &phi));
-    }
-    for (size_t j = 0; j < phi.size(); ++j) mean_abs[j] += std::fabs(phi[j]);
-  }
-  for (double& v : mean_abs) v /= static_cast<double>(x.rows());
-  return mean_abs;
+  return MeanAbsShapTrees(model.trees(), x, scale);
 }
 
 Result<std::vector<double>> MeanAbsShapGbdt(const ml::GbdtRegressor& model,
@@ -208,18 +232,7 @@ Result<std::vector<double>> MeanAbsShapGbdt(const ml::GbdtRegressor& model,
   if (model.trees().empty()) {
     return Status::FailedPrecondition("gbdt not fitted");
   }
-  const double scale = model.params().learning_rate;
-  std::vector<double> mean_abs(x.cols(), 0.0);
-  std::vector<double> phi(x.cols());
-  for (size_t r = 0; r < x.rows(); ++r) {
-    std::fill(phi.begin(), phi.end(), 0.0);
-    for (const ml::RegressionTree& tree : model.trees()) {
-      FAB_RETURN_IF_ERROR(AccumulateShap(tree, x, r, scale, &phi));
-    }
-    for (size_t j = 0; j < phi.size(); ++j) mean_abs[j] += std::fabs(phi[j]);
-  }
-  for (double& v : mean_abs) v /= static_cast<double>(x.rows());
-  return mean_abs;
+  return MeanAbsShapTrees(model.trees(), x, model.params().learning_rate);
 }
 
 double TreeConditionalExpectation(const ml::RegressionTree& tree,

@@ -1,9 +1,9 @@
 #include "ml/forest.h"
 
 #include <algorithm>
-#include <atomic>
 #include <cmath>
-#include <thread>
+
+#include "util/thread_pool.h"
 
 namespace fab::ml {
 
@@ -38,41 +38,30 @@ Status RandomForestRegressor::Fit(const ColMatrix& x,
       1, static_cast<int>(std::lround(params_.bootstrap_fraction *
                                       static_cast<double>(n))));
 
-  std::atomic<int> next_tree{0};
-  std::atomic<bool> failed{false};
-  auto worker = [&]() {
-    while (true) {
-      const int t = next_tree.fetch_add(1);
-      if (t >= params_.n_trees || failed.load()) return;
-      Rng rng(params_.seed + 0x9E37u * static_cast<uint64_t>(t + 1));
-      // Bootstrap as per-sample weights; g = -w*y, h = w makes the
-      // second-order tree reduce to weighted-variance CART.
-      std::vector<double> g(n, 0.0), h(n, 0.0);
-      for (int k = 0; k < bootstrap_count; ++k) {
-        const size_t i = rng.UniformInt(n);
-        g[i] -= y[i];
-        h[i] += 1.0;
-      }
-      Status s =
-          trees_[static_cast<size_t>(t)].Fit(binned, g, h, tree_params, &rng);
-      if (!s.ok()) failed.store(true);
+  // Each tree owns slot t and an RNG derived from (seed, t), so the fit
+  // is bitwise identical at any thread count.
+  std::vector<Status> statuses(static_cast<size_t>(params_.n_trees));
+  util::ParallelFor(
+      0, static_cast<size_t>(params_.n_trees),
+      [&](size_t t) {
+        Rng rng(params_.seed + 0x9E37u * static_cast<uint64_t>(t + 1));
+        // Bootstrap as per-sample weights; g = -w*y, h = w makes the
+        // second-order tree reduce to weighted-variance CART.
+        std::vector<double> g(n, 0.0), h(n, 0.0);
+        for (int k = 0; k < bootstrap_count; ++k) {
+          const size_t i = rng.UniformInt(n);
+          g[i] -= y[i];
+          h[i] += 1.0;
+        }
+        statuses[t] = trees_[t].Fit(binned, g, h, tree_params, &rng);
+      },
+      params_.num_threads);
+
+  for (const Status& s : statuses) {
+    if (!s.ok()) {
+      trees_.clear();
+      return s;
     }
-  };
-
-  int threads = params_.num_threads;
-  if (threads <= 0) {
-    threads = static_cast<int>(std::thread::hardware_concurrency());
-    if (threads <= 0) threads = 4;
-  }
-  threads = std::min(threads, params_.n_trees);
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<size_t>(threads));
-  for (int i = 0; i < threads; ++i) pool.emplace_back(worker);
-  for (auto& th : pool) th.join();
-
-  if (failed.load()) {
-    trees_.clear();
-    return Status::Internal("tree fitting failed");
   }
   return Status::OK();
 }

@@ -23,7 +23,9 @@ struct ForestParams {
   /// Bootstrap sample size as a fraction of the training size.
   double bootstrap_fraction = 1.0;
   uint64_t seed = 7;
-  /// Trees trained concurrently (0 = hardware concurrency).
+  /// Concurrency cap for tree training on the shared pool, under the
+  /// util::ResolveThreads convention (0 = full pool width). Any value
+  /// yields bitwise-identical trees; see util/thread_pool.h.
   int num_threads = 0;
 };
 

@@ -5,6 +5,7 @@
 
 #include "ml/metrics.h"
 #include "util/random.h"
+#include "util/thread_pool.h"
 
 namespace fab::ml {
 
@@ -59,14 +60,26 @@ std::vector<ParamPoint> ExpandGrid(
 Result<double> CrossValMse(const Regressor& prototype, const Dataset& data,
                            const std::vector<Fold>& folds) {
   if (folds.empty()) return Status::InvalidArgument("no folds");
-  double total = 0.0;
-  for (const Fold& fold : folds) {
+  // Folds train concurrently on the shared pool — each fold's model is a
+  // fresh clone whose fit is deterministic in its params, so per-fold
+  // MSEs land in index-owned slots and the sequential sum below is
+  // bitwise identical to the serial loop at any thread count.
+  std::vector<double> fold_mse(folds.size(), 0.0);
+  std::vector<Status> statuses(folds.size());
+  util::ParallelFor(0, folds.size(), [&](size_t f) {
+    const Fold& fold = folds[f];
     Dataset train = data.TakeRows(fold.train);
     Dataset valid = data.TakeRows(fold.validation);
     std::unique_ptr<Regressor> model = prototype.CloneUnfitted();
-    FAB_RETURN_IF_ERROR(model->Fit(train.x, train.y));
+    statuses[f] = model->Fit(train.x, train.y);
+    if (!statuses[f].ok()) return;
     const std::vector<double> pred = model->Predict(valid.x);
-    total += MeanSquaredError(valid.y, pred);
+    fold_mse[f] = MeanSquaredError(valid.y, pred);
+  });
+  double total = 0.0;
+  for (size_t f = 0; f < folds.size(); ++f) {
+    FAB_RETURN_IF_ERROR(statuses[f]);
+    total += fold_mse[f];
   }
   return total / static_cast<double>(folds.size());
 }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/thread_pool.h"
+
 namespace fab::serve {
 
 namespace {
@@ -22,7 +24,7 @@ BatchServer::BatchServer(std::shared_ptr<const Servable> model,
                          const BatchServerOptions& options)
     : options_(options), model_(std::move(model)) {
   if (model_ != nullptr) num_features_ = model_->num_features();
-  const int threads = std::max(1, options_.num_threads);
+  const int threads = util::ResolveThreads(options_.num_threads);
   workers_.reserve(static_cast<size_t>(threads));
   for (int i = 0; i < threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });

@@ -18,8 +18,9 @@
 namespace fab::serve {
 
 struct BatchServerOptions {
-  /// Worker threads draining the request queue.
-  int num_threads = 2;
+  /// Worker threads draining the request queue, under the
+  /// util::ResolveThreads convention (0 = hardware concurrency).
+  int num_threads = 0;
   /// Upper bound on rows coalesced into one inference batch.
   size_t max_batch = 64;
   /// How long a worker holding a non-full batch waits for more requests

@@ -1,0 +1,148 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace fab::util {
+
+namespace {
+
+/// Set for the lifetime of every pool worker thread (any pool), so nested
+/// ParallelFor calls can detect they are already on a worker.
+thread_local bool t_in_pool_worker = false;
+
+int EnvThreads() {
+  const char* v = std::getenv("FAB_THREADS");
+  if (v == nullptr || *v == '\0') return 0;
+  return static_cast<int>(std::strtol(v, nullptr, 10));
+}
+
+}  // namespace
+
+int ResolveThreads(int requested) {
+  if (requested > 0) return requested;
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  return hw > 0 ? hw : 4;
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int n = ResolveThreads(num_threads);
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] {
+      t_in_pool_worker = true;
+      WorkerLoop();
+    });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+bool ThreadPool::InWorker() { return t_in_pool_worker; }
+
+void ThreadPool::Enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and fully drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // packaged_task-style wrappers capture their own exceptions
+  }
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end,
+                             const std::function<void(size_t)>& fn,
+                             int max_parallel) {
+  if (begin >= end) return;
+  const size_t len = end - begin;
+  size_t chunks = static_cast<size_t>(
+      max_parallel > 0 ? std::min(max_parallel, num_threads())
+                       : num_threads());
+  chunks = std::min(chunks, len);
+  // Inline fast path: trivial range, serial cap, or already on a worker
+  // (nested parallelism) — same fn(i) calls, so identical results.
+  if (chunks <= 1 || InWorker()) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  // Contiguous even split; chunk c covers [begin + c*len/chunks,
+  // begin + (c+1)*len/chunks). The caller runs chunk 0 itself while the
+  // pool runs the rest.
+  auto run_chunk = [&](size_t c) {
+    const size_t lo = begin + c * len / chunks;
+    const size_t hi = begin + (c + 1) * len / chunks;
+    for (size_t i = lo; i < hi; ++i) fn(i);
+  };
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks - 1);
+  for (size_t c = 1; c < chunks; ++c) {
+    futures.push_back(Submit([run_chunk, c] { run_chunk(c); }));
+  }
+  std::exception_ptr first_error;
+  try {
+    run_chunk(0);
+  } catch (...) {
+    first_error = std::current_exception();
+  }
+  // Wait for every chunk before rethrowing so no task outlives `fn`.
+  for (auto& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+namespace {
+
+std::mutex g_shared_pool_mu;
+std::unique_ptr<ThreadPool> g_shared_pool;
+
+}  // namespace
+
+ThreadPool& SharedPool() {
+  std::lock_guard<std::mutex> lock(g_shared_pool_mu);
+  if (g_shared_pool == nullptr) {
+    g_shared_pool = std::make_unique<ThreadPool>(EnvThreads());
+  }
+  return *g_shared_pool;
+}
+
+void SetSharedPoolThreads(int num_threads) {
+  const int n = ResolveThreads(num_threads);
+  std::lock_guard<std::mutex> lock(g_shared_pool_mu);
+  if (g_shared_pool != nullptr && g_shared_pool->num_threads() == n) return;
+  g_shared_pool.reset();  // joins the old workers first
+  g_shared_pool = std::make_unique<ThreadPool>(n);
+}
+
+void ParallelFor(size_t begin, size_t end,
+                 const std::function<void(size_t)>& fn, int max_parallel) {
+  SharedPool().ParallelFor(begin, end, fn, max_parallel);
+}
+
+}  // namespace fab::util

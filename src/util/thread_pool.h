@@ -1,0 +1,108 @@
+#ifndef FAB_UTIL_THREAD_POOL_H_
+#define FAB_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace fab::util {
+
+/// Unified `num_threads` convention, shared by ml::ForestParams,
+/// serve::BatchServerOptions, core::ExperimentConfig and the pool itself:
+/// a positive request is honoured exactly; 0 and negative values mean
+/// "hardware concurrency" (with a fallback of 4 when the runtime cannot
+/// report it). Always returns >= 1.
+int ResolveThreads(int requested);
+
+/// Fixed-size worker pool ("work-stealing-lite"): one shared FIFO task
+/// queue drained by `num_threads` workers, plus a caller-participates
+/// `ParallelFor` whose chunk results land in caller-visible, index-owned
+/// slots — so the *schedule* may vary with thread count while every
+/// output stays bitwise identical.
+///
+/// Determinism contract: ParallelFor promises only that `fn(i)` runs
+/// exactly once for every index. Callers make parallel code thread-count
+/// invariant by (a) deriving any RNG stream from `(seed, i)`, never from
+/// a shared sequential generator, and (b) writing results into slot `i`
+/// and reducing sequentially in index order afterwards.
+///
+/// Nested-submit safety: a ParallelFor issued from inside a pool worker
+/// (e.g. a forest fit running under a scenario fan-out) executes inline
+/// on that worker instead of re-entering the queue, so nesting can never
+/// deadlock and never changes results.
+class ThreadPool {
+ public:
+  /// Spawns ResolveThreads(num_threads) workers.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues `task`; the future carries its result or exception. Do not
+  /// block on the future from inside a pool worker — use ParallelFor for
+  /// nested parallelism instead.
+  template <typename F>
+  auto Submit(F&& task) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto packaged =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(task));
+    std::future<R> future = packaged->get_future();
+    Enqueue([packaged] { (*packaged)(); });
+    return future;
+  }
+
+  /// Runs `fn(i)` exactly once for every i in [begin, end), splitting the
+  /// range into at most `max_parallel` contiguous chunks (0 = one per
+  /// worker) executed by the pool and the calling thread together. Blocks
+  /// until every index completes. The first exception (in chunk order) is
+  /// rethrown after all chunks finish. Runs inline when called from a
+  /// pool worker, when the range is trivial, or when capped to one chunk.
+  void ParallelFor(size_t begin, size_t end,
+                   const std::function<void(size_t)>& fn,
+                   int max_parallel = 0);
+
+  /// True when the calling thread is one of this process's pool workers
+  /// (any pool; used to detect nesting).
+  static bool InWorker();
+
+ private:
+  void Enqueue(std::function<void()> task);
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// The process-wide pool every analysis stage (FRA fits, PFI, SHAP, CV
+/// folds, scenario fan-out, forest training) shares. Sized on first use
+/// from the FAB_THREADS environment knob via ResolveThreads; resize with
+/// SetSharedPoolThreads.
+ThreadPool& SharedPool();
+
+/// Re-creates the shared pool with ResolveThreads(num_threads) workers.
+/// Not safe while shared-pool work is in flight; intended for process
+/// startup and tests sweeping thread counts.
+void SetSharedPoolThreads(int num_threads);
+
+/// Shared-pool convenience wrapper: ThreadPool::ParallelFor on
+/// SharedPool(). `max_parallel` caps concurrency (0 = pool width, 1 =
+/// serial inline).
+void ParallelFor(size_t begin, size_t end,
+                 const std::function<void(size_t)>& fn, int max_parallel = 0);
+
+}  // namespace fab::util
+
+#endif  // FAB_UTIL_THREAD_POOL_H_

@@ -1,0 +1,127 @@
+// Golden regression gate for the analysis pipeline: a small FAB_FAST
+// scenario pair's final feature vectors and per-window improvement MSEs
+// are pinned against checked-in golden values, so future performance or
+// parallelism PRs cannot silently change results. MSE lines are stored
+// as hexfloat (%a) and compared as exact strings — a one-ULP drift fails.
+//
+// Regenerate deliberately after an intentional numeric change with:
+//   FAB_REGEN_GOLDEN=1 ./golden_pipeline_test
+// and commit the updated tests/golden/pipeline_2019.golden.
+
+#include "core/experiments.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace fab::core {
+namespace {
+
+const int kWindows[] = {7, 30};
+
+/// Mirrors the FAB_FAST tier of ExperimentConfig::FromEnv, shrunk so the
+/// full two-window pipeline runs in seconds.
+ExperimentConfig GoldenConfig(const std::string& cache_dir) {
+  ExperimentConfig config;
+  config.seed = 17;
+  config.fast = true;
+  config.cache_dir = cache_dir;
+  config.fra.rf.n_trees = 8;
+  config.fra.rf.max_depth = 5;
+  config.fra.rf.max_features = 0.4;
+  config.fra.xgb.n_rounds = 12;
+  config.fra.xgb.max_depth = 3;
+  config.fra.pfi_repeats = 1;
+  config.feature_vector.rf = config.fra.rf;
+  config.feature_vector.shap_row_limit = 40;
+  config.scoring_rf = config.fra.rf;
+  config.improvement.cv_folds = 3;
+  config.improvement.rf = config.fra.rf;
+  config.improvement.xgb = config.fra.xgb;
+  return config;
+}
+
+std::string GoldenPath() {
+  return std::string(FAB_GOLDEN_DIR) + "/pipeline_2019.golden";
+}
+
+std::string HexDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+/// The pipeline's pinned surface, one record per line.
+Result<std::vector<std::string>> ComputeActualLines(Experiments& ex) {
+  std::vector<std::string> lines;
+  for (int window : kWindows) {
+    FAB_ASSIGN_OR_RETURN(FinalFeatureVector fvec,
+                         ex.FinalVector(StudyPeriod::k2019, window));
+    for (const std::string& name : fvec.features) {
+      lines.push_back("feature," + std::to_string(window) + "," + name);
+    }
+  }
+  for (int window : kWindows) {
+    FAB_ASSIGN_OR_RETURN(
+        ImprovementResult imp,
+        ex.Improvement(StudyPeriod::k2019, window, ModelKind::kRandomForest));
+    lines.push_back("diverse_mse," + std::to_string(window) + ",rf," +
+                    HexDouble(imp.diverse_mse));
+    for (const CategoryImprovement& ci : imp.per_category) {
+      lines.push_back("single_mse," + std::to_string(window) + ",rf," +
+                      std::string(sim::CategoryKey(ci.category)) + "," +
+                      HexDouble(ci.single_mse));
+    }
+  }
+  return lines;
+}
+
+TEST(GoldenPipelineTest, MatchesCheckedInGoldenValues) {
+  const std::string cache_dir = ::testing::TempDir() + "fab_golden_cache";
+  std::filesystem::remove_all(cache_dir);
+  Experiments ex(GoldenConfig(cache_dir));
+  // Exercise the scenario-level fan-out path while producing the
+  // artifacts the assertions below reload.
+  ASSERT_TRUE(
+      ex.PrecomputeAll({StudyPeriod::k2019},
+                       std::vector<int>(std::begin(kWindows),
+                                        std::end(kWindows)))
+          .ok());
+  const auto actual = ComputeActualLines(ex);
+  std::filesystem::remove_all(cache_dir);
+  ASSERT_TRUE(actual.ok()) << actual.status().ToString();
+  ASSERT_FALSE(actual->empty());
+
+  if (std::getenv("FAB_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(GoldenPath());
+    ASSERT_TRUE(out.good()) << "cannot write " << GoldenPath();
+    for (const std::string& line : *actual) out << line << '\n';
+    GTEST_SKIP() << "regenerated " << GoldenPath() << " with "
+                 << actual->size() << " lines";
+  }
+
+  std::ifstream in(GoldenPath());
+  ASSERT_TRUE(in.good())
+      << "missing golden file " << GoldenPath()
+      << " — run with FAB_REGEN_GOLDEN=1 to create it";
+  std::vector<std::string> golden;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) golden.push_back(line);
+  }
+
+  ASSERT_EQ(actual->size(), golden.size())
+      << "pipeline surface changed shape; regenerate deliberately if the "
+         "change is intentional";
+  for (size_t i = 0; i < golden.size(); ++i) {
+    EXPECT_EQ((*actual)[i], golden[i]) << "golden line " << i << " drifted";
+  }
+}
+
+}  // namespace
+}  // namespace fab::core

@@ -1,0 +1,154 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace fab::util {
+namespace {
+
+TEST(ResolveThreadsTest, PositivePassesThrough) {
+  EXPECT_EQ(ResolveThreads(1), 1);
+  EXPECT_EQ(ResolveThreads(2), 2);
+  EXPECT_EQ(ResolveThreads(64), 64);
+}
+
+TEST(ResolveThreadsTest, ZeroAndNegativeMeanHardwareConcurrency) {
+  const int resolved_zero = ResolveThreads(0);
+  EXPECT_GE(resolved_zero, 1);
+  // Negative requests follow the same "auto" semantics as zero.
+  EXPECT_EQ(ResolveThreads(-1), resolved_zero);
+  EXPECT_EQ(ResolveThreads(-100), resolved_zero);
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  if (hw > 0) EXPECT_EQ(resolved_zero, hw);
+}
+
+TEST(ThreadPoolTest, ConstructsAndShutsDownCleanly) {
+  for (int n : {1, 2, 8}) {
+    ThreadPool pool(n);
+    EXPECT_EQ(pool.num_threads(), n);
+  }
+  // Destruction with queued work drains before joining.
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      (void)pool.Submit([&ran] { ran.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(ThreadPoolTest, SubmitReturnsValues) {
+  ThreadPool pool(3);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 20; ++i) {
+    futures.push_back(pool.Submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(futures[static_cast<size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesExceptions) {
+  ThreadPool pool(2);
+  auto future = pool.Submit(
+      []() -> int { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+  // The pool survives a throwing task.
+  EXPECT_EQ(pool.Submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesFirstException) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      pool.ParallelFor(0, 100,
+                       [&](size_t i) {
+                         ran.fetch_add(1);
+                         if (i == 3) throw std::invalid_argument("boom");
+                       }),
+      std::invalid_argument);
+  // The throw aborts only the remainder of its own chunk; every other
+  // chunk completes before the exception is rethrown.
+  EXPECT_GE(ran.load(), 76);
+  EXPECT_LE(ran.load(), 100);
+  // The pool survives a throwing ParallelFor.
+  std::vector<int> out(10, 0);
+  pool.ParallelFor(0, out.size(), [&](size_t i) { out[i] = 1; });
+  for (int v : out) EXPECT_EQ(v, 1);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  for (int n : {1, 2, 8}) {
+    ThreadPool pool(n);
+    std::vector<int> hits(1000, 0);
+    pool.ParallelFor(0, hits.size(), [&](size_t i) { ++hits[i]; });
+    for (int h : hits) EXPECT_EQ(h, 1);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForResultsOrderedByIndex) {
+  // Index-owned slots assemble in range order regardless of which worker
+  // ran which chunk — the determinism contract every caller relies on.
+  ThreadPool pool(8);
+  std::vector<size_t> out(512, 0);
+  pool.ParallelFor(0, out.size(), [&](size_t i) { out[i] = i * 3 + 1; });
+  for (size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * 3 + 1);
+}
+
+TEST(ThreadPoolTest, ParallelForHonorsMaxParallelAndEmptyRange) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.ParallelFor(5, 5, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  // max_parallel = 1 runs serially inline on the caller.
+  std::thread::id caller = std::this_thread::get_id();
+  pool.ParallelFor(
+      0, 10,
+      [&](size_t) { EXPECT_EQ(std::this_thread::get_id(), caller); },
+      /*max_parallel=*/1);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool pool(2);
+  std::vector<int> sums(8, 0);
+  pool.ParallelFor(0, sums.size(), [&](size_t i) {
+    // On a worker thread the nested call executes inline; on the
+    // caller-run chunk it re-enters the pool. Either way it completes
+    // with full coverage and no deadlock.
+    std::vector<int> inner(100, 0);
+    pool.ParallelFor(0, inner.size(),
+                     [&](size_t j) { inner[j] = static_cast<int>(j); });
+    sums[i] = std::accumulate(inner.begin(), inner.end(), 0);
+  });
+  for (int s : sums) EXPECT_EQ(s, 4950);
+}
+
+TEST(ThreadPoolTest, StressTenThousandTinyTasks) {
+  ThreadPool pool(8);
+  std::atomic<long> total{0};
+  std::vector<std::future<void>> futures;
+  futures.reserve(10000);
+  for (int i = 0; i < 10000; ++i) {
+    futures.push_back(pool.Submit([&total, i] { total.fetch_add(i); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(total.load(), 10000L * 9999L / 2);
+}
+
+TEST(SharedPoolTest, ResizeTakesEffect) {
+  SetSharedPoolThreads(3);
+  EXPECT_EQ(SharedPool().num_threads(), 3);
+  SetSharedPoolThreads(1);
+  EXPECT_EQ(SharedPool().num_threads(), 1);
+  SetSharedPoolThreads(0);
+  EXPECT_EQ(SharedPool().num_threads(), ResolveThreads(0));
+}
+
+}  // namespace
+}  // namespace fab::util
