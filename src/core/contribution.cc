@@ -23,6 +23,9 @@ Result<std::vector<CategoryContribution>> ComputeContributions(
   }
 
   std::vector<CategoryContribution> out;
+  // Deterministic-reduction contract (fablint det-unordered-iter): counts
+  // accumulate in hash maps above, but rows are emitted in catalog index
+  // order (AllCategories()), never in hash-iteration order.
   for (sim::DataCategory category : sim::AllCategories()) {
     CategoryContribution c;
     c.category = category;

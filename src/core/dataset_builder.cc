@@ -18,7 +18,10 @@ const char* PeriodName(StudyPeriod period) {
 }
 
 const std::vector<int>& PredictionWindows() {
+  // Intentionally leaked function-local singleton: avoids a destructor
+  // running at unspecified shutdown order.
   static const std::vector<int>* kWindows =
+      // fablint:allow(hygiene-new-delete)
       new std::vector<int>{1, 7, 30, 90, 180};
   return *kWindows;
 }

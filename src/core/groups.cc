@@ -3,12 +3,18 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "util/check.h"
 #include "util/stats.h"
 
 namespace fab::core {
 
 Result<HorizonGroup> MergeGroup(
     const std::vector<ScoredFeatureVector>& vectors) {
+  // Deterministic-reduction contract (fablint det-unordered-iter): `acc` is
+  // hash-keyed for O(1) accumulation, but results are NEVER emitted in hash
+  // order — `order` records first appearance across the input windows, and
+  // the final ranking is a stable sort, so ties keep that order bit-for-bit
+  // across platforms and standard libraries.
   std::unordered_map<std::string, std::pair<double, int>> acc;
   std::vector<std::string> order;  // first-appearance order for stability
   for (const auto& vec : vectors) {
@@ -24,10 +30,15 @@ Result<HorizonGroup> MergeGroup(
       it->second.second += 1;
     }
   }
+  FAB_DCHECK(order.size() == acc.size())
+      << order.size() << " first-appearance names vs " << acc.size()
+      << " accumulated";
   std::vector<double> mean_importance;
   mean_importance.reserve(order.size());
   for (const auto& name : order) {
-    const auto& [sum, count] = acc[name];
+    const auto it = acc.find(name);
+    FAB_DCHECK(it != acc.end()) << "accumulator lost feature " << name;
+    const auto& [sum, count] = it->second;
     mean_importance.push_back(sum / static_cast<double>(count));
   }
   const std::vector<int> rank = stats::ArgSortDescending(mean_importance);

@@ -1,9 +1,9 @@
 #include "core/report.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
+#include "util/check.h"
 #include "util/string_util.h"
 
 namespace fab::core {
@@ -12,7 +12,8 @@ AsciiTable::AsciiTable(std::vector<std::string> header)
     : header_(std::move(header)) {}
 
 void AsciiTable::AddRow(std::vector<std::string> row) {
-  assert(row.size() == header_.size());
+  FAB_CHECK(row.size() == header_.size())
+      << "row has " << row.size() << " cells, header has " << header_.size();
   rows_.push_back(std::move(row));
 }
 

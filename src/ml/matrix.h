@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "util/check.h"
 #include "util/status.h"
 
 namespace fab::ml {
@@ -31,11 +32,27 @@ class ColMatrix {
   size_t rows() const { return rows_; }
   size_t cols() const { return cols_; }
 
-  double at(size_t row, size_t col) const { return data_[col][row]; }
-  void set(size_t row, size_t col, double v) { data_[col][row] = v; }
+  // Accessors sit on the tree-building hot loop, so the bounds checks are
+  // FAB_DCHECKs: free in Release, fatal with coordinates in Debug.
+  double at(size_t row, size_t col) const {
+    FAB_DCHECK(row < rows_ && col < cols_)
+        << "at(" << row << ", " << col << ") on " << rows_ << "x" << cols_;
+    return data_[col][row];
+  }
+  void set(size_t row, size_t col, double v) {
+    FAB_DCHECK(row < rows_ && col < cols_)
+        << "set(" << row << ", " << col << ") on " << rows_ << "x" << cols_;
+    data_[col][row] = v;
+  }
 
-  const std::vector<double>& column(size_t col) const { return data_[col]; }
-  std::vector<double>& mutable_column(size_t col) { return data_[col]; }
+  const std::vector<double>& column(size_t col) const {
+    FAB_DCHECK(col < cols_) << "column " << col << " of " << cols_;
+    return data_[col];
+  }
+  std::vector<double>& mutable_column(size_t col) {
+    FAB_DCHECK(col < cols_) << "column " << col << " of " << cols_;
+    return data_[col];
+  }
 
   /// New matrix holding the given rows (duplicates allowed), all columns.
   ColMatrix TakeRows(const std::vector<int>& rows) const;
@@ -48,6 +65,9 @@ class ColMatrix {
 
   /// Row indices that sort `col` ascending. Requires BuildSortIndex().
   const std::vector<int>& sorted_order(size_t col) const {
+    FAB_DCHECK(col < sorted_.size())
+        << "sorted_order(" << col << ") without BuildSortIndex (have "
+        << sorted_.size() << " columns)";
     return sorted_[col];
   }
 

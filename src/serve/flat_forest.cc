@@ -4,6 +4,7 @@
 
 #include "ml/forest.h"
 #include "ml/gbdt.h"
+#include "util/check.h"
 
 namespace fab::serve {
 
@@ -38,6 +39,9 @@ FlatForest FlatForest::FromTrees(const std::vector<ml::RegressionTree>& trees,
     while (!pending.empty()) {
       const auto [src, dst] = pending.front();
       pending.pop();
+      FAB_DCHECK(src >= 0 && static_cast<size_t>(src) < nodes.size())
+          << "tree child index " << src << " outside " << nodes.size()
+          << " nodes";
       const ml::TreeNode& node = nodes[static_cast<size_t>(src)];
       if (node.feature < 0) {
         flat.feature_[static_cast<size_t>(dst)] = -1;
@@ -75,6 +79,10 @@ Result<FlatForest> FlatForest::FromRegressor(const ml::Regressor& model) {
 
 void FlatForest::PredictRange(const ml::ColMatrix& x, size_t row_begin,
                               size_t row_end, double* out) const {
+  // Per-range (not per-row), so the always-on check stays off the hot loop.
+  FAB_CHECK(row_begin <= row_end && row_end <= x.rows())
+      << "predict range [" << row_begin << ", " << row_end << ") on "
+      << x.rows() << " rows";
   const size_t n = row_end - row_begin;
   for (size_t i = 0; i < n; ++i) out[i] = 0.0;
   if (roots_.empty()) {

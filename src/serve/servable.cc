@@ -25,7 +25,9 @@ Result<std::shared_ptr<const Servable>> Servable::Wrap(
                  dynamic_cast<const ml::MlpRegressor*>(model.get())) {
     num_features = mlp->x_mean().size();
   }
-  return std::shared_ptr<const Servable>(
+  // make_shared cannot reach the private constructor; ownership transfers to
+  // the shared_ptr on the same line.
+  return std::shared_ptr<const Servable>(  // fablint:allow(hygiene-new-delete)
       new Servable(std::move(model), std::move(flat), num_features));
 }
 

@@ -10,6 +10,7 @@
 #include "ml/gbdt.h"
 #include "ml/mlp.h"
 #include "ml/tree.h"
+#include "util/check.h"
 
 namespace fab::serve {
 
@@ -52,7 +53,11 @@ class Reader {
   explicit Reader(const std::string& bytes) : bytes_(bytes) {}
 
   Status Bytes(void* out, size_t n) {
-    if (pos_ + n > bytes_.size()) {
+    // Cursor-past-end would be a Reader bug, not corrupt input; the
+    // truncation case below handles hostile lengths via Status.
+    FAB_DCHECK(pos_ <= bytes_.size())
+        << "reader cursor " << pos_ << " past buffer " << bytes_.size();
+    if (n > bytes_.size() - pos_) {
       return Status::InvalidArgument("corrupt snapshot: truncated");
     }
     std::memcpy(out, bytes_.data() + pos_, n);

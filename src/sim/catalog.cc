@@ -3,6 +3,8 @@
 namespace fab::sim {
 
 const std::vector<DataCategory>& AllCategories() {
+  // Intentionally leaked function-local singleton: avoids a destructor
+  // running at unspecified shutdown order.  fablint:allow(hygiene-new-delete)
   static const std::vector<DataCategory>* kAll = new std::vector<DataCategory>{
       DataCategory::kMacro,      DataCategory::kTechnical,
       DataCategory::kSentiment,  DataCategory::kTradFi,

@@ -1,14 +1,17 @@
 #include "table/column.h"
 
 #include <algorithm>
-#include <cassert>
 #include <set>
+
+#include "util/check.h"
 
 namespace fab::table {
 
 Column::Column(std::vector<double> values, std::vector<uint8_t> valid)
     : values_(std::move(values)), valid_(std::move(valid)) {
-  assert(values_.size() == valid_.size());
+  FAB_CHECK(values_.size() == valid_.size())
+      << "values/validity length mismatch: " << values_.size() << " vs "
+      << valid_.size();
 }
 
 size_t Column::null_count() const {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstddef>
 
+#include "util/check.h"
+
 namespace fab::table {
 
 Result<Table> Table::Create(std::vector<Date> index) {
@@ -73,6 +75,9 @@ Result<const Column*> Table::GetColumn(const std::string& name) const {
   if (it == name_to_pos_.end()) {
     return Status::NotFound("no such column: " + name);
   }
+  FAB_DCHECK(it->second < columns_.size())
+      << "name->position map points past " << columns_.size()
+      << " columns for '" << name << "'";
   return static_cast<const Column*>(&columns_[it->second]);
 }
 
@@ -81,6 +86,9 @@ Result<Column*> Table::GetMutableColumn(const std::string& name) {
   if (it == name_to_pos_.end()) {
     return Status::NotFound("no such column: " + name);
   }
+  FAB_DCHECK(it->second < columns_.size())
+      << "name->position map points past " << columns_.size()
+      << " columns for '" << name << "'";
   return &columns_[it->second];
 }
 

@@ -1,0 +1,97 @@
+#ifndef FAB_UTIL_CHECK_H_
+#define FAB_UTIL_CHECK_H_
+
+/// Runtime invariant checks for conditions that indicate programmer error
+/// (as opposed to recoverable input errors, which return `Status`).
+///
+///   FAB_CHECK(cond)      — always on; aborts with file:line and the failed
+///                          expression. Supports message streaming:
+///                            FAB_CHECK(a == b) << "a=" << a << " b=" << b;
+///   FAB_DCHECK(cond)     — same contract, but compiled out (condition not
+///                          evaluated) when NDEBUG is defined, so it is free
+///                          in Release builds. Use on hot paths.
+///   FAB_CHECK_OK(expr)   — for `Status` / `Result<T>` expressions whose
+///                          failure means a broken internal invariant, not a
+///                          caller error; aborts with the status message.
+///
+/// All three abort via std::abort() so the failure is observable under
+/// sanitizers, in ctest output, and in core dumps alike. Never use these for
+/// validating external input (snapshot bytes, CSV rows, user parameters) —
+/// that is what `Status` / `Result<T>` are for.
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+#include "util/status.h"
+
+namespace fab::internal {
+
+/// Accumulates the failure message and aborts in its destructor, i.e. at the
+/// end of the full expression, after every user-streamed operand has been
+/// appended.
+class CheckFailStream {
+ public:
+  CheckFailStream(const char* file, int line, const char* expr) {
+    stream_ << "FAB_CHECK failed at " << file << ":" << line << ": " << expr
+            << " ";
+  }
+  CheckFailStream(const CheckFailStream&) = delete;
+  CheckFailStream& operator=(const CheckFailStream&) = delete;
+  ~CheckFailStream() {
+    stream_ << "\n";
+    std::cerr << stream_.str() << std::flush;
+    std::abort();
+  }
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Turns the streamed expression into `void` so both branches of the
+/// FAB_CHECK ternary have the same type. `&` binds looser than `<<`, so the
+/// whole message chain is swallowed.
+struct CheckVoidify {
+  void operator&(std::ostream&) {}
+};
+
+/// Normalizes Status / Result<T> for FAB_CHECK_OK.
+inline const Status& ToStatus(const Status& s) { return s; }
+template <typename T>
+Status ToStatus(const Result<T>& r) {
+  return r.status();
+}
+
+}  // namespace fab::internal
+
+#define FAB_CHECK(cond)                               \
+  (static_cast<bool>(cond))                           \
+      ? (void)0                                       \
+      : ::fab::internal::CheckVoidify() &             \
+            ::fab::internal::CheckFailStream(__FILE__, __LINE__, #cond) \
+                .stream()
+
+#ifdef NDEBUG
+// Compiled out: the condition is parsed (so it cannot bitrot) but never
+// evaluated, and the streamed operands are dead code.
+#define FAB_DCHECK(cond) \
+  while (false) FAB_CHECK(cond)
+#else
+#define FAB_DCHECK(cond) FAB_CHECK(cond)
+#endif
+
+// A `for` (rather than `if`/`else`) keeps the macro immune to dangling-else
+// ambiguity in unbraced callers; the body runs at most once because the
+// fail-stream destructor aborts at the end of the statement.
+#define FAB_CHECK_OK(expr)                                              \
+  for (const ::fab::Status _fab_check_ok_status =                       \
+           ::fab::internal::ToStatus((expr));                           \
+       !_fab_check_ok_status.ok();)                                     \
+  ::fab::internal::CheckVoidify() &                                     \
+      ::fab::internal::CheckFailStream(__FILE__, __LINE__, #expr)       \
+              .stream()                                                 \
+          << "status = " << _fab_check_ok_status.ToString() << " "
+
+#endif  // FAB_UTIL_CHECK_H_

@@ -103,14 +103,18 @@ void ThreadPool::ParallelFor(size_t begin, size_t end,
   std::exception_ptr first_error;
   try {
     run_chunk(0);
-  } catch (...) {
+    // Not swallowed: the exception is stored and rethrown below, after every
+    // chunk has been joined (rethrowing early would let tasks outlive `fn`).
+  } catch (...) {  // fablint:allow(safety-catch-all)
     first_error = std::current_exception();
   }
   // Wait for every chunk before rethrowing so no task outlives `fn`.
   for (auto& future : futures) {
     try {
       future.get();
-    } catch (...) {
+      // Not swallowed: first exception wins and is rethrown below; later
+      // ones are dropped deliberately to mirror serial first-failure order.
+    } catch (...) {  // fablint:allow(safety-catch-all)
       if (!first_error) first_error = std::current_exception();
     }
   }

@@ -1,0 +1,81 @@
+#include "util/check.h"
+
+#include <gtest/gtest.h>
+
+#include "util/status.h"
+
+namespace fab {
+namespace {
+
+TEST(CheckTest, PassingCheckHasNoEffect) {
+  FAB_CHECK(1 + 1 == 2);
+  FAB_CHECK(true) << "this message is never rendered";
+  SUCCEED();
+}
+
+TEST(CheckTest, PassingCheckDoesNotEvaluateMessageOperands) {
+  int evaluations = 0;
+  auto count = [&evaluations]() {
+    ++evaluations;
+    return 7;
+  };
+  FAB_CHECK(true) << "side effect: " << count();
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(CheckDeathTest, FailingCheckAbortsWithExpressionAndLocation) {
+  EXPECT_DEATH(FAB_CHECK(2 + 2 == 5), "FAB_CHECK failed at .*check_test.cc");
+  EXPECT_DEATH(FAB_CHECK(2 + 2 == 5), "2 \\+ 2 == 5");
+}
+
+TEST(CheckDeathTest, FailingCheckRendersStreamedMessage) {
+  const int lhs = 3;
+  EXPECT_DEATH(FAB_CHECK(lhs == 4) << "lhs was " << lhs, "lhs was 3");
+}
+
+TEST(CheckTest, CheckOkPassesOnOkStatusAndOkResult) {
+  FAB_CHECK_OK(Status::OK());
+  const Result<int> result = 42;
+  FAB_CHECK_OK(result) << "never rendered";
+  SUCCEED();
+}
+
+TEST(CheckDeathTest, CheckOkAbortsOnErrorStatus) {
+  EXPECT_DEATH(FAB_CHECK_OK(Status::InvalidArgument("bad shape")),
+               "InvalidArgument: bad shape");
+}
+
+TEST(CheckDeathTest, CheckOkAbortsOnErrorResult) {
+  const Result<int> result = Status::NotFound("missing feature");
+  EXPECT_DEATH(FAB_CHECK_OK(result) << "while selecting",
+               "NotFound: missing feature.*while selecting");
+}
+
+TEST(CheckTest, CheckOkComposesWithPlainIf) {
+  // The macro's internal if/else must not capture a user-written else.
+  bool took_else = false;
+  if (false)
+    FAB_CHECK_OK(Status::OK());
+  else
+    took_else = true;
+  EXPECT_TRUE(took_else);
+}
+
+#ifdef NDEBUG
+TEST(CheckTest, DcheckCompiledOutInRelease) {
+  int evaluations = 0;
+  auto fails = [&evaluations]() {
+    ++evaluations;
+    return false;
+  };
+  FAB_DCHECK(fails()) << "not rendered in release";
+  EXPECT_EQ(evaluations, 0);
+}
+#else
+TEST(CheckDeathTest, DcheckActiveInDebug) {
+  EXPECT_DEATH(FAB_DCHECK(false) << "debug dcheck", "debug dcheck");
+}
+#endif
+
+}  // namespace
+}  // namespace fab

@@ -66,5 +66,28 @@ TEST(ContributionTest, FullSelectionGivesOnes) {
   }
 }
 
+// Pins the deterministic-emission contract: rows come out in catalog index
+// order (AllCategories()), never in the hash order of the internal
+// accumulator maps. A regression to hash-order emission would reorder these
+// rows on some standard libraries and break the paper's Fig. 3/4 tables.
+TEST(ContributionTest, RowsEmittedInCatalogIndexOrder) {
+  const ScenarioDataset scenario = MakeScenario();
+  const auto result = ComputeContributions(scenario, {"m1", "t1", "s1"});
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 3u);
+  EXPECT_EQ((*result)[0].category, sim::DataCategory::kMacro);
+  EXPECT_EQ((*result)[1].category, sim::DataCategory::kTechnical);
+  EXPECT_EQ((*result)[2].category, sim::DataCategory::kSentiment);
+
+  // Same selection, different order: output order must not change.
+  const auto reversed = ComputeContributions(scenario, {"s1", "t1", "m1"});
+  ASSERT_TRUE(reversed.ok());
+  ASSERT_EQ(reversed->size(), 3u);
+  for (size_t i = 0; i < result->size(); ++i) {
+    EXPECT_EQ((*reversed)[i].category, (*result)[i].category);
+    EXPECT_EQ((*reversed)[i].selected, (*result)[i].selected);
+  }
+}
+
 }  // namespace
 }  // namespace fab::core

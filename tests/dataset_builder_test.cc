@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <set>
 
 #include "core/crypto100.h"
@@ -15,18 +16,15 @@ class DatasetBuilderTest : public ::testing::Test {
   static void SetUpTestSuite() {
     sim::MarketSimConfig config;
     config.seed = 99;
-    market_ = new sim::SimulatedMarket(
+    market_ = std::make_unique<sim::SimulatedMarket>(
         std::move(sim::SimulateMarket(config)).value());
-    ASSERT_TRUE(AddTechnicalIndicators(market_).ok());
+    ASSERT_TRUE(AddTechnicalIndicators(market_.get()).ok());
   }
-  static void TearDownTestSuite() {
-    delete market_;
-    market_ = nullptr;
-  }
-  static sim::SimulatedMarket* market_;
+  static void TearDownTestSuite() { market_.reset(); }
+  static std::unique_ptr<sim::SimulatedMarket> market_;
 };
 
-sim::SimulatedMarket* DatasetBuilderTest::market_ = nullptr;
+std::unique_ptr<sim::SimulatedMarket> DatasetBuilderTest::market_;
 
 TEST_F(DatasetBuilderTest, PeriodMetadata) {
   EXPECT_EQ(PeriodStart(StudyPeriod::k2017), Date(2017, 1, 1));
@@ -52,7 +50,7 @@ TEST_F(DatasetBuilderTest, TechnicalIndicatorsRegistered) {
 
 TEST_F(DatasetBuilderTest, TechnicalIndicatorsAreIdempotentGuarded) {
   // A second derivation attempt must fail loudly, not duplicate columns.
-  EXPECT_FALSE(AddTechnicalIndicators(market_).ok());
+  EXPECT_FALSE(AddTechnicalIndicators(market_.get()).ok());
 }
 
 TEST_F(DatasetBuilderTest, RejectsBadWindow) {

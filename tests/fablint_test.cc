@@ -1,0 +1,178 @@
+// Runs the fablint binary against the fixture files in tests/lint_fixtures/
+// and asserts exact rule IDs, violation counts, and exit codes — the
+// executable contract the fablint_repo ctest gate and CI rely on.
+//
+// FABLINT_BIN and FABLINT_FIXTURES are injected by tests/CMakeLists.txt.
+
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <string>
+
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr
+};
+
+RunResult RunFablint(const std::string& args) {
+  const std::string cmd = std::string(FABLINT_BIN) + " " + args + " 2>&1";
+  FILE* pipe = ::popen(cmd.c_str(), "r");
+  RunResult result;
+  if (pipe == nullptr) return result;
+  char buffer[4096];
+  size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), pipe)) > 0) {
+    result.output.append(buffer, n);
+  }
+  const int status = ::pclose(pipe);
+  if (WIFEXITED(status)) result.exit_code = WEXITSTATUS(status);
+  return result;
+}
+
+std::string Fixture(const std::string& name) {
+  return std::string(FABLINT_FIXTURES) + "/" + name;
+}
+
+size_t CountOccurrences(const std::string& haystack, const std::string& tag) {
+  size_t count = 0;
+  size_t pos = haystack.find(tag);
+  while (pos != std::string::npos) {
+    ++count;
+    pos = haystack.find(tag, pos + tag.size());
+  }
+  return count;
+}
+
+/// Asserts the fixture yields exactly `expected` hits of `[rule]` (and no
+/// other diagnostics) with exit code 1.
+void ExpectSingleRule(const std::string& fixture, const std::string& rule,
+                      size_t expected = 1) {
+  const RunResult run = RunFablint("--all-rules " + Fixture(fixture));
+  SCOPED_TRACE(fixture + "\n" + run.output);
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_EQ(CountOccurrences(run.output, "[" + rule + "]"), expected);
+  EXPECT_EQ(CountOccurrences(run.output, "["), expected)
+      << "unexpected extra diagnostics";
+  EXPECT_NE(run.output.find(std::to_string(expected) + " violation(s)"),
+            std::string::npos);
+}
+
+TEST(FablintTest, DetRand) { ExpectSingleRule("det_rand.cc", "det-rand"); }
+
+TEST(FablintTest, DetRandReportsExactLine) {
+  const RunResult run = RunFablint("--all-rules " + Fixture("det_rand.cc"));
+  EXPECT_NE(run.output.find("det_rand.cc:5: [det-rand]"), std::string::npos)
+      << run.output;
+}
+
+TEST(FablintTest, DetRandomDevice) {
+  ExpectSingleRule("det_random_device.cc", "det-random-device");
+}
+
+TEST(FablintTest, DetTime) { ExpectSingleRule("det_time.cc", "det-time"); }
+
+TEST(FablintTest, DetMt19937) {
+  ExpectSingleRule("det_mt19937.cc", "det-mt19937");
+}
+
+TEST(FablintTest, DetUnorderedIter) {
+  ExpectSingleRule("det_unordered_iter.cc", "det-unordered-iter");
+}
+
+TEST(FablintTest, SafetyAssert) {
+  ExpectSingleRule("safety_assert.cc", "safety-assert");
+}
+
+TEST(FablintTest, SafetyCatchAll) {
+  ExpectSingleRule("safety_catch_all.cc", "safety-catch-all");
+}
+
+TEST(FablintTest, SafetyFloatAccum) {
+  ExpectSingleRule("safety_float_accum.cc", "safety-float-accum");
+}
+
+TEST(FablintTest, HygieneGuard) {
+  ExpectSingleRule("hygiene_guard.h", "hygiene-guard");
+}
+
+TEST(FablintTest, HygieneUsingNamespace) {
+  ExpectSingleRule("hygiene_using_namespace.h", "hygiene-using-namespace");
+}
+
+TEST(FablintTest, HygieneNewDelete) {
+  ExpectSingleRule("hygiene_new_delete.cc", "hygiene-new-delete");
+}
+
+TEST(FablintTest, CleanFileExitsZero) {
+  const RunResult run = RunFablint("--all-rules " + Fixture("clean.cc"));
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_EQ(CountOccurrences(run.output, "["), 0u) << run.output;
+  EXPECT_NE(run.output.find("0 violation(s)"), std::string::npos);
+}
+
+TEST(FablintTest, SuppressedFileExitsZero) {
+  const RunResult run = RunFablint("--all-rules " + Fixture("suppressed.cc"));
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_EQ(CountOccurrences(run.output, "["), 0u) << run.output;
+}
+
+TEST(FablintTest, WalkingTheFixtureDirFindsEveryRuleOnce) {
+  const RunResult run =
+      RunFablint("--all-rules --root " + std::string(FABLINT_FIXTURES) + " " +
+                 std::string(FABLINT_FIXTURES));
+  EXPECT_EQ(run.exit_code, 1);
+  // 11 rules, one deliberate violation each; clean.cc and suppressed.cc
+  // contribute nothing.
+  EXPECT_NE(run.output.find("checked 13 file(s), 11 violation(s)"),
+            std::string::npos)
+      << run.output;
+  for (const char* rule :
+       {"det-rand", "det-random-device", "det-time", "det-mt19937",
+        "det-unordered-iter", "safety-assert", "safety-catch-all",
+        "safety-float-accum", "hygiene-guard", "hygiene-using-namespace",
+        "hygiene-new-delete"}) {
+    EXPECT_EQ(CountOccurrences(run.output, std::string("[") + rule + "]"), 1u)
+        << rule << "\n"
+        << run.output;
+  }
+}
+
+TEST(FablintTest, ScopingSkipsUnorderedIterOutsideReductionDirs) {
+  // Without --all-rules the det-unordered-iter rule only applies under
+  // src/core/, src/explain/ and src/ml/; the fixture lives elsewhere.
+  const RunResult run =
+      RunFablint("--root " + std::string(FABLINT_FIXTURES) + " " +
+                 Fixture("det_unordered_iter.cc"));
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+TEST(FablintTest, ScopingStillBansMt19937OutsideUtilRandom) {
+  const RunResult run = RunFablint(
+      "--root " + std::string(FABLINT_FIXTURES) + " " +
+      Fixture("det_mt19937.cc"));
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_EQ(CountOccurrences(run.output, "[det-mt19937]"), 1u);
+}
+
+TEST(FablintTest, ListRulesPrintsTheFullTable) {
+  const RunResult run = RunFablint("--list-rules");
+  EXPECT_EQ(run.exit_code, 0);
+  for (const char* rule :
+       {"det-rand", "det-random-device", "det-time", "det-mt19937",
+        "det-unordered-iter", "safety-assert", "safety-catch-all",
+        "safety-float-accum", "hygiene-guard", "hygiene-using-namespace",
+        "hygiene-new-delete"}) {
+    EXPECT_NE(run.output.find(rule), std::string::npos) << rule;
+  }
+}
+
+TEST(FablintTest, UsageErrorsExitTwo) {
+  EXPECT_EQ(RunFablint("--no-such-flag").exit_code, 2);
+  EXPECT_EQ(RunFablint("").exit_code, 2);  // no inputs
+  EXPECT_EQ(RunFablint(Fixture("does_not_exist.cc")).exit_code, 2);
+}
+
+}  // namespace

@@ -77,5 +77,56 @@ TEST(GroupUniqueTopKTest, StopsAtK) {
   EXPECT_EQ(GroupUniqueTopK(a, empty, 2).size(), 2u);
 }
 
+// Pins the deterministic-emission contract: MergeGroup accumulates into a
+// hash map, but tied importances must come out in first-appearance order
+// across the input windows (stable ranking), never in hash order. With 20
+// tied keys a regression to hash-order emission is all but guaranteed to
+// permute this list on at least one standard library.
+TEST(MergeGroupTest, TiedImportanceKeepsFirstAppearanceOrder) {
+  ScoredFeatureVector w1;
+  w1.window = 1;
+  ScoredFeatureVector w7;
+  w7.window = 7;
+  std::vector<std::string> expected;
+  for (int i = 0; i < 10; ++i) {
+    const std::string a = "w1_feat_" + std::to_string(i);
+    w1.features.push_back(a);
+    w1.importance.push_back(0.5);
+    expected.push_back(a);
+  }
+  for (int i = 0; i < 10; ++i) {
+    const std::string b = "w7_feat_" + std::to_string(i);
+    w7.features.push_back(b);
+    w7.importance.push_back(0.5);
+    expected.push_back(b);
+  }
+  const auto group = MergeGroup({w1, w7});
+  ASSERT_TRUE(group.ok());
+  EXPECT_EQ(group->features, expected);
+
+  // Byte-identical on repeat evaluation.
+  const auto again = MergeGroup({w1, w7});
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->features, group->features);
+  EXPECT_EQ(again->importance, group->importance);
+}
+
+// A feature shared by both windows keeps its FIRST appearance slot even
+// though the second window also mentions it.
+TEST(MergeGroupTest, SharedFeatureKeepsFirstAppearanceSlot) {
+  ScoredFeatureVector w1;
+  w1.window = 1;
+  w1.features = {"alpha", "shared", "beta"};
+  w1.importance = {0.3, 0.3, 0.3};
+  ScoredFeatureVector w7;
+  w7.window = 7;
+  w7.features = {"gamma", "shared"};
+  w7.importance = {0.3, 0.3};
+  const auto group = MergeGroup({w1, w7});
+  ASSERT_TRUE(group.ok());
+  EXPECT_EQ(group->features, (std::vector<std::string>{
+                                 "alpha", "shared", "beta", "gamma"}));
+}
+
 }  // namespace
 }  // namespace fab::core

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <set>
 
 #include "core/contribution.h"
@@ -24,25 +25,25 @@ class IntegrationTest : public ::testing::Test {
   static void SetUpTestSuite() {
     sim::MarketSimConfig config;
     config.seed = 2024;
-    market_ = new sim::SimulatedMarket(
+    market_ = std::make_unique<sim::SimulatedMarket>(
         std::move(sim::SimulateMarket(config)).value());
-    ASSERT_TRUE(AddTechnicalIndicators(market_).ok());
+    ASSERT_TRUE(AddTechnicalIndicators(market_.get()).ok());
     ScenarioOptions options;
-    scenario_ = new ScenarioDataset(std::move(
+    scenario_ = std::make_unique<ScenarioDataset>(std::move(
         BuildScenarioDataset(*market_, StudyPeriod::k2019, 30, options))
-                                        .value());
+                                                      .value());
   }
   static void TearDownTestSuite() {
-    delete scenario_;
-    delete market_;
+    scenario_.reset();
+    market_.reset();
   }
 
-  static sim::SimulatedMarket* market_;
-  static ScenarioDataset* scenario_;
+  static std::unique_ptr<sim::SimulatedMarket> market_;
+  static std::unique_ptr<ScenarioDataset> scenario_;
 };
 
-sim::SimulatedMarket* IntegrationTest::market_ = nullptr;
-ScenarioDataset* IntegrationTest::scenario_ = nullptr;
+std::unique_ptr<sim::SimulatedMarket> IntegrationTest::market_;
+std::unique_ptr<ScenarioDataset> IntegrationTest::scenario_;
 
 TEST_F(IntegrationTest, ScenarioHasAllHeadlineCategories) {
   for (sim::DataCategory c : sim::AllCategories()) {

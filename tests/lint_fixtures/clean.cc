@@ -1,0 +1,29 @@
+// Fixture: zero violations — banned identifiers appear only inside
+// comments and string literals, which the masker must blank out.
+// Mentions for the masker: std::rand(), time(nullptr), assert(x),
+// catch (...), new int, std::mt19937. Never compiled.
+#include <chrono>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace fab_fixture {
+
+inline const char* kBannedWordsInAString =
+    "std::rand() time(nullptr) assert(1) catch (...) new delete mt19937";
+
+inline double SortedOrderSum(const std::map<std::string, double>& weights) {
+  double total = 0.0;
+  for (const auto& entry : weights) total += entry.second;
+  return total;
+}
+
+inline std::unique_ptr<std::vector<double>> OwnedBuffer(std::size_t n) {
+  // steady_clock is fine for durations; only wall clocks are banned.
+  const auto t0 = std::chrono::steady_clock::now();
+  (void)t0;
+  return std::make_unique<std::vector<double>>(n, 0.0);
+}
+
+}  // namespace fab_fixture

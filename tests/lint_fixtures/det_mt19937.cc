@@ -1,0 +1,7 @@
+// Fixture: exactly one det-mt19937 violation. Never compiled.
+#include <random>
+
+unsigned long StdlibDraw() {
+  std::mt19937 generator{42};
+  return generator.operator()();
+}

@@ -1,0 +1,6 @@
+// Fixture: exactly one det-rand violation (line 5). Never compiled.
+#include <cstdlib>
+
+int AmbientNoise() {
+  return std::rand();
+}

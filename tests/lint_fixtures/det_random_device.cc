@@ -1,0 +1,7 @@
+// Fixture: exactly one det-random-device violation. Never compiled.
+#include <random>
+
+unsigned AmbientSeed() {
+  std::random_device entropy;
+  return entropy.operator()();
+}

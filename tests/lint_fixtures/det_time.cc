@@ -1,0 +1,6 @@
+// Fixture: exactly one det-time violation. Never compiled.
+#include <ctime>
+
+long WallClockSeed() {
+  return static_cast<long>(time(nullptr));
+}

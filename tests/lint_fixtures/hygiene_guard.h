@@ -1,0 +1,6 @@
+// Fixture: exactly one hygiene-guard violation (no #pragma once and no
+// include guard). Never compiled.
+
+namespace fab_fixture {
+inline int Unguarded() { return 1; }
+}  // namespace fab_fixture

@@ -1,0 +1,11 @@
+// Fixture: exactly one hygiene-new-delete violation (the raw new); the
+// deleted copy constructor must not count. Never compiled.
+
+struct Pinned {
+  Pinned() = default;
+  Pinned(const Pinned&) = delete;
+};
+
+int* LeakOne() {
+  return new int(3);
+}

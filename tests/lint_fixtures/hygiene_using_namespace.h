@@ -1,0 +1,8 @@
+// Fixture: exactly one hygiene-using-namespace violation. Never compiled.
+#pragma once
+
+#include <string>
+
+using namespace std;
+
+inline string Leaky() { return "fixture"; }

@@ -1,0 +1,9 @@
+// Fixture: exactly one safety-assert violation; static_assert must not
+// count. Never compiled.
+#include <cassert>
+
+static_assert(sizeof(int) >= 4, "not a violation");
+
+void Narrow(int value) {
+  assert(value >= 0);
+}

@@ -1,0 +1,11 @@
+// Fixture: exactly one safety-catch-all violation. Never compiled.
+void MightThrow();
+
+bool Swallow() {
+  try {
+    MightThrow();
+  } catch (...) {
+    return false;
+  }
+  return true;
+}

@@ -1,0 +1,9 @@
+// Fixture: exactly one safety-float-accum violation (the accumulator);
+// the cast must not count. Never compiled.
+#include <vector>
+
+double LossyMean(const std::vector<double>& values) {
+  float total = 0.0f;
+  for (double v : values) total += static_cast<float>(v);
+  return total / static_cast<float>(values.size());
+}

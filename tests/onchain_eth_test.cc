@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 
 #include "util/stats.h"
 
@@ -21,13 +22,11 @@ class OnChainEthTest : public ::testing::Test {
     config.latent.end = Date(2023, 6, 30);
     config.seed = 314;
     config.include_eth = true;
-    market_ = new SimulatedMarket(std::move(SimulateMarket(config)).value());
+    market_ =
+        std::make_unique<SimulatedMarket>(std::move(SimulateMarket(config)).value());
   }
-  static void TearDownTestSuite() {
-    delete market_;
-    market_ = nullptr;
-  }
-  static const SimulatedMarket* market_;
+  static void TearDownTestSuite() { market_.reset(); }
+  static std::unique_ptr<const SimulatedMarket> market_;
 
   const table::Column& Col(const char* name) {
     return **market_->metrics.GetColumn(name);
@@ -37,7 +36,7 @@ class OnChainEthTest : public ::testing::Test {
   }
 };
 
-const SimulatedMarket* OnChainEthTest::market_ = nullptr;
+std::unique_ptr<const SimulatedMarket> OnChainEthTest::market_;
 
 TEST_F(OnChainEthTest, FamilyRegisteredUnderEthCategory) {
   size_t eth_columns = 0;

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 #include <set>
 
 #include "sim/market_sim.h"
@@ -19,17 +20,15 @@ class OnChainTest : public ::testing::Test {
     config.latent.start = Date(2017, 6, 1);
     config.latent.end = Date(2020, 6, 30);
     config.seed = 77;
-    market_ = new SimulatedMarket(std::move(SimulateMarket(config)).value());
+    market_ =
+        std::make_unique<SimulatedMarket>(std::move(SimulateMarket(config)).value());
   }
-  static void TearDownTestSuite() {
-    delete market_;
-    market_ = nullptr;
-  }
+  static void TearDownTestSuite() { market_.reset(); }
 
-  static const SimulatedMarket* market_;
+  static std::unique_ptr<const SimulatedMarket> market_;
 };
 
-const SimulatedMarket* OnChainTest::market_ = nullptr;
+std::unique_ptr<const SimulatedMarket> OnChainTest::market_;
 
 TEST_F(OnChainTest, BtcMetricsAllPresentAndPositive) {
   const char* kSpotChecks[] = {

@@ -1,0 +1,468 @@
+#include "lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+namespace fab::lint {
+
+namespace {
+
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsSpace(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+size_t SkipWs(const std::string& s, size_t i) {
+  while (i < s.size() && IsSpace(s[i])) ++i;
+  return i;
+}
+
+/// True when `text[pos, pos+word)` equals `word` with word boundaries on
+/// both sides.
+bool TokenAt(const std::string& text, size_t pos, const std::string& word) {
+  if (pos + word.size() > text.size()) return false;
+  if (text.compare(pos, word.size(), word) != 0) return false;
+  if (pos > 0 && IsWordChar(text[pos - 1])) return false;
+  const size_t end = pos + word.size();
+  if (end < text.size() && IsWordChar(text[end])) return false;
+  return true;
+}
+
+/// Calls `fn(pos)` for every boundary-delimited occurrence of `word`.
+template <typename Fn>
+void ForEachToken(const std::string& text, const std::string& word, Fn fn) {
+  size_t pos = text.find(word);
+  while (pos != std::string::npos) {
+    if (TokenAt(text, pos, word)) fn(pos);
+    pos = text.find(word, pos + 1);
+  }
+}
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() &&
+         s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool IsHeaderPath(const std::string& rel) {
+  return EndsWith(rel, ".h") || EndsWith(rel, ".hpp") || EndsWith(rel, ".hh");
+}
+
+/// Shared per-file scanning state.
+struct Ctx {
+  std::string rel;
+  std::vector<std::string> raw_lines;  // original text, for suppressions
+  std::string masked;                  // comments/strings blanked
+  std::vector<size_t> line_start;      // offset of each line in masked
+  bool all_rules = false;
+  std::vector<Violation> out;
+};
+
+int LineOf(const Ctx& ctx, size_t pos) {
+  auto it = std::upper_bound(ctx.line_start.begin(), ctx.line_start.end(), pos);
+  return static_cast<int>(it - ctx.line_start.begin());
+}
+
+/// True when `line` (1-based) or the line above carries
+/// `fablint:allow(<list>)` naming `rule` or `*`.
+bool Suppressed(const Ctx& ctx, int line, const std::string& rule) {
+  for (int l = line; l >= line - 1 && l >= 1; --l) {
+    if (static_cast<size_t>(l) > ctx.raw_lines.size()) continue;
+    const std::string& text = ctx.raw_lines[static_cast<size_t>(l) - 1];
+    const size_t at = text.find("fablint:allow(");
+    if (at == std::string::npos) continue;
+    const size_t open = at + std::string("fablint:allow(").size() - 1;
+    const size_t close = text.find(')', open);
+    if (close == std::string::npos) continue;
+    std::string list = text.substr(open + 1, close - open - 1);
+    size_t start = 0;
+    while (start <= list.size()) {
+      size_t comma = list.find(',', start);
+      if (comma == std::string::npos) comma = list.size();
+      std::string id = list.substr(start, comma - start);
+      id.erase(std::remove_if(id.begin(), id.end(),
+                              [](char c) { return IsSpace(c); }),
+               id.end());
+      if (id == rule || id == "*") return true;
+      start = comma + 1;
+    }
+  }
+  return false;
+}
+
+void Add(Ctx& ctx, size_t pos, const char* rule, std::string message) {
+  const int line = LineOf(ctx, pos);
+  if (Suppressed(ctx, line, rule)) return;
+  ctx.out.push_back(Violation{ctx.rel, line, rule, std::move(message)});
+}
+
+// --- Determinism rules. -----------------------------------------------------
+
+/// `word` immediately (modulo whitespace) followed by `(`.
+template <typename Fn>
+void ForEachCall(const std::string& text, const std::string& word, Fn fn) {
+  ForEachToken(text, word, [&](size_t pos) {
+    const size_t after = SkipWs(text, pos + word.size());
+    if (after < text.size() && text[after] == '(') fn(pos);
+  });
+}
+
+void CheckBannedRandomness(Ctx& ctx) {
+  ForEachCall(ctx.masked, "rand", [&](size_t pos) {
+    Add(ctx, pos, "det-rand",
+        "std::rand() is banned: draw from an explicitly seeded fab::Rng "
+        "(src/util/random.h)");
+  });
+  ForEachToken(ctx.masked, "random_device", [&](size_t pos) {
+    Add(ctx, pos, "det-random-device",
+        "std::random_device is ambient entropy: all randomness must derive "
+        "from the experiment seed");
+  });
+  ForEachCall(ctx.masked, "time", [&](size_t pos) {
+    Add(ctx, pos, "det-time",
+        "wall-clock time is banned in deterministic code (steady_clock "
+        "durations are fine; rule matches time() and system_clock)");
+  });
+  ForEachToken(ctx.masked, "system_clock", [&](size_t pos) {
+    Add(ctx, pos, "det-time",
+        "std::chrono::system_clock is wall-clock time: use steady_clock for "
+        "durations, never clock values in computation");
+  });
+  const bool mt_allowed =
+      !ctx.all_rules && StartsWith(ctx.rel, "src/util/random.");
+  if (!mt_allowed) {
+    for (const char* word : {"mt19937", "mt19937_64"}) {
+      ForEachToken(ctx.masked, word, [&](size_t pos) {
+        Add(ctx, pos, "det-mt19937",
+            "construct RNGs via fab::Rng / Rng::Fork (src/util/random.h), "
+            "not std::mt19937 directly");
+      });
+    }
+  }
+}
+
+/// Collects names declared (in this file) with an unordered container type,
+/// then flags range-for statements and .begin()/.cbegin() calls on them.
+/// Per-file and lexical by design: members declared in another header are
+/// not tracked (the declaring header itself is linted instead).
+void CheckUnorderedIteration(Ctx& ctx) {
+  if (!ctx.all_rules && !StartsWith(ctx.rel, "src/core/") &&
+      !StartsWith(ctx.rel, "src/explain/") && !StartsWith(ctx.rel, "src/ml/")) {
+    return;
+  }
+  const std::string& text = ctx.masked;
+  std::set<std::string> names;
+  for (const char* type : {"unordered_map", "unordered_set",
+                           "unordered_multimap", "unordered_multiset"}) {
+    ForEachToken(text, type, [&](size_t pos) {
+      size_t i = SkipWs(text, pos + std::string(type).size());
+      if (i >= text.size() || text[i] != '<') return;
+      int depth = 1;
+      ++i;
+      while (i < text.size() && depth > 0) {
+        if (text[i] == '<') ++depth;
+        if (text[i] == '>') --depth;
+        ++i;
+      }
+      // Skip refs/pointers/cv between the type and the declared name.
+      while (i < text.size()) {
+        i = SkipWs(text, i);
+        if (i < text.size() && (text[i] == '&' || text[i] == '*')) {
+          ++i;
+          continue;
+        }
+        if (TokenAt(text, i, "const")) {
+          i += 5;
+          continue;
+        }
+        break;
+      }
+      size_t j = i;
+      while (j < text.size() && IsWordChar(text[j])) ++j;
+      if (j > i) names.insert(text.substr(i, j - i));
+    });
+  }
+  if (names.empty()) return;
+
+  // Range-for whose range expression is one of the collected names.
+  ForEachToken(text, "for", [&](size_t pos) {
+    size_t i = SkipWs(text, pos + 3);
+    if (i >= text.size() || text[i] != '(') return;
+    int depth = 1;
+    size_t colon = std::string::npos;
+    size_t k = i + 1;
+    while (k < text.size() && depth > 0) {
+      const char c = text[k];
+      if (c == '(') ++depth;
+      if (c == ')') --depth;
+      if (c == ':' && depth == 1 && colon == std::string::npos &&
+          (k + 1 >= text.size() || text[k + 1] != ':') &&
+          (k == 0 || text[k - 1] != ':')) {
+        colon = k;
+      }
+      ++k;
+    }
+    if (colon == std::string::npos) return;  // not a range-for
+    size_t e = SkipWs(text, colon + 1);
+    while (e < text.size() && (text[e] == '*' || text[e] == '&')) {
+      e = SkipWs(text, e + 1);
+    }
+    size_t f = e;
+    while (f < text.size() && IsWordChar(text[f])) ++f;
+    const std::string base = text.substr(e, f - e);
+    if (names.count(base) == 0) return;
+    // `base` alone or `base.something` both depend on hash order; only an
+    // exact container expression is flagged (members of the element do not
+    // appear here — the loop variable does).
+    Add(ctx, pos, "det-unordered-iter",
+        "range-for over unordered container '" + base +
+            "': hash order is not deterministic; reduce in index or "
+            "sorted-key order");
+  });
+
+  // Explicit iterator walks / bulk copies that expose hash order.
+  for (const std::string& name : names) {
+    ForEachToken(text, name, [&](size_t pos) {
+      const size_t after = pos + name.size();
+      for (const char* member : {".begin(", ".cbegin(", "->begin("}) {
+        if (text.compare(after, std::string(member).size(), member) == 0) {
+          Add(ctx, pos, "det-unordered-iter",
+              "iterator over unordered container '" + name +
+                  "': hash order is not deterministic; reduce in index or "
+                  "sorted-key order");
+          return;
+        }
+      }
+    });
+  }
+}
+
+// --- Safety rules. ----------------------------------------------------------
+
+void CheckSafety(Ctx& ctx) {
+  const std::string& text = ctx.masked;
+  ForEachCall(text, "assert", [&](size_t pos) {
+    Add(ctx, pos, "safety-assert",
+        "bare assert() is compiled out in Release builds: use FAB_CHECK / "
+        "FAB_DCHECK (src/util/check.h)");
+  });
+  ForEachToken(text, "catch", [&](size_t pos) {
+    size_t i = SkipWs(text, pos + 5);
+    if (i >= text.size() || text[i] != '(') return;
+    i = SkipWs(text, i + 1);
+    if (text.compare(i, 3, "...") != 0) return;
+    Add(ctx, pos, "safety-catch-all",
+        "catch (...) can silently swallow failures: rethrow the exception, "
+        "or suppress with a justification comment");
+  });
+  ForEachToken(text, "float", [&](size_t pos) {
+    size_t i = SkipWs(text, pos + 5);
+    size_t j = i;
+    while (j < text.size() && IsWordChar(text[j])) ++j;
+    if (j == i) return;  // not followed by an identifier (cast, template arg)
+    const size_t after = SkipWs(text, j);
+    if (after >= text.size()) return;
+    const char c = text[after];
+    if (c != '=' && c != ';' && c != '{' && c != ',') return;
+    Add(ctx, pos, "safety-float-accum",
+        "float local '" + text.substr(i, j - i) +
+            "': accumulate in double (float drifts in long reductions)");
+  });
+}
+
+// --- Hygiene rules. ---------------------------------------------------------
+
+void CheckHygiene(Ctx& ctx) {
+  const std::string& text = ctx.masked;
+  const bool is_header = IsHeaderPath(ctx.rel);
+
+  if (is_header || ctx.all_rules) {
+    const bool has_pragma = text.find("#pragma once") != std::string::npos;
+    const bool has_guard = text.find("#ifndef") != std::string::npos &&
+                           text.find("#define") != std::string::npos;
+    if (is_header && !has_pragma && !has_guard) {
+      Add(ctx, 0, "hygiene-guard",
+          "header has neither #pragma once nor an #ifndef include guard");
+    }
+    if (is_header) {
+      ForEachToken(text, "using", [&](size_t pos) {
+        const size_t i = SkipWs(text, pos + 5);
+        if (!TokenAt(text, i, "namespace")) return;
+        Add(ctx, pos, "hygiene-using-namespace",
+            "using namespace in a header leaks into every includer");
+      });
+    }
+  }
+
+  auto preceding_token = [&text](size_t pos) -> std::string {
+    size_t i = pos;
+    while (i > 0 && IsSpace(text[i - 1])) --i;
+    size_t j = i;
+    while (j > 0 && IsWordChar(text[j - 1])) --j;
+    return text.substr(j, i - j);
+  };
+  auto preceding_char = [&text](size_t pos) -> char {
+    size_t i = pos;
+    while (i > 0 && IsSpace(text[i - 1])) --i;
+    return i > 0 ? text[i - 1] : '\0';
+  };
+
+  ForEachToken(text, "new", [&](size_t pos) {
+    if (preceding_token(pos) == "operator") return;
+    Add(ctx, pos, "hygiene-new-delete",
+        "raw new: use std::make_unique / std::make_shared / containers "
+        "(suppress with a justification for intentional leaks)");
+  });
+  ForEachToken(text, "delete", [&](size_t pos) {
+    if (preceding_char(pos) == '=') return;  // deleted special member
+    if (preceding_token(pos) == "operator") return;
+    Add(ctx, pos, "hygiene-new-delete",
+        "raw delete: owning types must use RAII "
+        "(unique_ptr/shared_ptr/containers)");
+  });
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& AllRules() {
+  static const std::vector<RuleInfo> kRules = {
+      {"det-rand", "std::rand() banned; use fab::Rng"},
+      {"det-random-device", "std::random_device banned; seed-derived only"},
+      {"det-time", "time()/system_clock banned in deterministic code"},
+      {"det-mt19937", "std::mt19937 banned outside src/util/random.*"},
+      {"det-unordered-iter",
+       "no iteration over unordered containers in reduction code "
+       "(src/core, src/explain, src/ml)"},
+      {"safety-assert", "bare assert() banned; use FAB_CHECK/FAB_DCHECK"},
+      {"safety-catch-all", "catch (...) must rethrow or be justified"},
+      {"safety-float-accum", "float accumulators banned; use double"},
+      {"hygiene-guard", "headers need #pragma once or an include guard"},
+      {"hygiene-using-namespace", "no using namespace in headers"},
+      {"hygiene-new-delete", "no raw new/delete outside justified sites"},
+  };
+  return kRules;
+}
+
+std::string MaskSource(const std::string& src) {
+  std::string out = src;
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  for (size_t i = 0; i < src.size(); ++i) {
+    const char c = src[i];
+    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
+    switch (state) {
+      case State::kCode: {
+        if (c == '/' && next == '/') {
+          out[i] = ' ';
+          state = State::kLineComment;
+        } else if (c == '/' && next == '*') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          state = State::kBlockComment;
+        } else if (c == '"') {
+          // Raw string literal: R"delim( ... )delim" — blank it wholesale.
+          if (i > 0 && src[i - 1] == 'R' &&
+              (i < 2 || !IsWordChar(src[i - 2]) || src[i - 2] == 'u' ||
+               src[i - 2] == 'U' || src[i - 2] == 'L' || src[i - 2] == '8')) {
+            const size_t open = src.find('(', i + 1);
+            if (open != std::string::npos) {
+              const std::string delim = src.substr(i + 1, open - i - 1);
+              const std::string closer = ")" + delim + "\"";
+              size_t close = src.find(closer, open + 1);
+              if (close == std::string::npos) close = src.size();
+              const size_t stop = std::min(src.size(), close + closer.size());
+              for (size_t k = i; k < stop; ++k) {
+                if (src[k] != '\n') out[k] = ' ';
+              }
+              i = stop - 1;
+              break;
+            }
+          }
+          out[i] = ' ';
+          state = State::kString;
+        } else if (c == '\'') {
+          out[i] = ' ';
+          state = State::kChar;
+        }
+        break;
+      }
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+      case State::kChar: {
+        const char quote = state == State::kString ? '"' : '\'';
+        if (c == '\\' && next != '\0') {
+          out[i] = ' ';
+          if (next != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == quote || c == '\n') {  // '\n': unterminated literal
+          if (c != '\n') out[i] = ' ';
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Violation> LintSource(const std::string& rel_path,
+                                  const std::string& src,
+                                  const Options& options) {
+  Ctx ctx;
+  ctx.rel = rel_path;
+  ctx.all_rules = options.all_rules;
+  ctx.masked = MaskSource(src);
+
+  ctx.line_start.push_back(0);
+  for (size_t i = 0; i < src.size(); ++i) {
+    if (src[i] == '\n') ctx.line_start.push_back(i + 1);
+  }
+  size_t start = 0;
+  for (size_t i = 0; i <= src.size(); ++i) {
+    if (i == src.size() || src[i] == '\n') {
+      ctx.raw_lines.push_back(src.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+
+  CheckBannedRandomness(ctx);
+  CheckUnorderedIteration(ctx);
+  CheckSafety(ctx);
+  CheckHygiene(ctx);
+
+  std::sort(ctx.out.begin(), ctx.out.end(),
+            [](const Violation& a, const Violation& b) {
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return ctx.out;
+}
+
+}  // namespace fab::lint

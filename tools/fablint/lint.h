@@ -1,0 +1,65 @@
+#ifndef FAB_TOOLS_FABLINT_LINT_H_
+#define FAB_TOOLS_FABLINT_LINT_H_
+
+#include <string>
+#include <vector>
+
+/// fablint — project-specific static analysis for the fab codebase.
+///
+/// The linter enforces the determinism and serving contracts that the
+/// runtime golden tests can only spot-check: every rule here encodes a
+/// clause of DESIGN.md ("derive RNG streams from (seed, unit_index)",
+/// "never reduce over unordered container order", "no ambient clocks or
+/// randomness") or a project hygiene/safety convention (FAB_CHECK over
+/// assert, no float accumulators, guarded headers).
+///
+/// It is deliberately lexical, not a full C++ front end: sources are
+/// masked (comments, string and character literals blanked out, layout
+/// preserved) and then scanned token-wise. That keeps the tool a single
+/// dependency-free binary that runs in milliseconds as a ctest entry,
+/// at the cost of a small, documented false-positive surface — which is
+/// what `// fablint:allow(<rule>)` suppressions are for.
+namespace fab::lint {
+
+/// One diagnostic: where, which rule, and a human-readable explanation.
+struct Violation {
+  std::string path;  // as supplied (relative to --root when walking)
+  int line = 0;      // 1-based
+  std::string rule;
+  std::string message;
+};
+
+struct RuleInfo {
+  const char* id;
+  const char* summary;
+};
+
+/// Stable, documented rule set (IDs appear in diagnostics, suppressions,
+/// fixtures, and the README rule table).
+const std::vector<RuleInfo>& AllRules();
+
+struct Options {
+  /// When true, path-based scoping is disabled and every rule applies to
+  /// every file (used by the fixture tests). When false, rules honor their
+  /// directory scopes: det-mt19937 is allowed inside src/util/random.*,
+  /// det-unordered-iter only fires under src/core/, src/explain/ and
+  /// src/ml/, and header-only rules skip .cc files.
+  bool all_rules = false;
+};
+
+/// Returns `src` with comments, string literals and character literals
+/// replaced by spaces. Line structure and column positions are preserved so
+/// diagnostics computed on the masked text map 1:1 onto the original.
+/// Exposed for testing.
+std::string MaskSource(const std::string& src);
+
+/// Lints one in-memory source file. `rel_path` uses forward slashes and is
+/// relative to the repository root (it drives rule scoping and appears in
+/// diagnostics). Suppressed violations are dropped here.
+std::vector<Violation> LintSource(const std::string& rel_path,
+                                  const std::string& src,
+                                  const Options& options);
+
+}  // namespace fab::lint
+
+#endif  // FAB_TOOLS_FABLINT_LINT_H_

@@ -1,0 +1,156 @@
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: fablint [--root <dir>] [--all-rules] [--exclude <substr>]...\n"
+    "               [--list-rules] <file-or-dir>...\n"
+    "\n"
+    "Lints fab C++ sources for determinism, safety and hygiene violations.\n"
+    "Diagnostics: <path>:<line>: [<rule-id>] <message>\n"
+    "Suppress a finding with '// fablint:allow(<rule-id>)' on the same or\n"
+    "the preceding line.\n"
+    "\n"
+    "  --root <dir>    repository root; paths in diagnostics and rule\n"
+    "                  scoping are relative to it (default: cwd)\n"
+    "  --all-rules     disable path-based rule scoping (fixture mode)\n"
+    "  --exclude <s>   skip files whose root-relative path contains <s>\n"
+    "  --list-rules    print the rule table and exit\n"
+    "\n"
+    "exit status: 0 clean, 1 violations found, 2 usage or I/O error\n";
+
+bool HasLintableExtension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cc" || ext == ".h" || ext == ".cpp" || ext == ".hpp" ||
+         ext == ".cxx" || ext == ".hh";
+}
+
+std::string RelPath(const fs::path& file, const fs::path& root) {
+  std::error_code ec;
+  const fs::path rel = fs::proximate(file, root, ec);
+  if (ec || rel.empty()) return file.generic_string();
+  const std::string s = rel.generic_string();
+  // Outside the root: keep the full path so diagnostics stay clickable.
+  if (s.rfind("..", 0) == 0) return file.generic_string();
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  bool all_rules = false;
+  std::vector<std::string> excludes;
+  std::vector<fs::path> inputs;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << kUsage;
+      return 0;
+    } else if (arg == "--list-rules") {
+      for (const fab::lint::RuleInfo& rule : fab::lint::AllRules()) {
+        std::cout << rule.id << "\t" << rule.summary << "\n";
+      }
+      return 0;
+    } else if (arg == "--all-rules") {
+      all_rules = true;
+    } else if (arg == "--root") {
+      if (i + 1 >= argc) {
+        std::cerr << "fablint: --root needs a value\n" << kUsage;
+        return 2;
+      }
+      root = argv[++i];
+    } else if (arg == "--exclude") {
+      if (i + 1 >= argc) {
+        std::cerr << "fablint: --exclude needs a value\n" << kUsage;
+        return 2;
+      }
+      excludes.push_back(argv[++i]);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "fablint: unknown flag " << arg << "\n" << kUsage;
+      return 2;
+    } else {
+      inputs.emplace_back(arg);
+    }
+  }
+  if (inputs.empty()) {
+    std::cerr << "fablint: no inputs\n" << kUsage;
+    return 2;
+  }
+
+  // Expand directories; explicit files are taken as-is (even fixture files
+  // that a directory walk would skip via --exclude).
+  std::vector<fs::path> files;
+  for (const fs::path& input : inputs) {
+    std::error_code ec;
+    if (fs::is_directory(input, ec)) {
+      for (fs::recursive_directory_iterator it(input, ec), end;
+           !ec && it != end; it.increment(ec)) {
+        if (it->is_regular_file() && HasLintableExtension(it->path())) {
+          files.push_back(it->path());
+        }
+      }
+      if (ec) {
+        std::cerr << "fablint: cannot walk " << input << ": " << ec.message()
+                  << "\n";
+        return 2;
+      }
+    } else if (fs::is_regular_file(input, ec)) {
+      files.push_back(input);
+    } else {
+      std::cerr << "fablint: no such file or directory: " << input << "\n";
+      return 2;
+    }
+  }
+
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  fab::lint::Options options;
+  options.all_rules = all_rules;
+
+  size_t checked = 0;
+  std::vector<fab::lint::Violation> violations;
+  for (const fs::path& file : files) {
+    const std::string rel = RelPath(file, root);
+    bool skip = false;
+    for (const std::string& pattern : excludes) {
+      if (rel.find(pattern) != std::string::npos) {
+        skip = true;
+        break;
+      }
+    }
+    if (skip) continue;
+
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      std::cerr << "fablint: cannot read " << file << "\n";
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    ++checked;
+    std::vector<fab::lint::Violation> found =
+        fab::lint::LintSource(rel, buffer.str(), options);
+    violations.insert(violations.end(), found.begin(), found.end());
+  }
+
+  for (const fab::lint::Violation& v : violations) {
+    std::cout << v.path << ":" << v.line << ": [" << v.rule << "] "
+              << v.message << "\n";
+  }
+  std::cout << "fablint: checked " << checked << " file(s), "
+            << violations.size() << " violation(s)\n";
+  return violations.empty() ? 0 : 1;
+}
