@@ -22,8 +22,21 @@ double Percentile(std::vector<double> sorted_copy, double q) {
 
 BatchServer::BatchServer(std::shared_ptr<const Servable> model,
                          const BatchServerOptions& options)
-    : options_(options), model_(std::move(model)) {
-  if (model_ != nullptr) num_features_ = model_->num_features();
+    : options_(options),
+      num_features_(model != nullptr ? model->num_features() : 0),
+      model_(std::move(model)) {
+  Start();
+}
+
+BatchServer::~BatchServer() { Shutdown(); }
+
+void BatchServer::Start() {
+  util::MutexLock lifecycle(lifecycle_mu_);
+  if (!workers_.empty()) return;  // already running
+  {
+    util::MutexLock lock(mu_);
+    stopping_ = false;
+  }
   const int threads = util::ResolveThreads(options_.num_threads);
   workers_.reserve(static_cast<size_t>(threads));
   for (int i = 0; i < threads; ++i) {
@@ -31,7 +44,23 @@ BatchServer::BatchServer(std::shared_ptr<const Servable> model,
   }
 }
 
-BatchServer::~BatchServer() { Shutdown(); }
+void BatchServer::Shutdown() {
+  // lifecycle_mu_ is held for the whole stop-notify-join sequence, so a
+  // concurrent Start/Shutdown pair serializes: either the restart sees a
+  // fully joined server, or the shutdown joins the freshly started
+  // workers. Lock order lifecycle_mu_ -> mu_ matches Start().
+  util::MutexLock lifecycle(lifecycle_mu_);
+  {
+    util::MutexLock lock(mu_);
+    if (stopping_ && workers_.empty()) return;
+    stopping_ = true;
+  }
+  cv_.NotifyAll();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
 
 Result<std::future<double>> BatchServer::Submit(std::vector<double> features) {
   const size_t expected = num_features_.load();
@@ -45,20 +74,20 @@ Result<std::future<double>> BatchServer::Submit(std::vector<double> features) {
   request.enqueued = std::chrono::steady_clock::now();
   std::future<double> future = request.promise.get_future();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     if (stopping_) {
       return Status::FailedPrecondition("server is shut down");
     }
     queue_.push_back(std::move(request));
   }
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    util::MutexLock lock(stats_mu_);
     if (!have_first_submit_) {
       have_first_submit_ = true;
       first_submit_ = std::chrono::steady_clock::now();
     }
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
   return future;
 }
 
@@ -69,22 +98,9 @@ Result<double> BatchServer::Forecast(std::vector<double> features) {
 }
 
 void BatchServer::UpdateModel(std::shared_ptr<const Servable> model) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   model_ = std::move(model);
   if (model_ != nullptr) num_features_ = model_->num_features();
-}
-
-void BatchServer::Shutdown() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (stopping_ && workers_.empty()) return;
-    stopping_ = true;
-  }
-  cv_.notify_all();
-  for (std::thread& worker : workers_) {
-    if (worker.joinable()) worker.join();
-  }
-  workers_.clear();
 }
 
 void BatchServer::WorkerLoop() {
@@ -92,17 +108,22 @@ void BatchServer::WorkerLoop() {
     std::vector<Request> batch;
     std::shared_ptr<const Servable> model;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      util::MutexLock lock(mu_);
+      // Explicit wait loops over FAB_GUARDED_BY state (no predicate
+      // lambdas): the analysis then proves every read of queue_ and
+      // stopping_ happens with mu_ held.
+      while (!stopping_ && queue_.empty()) cv_.Wait(mu_);
       if (queue_.empty()) return;  // stopping and fully drained
       if (queue_.size() < options_.max_batch && options_.coalesce_wait_us > 0 &&
           !stopping_) {
         // Hold the batch open briefly so bursty single-row traffic
         // coalesces instead of running one row at a time.
-        cv_.wait_for(lock, std::chrono::microseconds(options_.coalesce_wait_us),
-                     [this] {
-                       return stopping_ || queue_.size() >= options_.max_batch;
-                     });
+        const auto deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::microseconds(options_.coalesce_wait_us);
+        while (!stopping_ && queue_.size() < options_.max_batch) {
+          if (!cv_.WaitUntil(mu_, deadline)) break;  // timed out
+        }
       }
       const size_t take = std::min(queue_.size(), options_.max_batch);
       batch.reserve(take);
@@ -110,7 +131,7 @@ void BatchServer::WorkerLoop() {
         batch.push_back(std::move(queue_.front()));
         queue_.pop_front();
       }
-      model = model_;
+      model = model_;  // shared_ptr copy under the lock, never a reference
     }
     if (!batch.empty()) RunBatch(std::move(batch), model);
   }
@@ -134,7 +155,7 @@ void BatchServer::RunBatch(std::vector<Request> batch,
   {
     // Record stats before fulfilling the promises: once a caller's future
     // resolves, a subsequent Stats() call must already count that request.
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    util::MutexLock lock(stats_mu_);
     requests_completed_ += rows;
     batches_run_ += 1;
     last_complete_ = done;
@@ -151,7 +172,7 @@ void BatchServer::RunBatch(std::vector<Request> batch,
 }
 
 BatchServerStats BatchServer::Stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  util::MutexLock lock(stats_mu_);
   BatchServerStats stats;
   stats.requests_completed = requests_completed_;
   stats.batches_run = batches_run_;

@@ -3,17 +3,17 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "serve/servable.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace fab::serve {
 
@@ -52,6 +52,18 @@ struct BatchServerStats {
 /// Thread-safe: any number of client threads may Submit concurrently;
 /// UpdateModel hot-swaps the served model without draining the queue
 /// (in-flight batches finish on the model they started with).
+///
+/// Three capabilities, each compiler-checked via FAB_GUARDED_BY under
+/// `-DFAB_THREAD_SAFETY=ON`:
+///   * mu_            — request queue, served model, stop flag (the
+///                      condition-variable predicates read only this
+///                      guarded state, in explicit wait loops);
+///   * stats_mu_      — serving counters and latency samples;
+///   * lifecycle_mu_  — the worker threads themselves. Held across the
+///                      join in Shutdown, so Start/Shutdown/Start races
+///                      serialize instead of double-joining. Fixed order
+///                      when nested: lifecycle_mu_ before mu_ (fablint's
+///                      cross-TU lock-order rule watches the inverse).
 class BatchServer {
  public:
   BatchServer(std::shared_ptr<const Servable> model,
@@ -64,17 +76,24 @@ class BatchServer {
   /// Enqueues one feature row; the future resolves to the forecast.
   /// Fails fast (before queueing) on a feature-count mismatch or after
   /// Shutdown.
-  Result<std::future<double>> Submit(std::vector<double> features);
+  Result<std::future<double>> Submit(std::vector<double> features)
+      FAB_EXCLUDES(mu_);
 
   /// Blocking convenience wrapper around Submit.
   Result<double> Forecast(std::vector<double> features);
 
   /// Atomically replaces the served model (e.g. after a registry Reload).
-  void UpdateModel(std::shared_ptr<const Servable> model);
+  void UpdateModel(std::shared_ptr<const Servable> model) FAB_EXCLUDES(mu_);
+
+  /// (Re)spawns the worker threads after a Shutdown and starts accepting
+  /// requests again. Idempotent while running; also run by the
+  /// constructor. Serving stats carry over across restarts.
+  void Start() FAB_EXCLUDES(lifecycle_mu_, mu_);
 
   /// Stops accepting requests, drains the queue, joins the workers.
-  /// Idempotent; also run by the destructor.
-  void Shutdown();
+  /// Idempotent; also run by the destructor. A stopped server can be
+  /// revived with Start().
+  void Shutdown() FAB_EXCLUDES(lifecycle_mu_, mu_);
 
   BatchServerStats Stats() const;
 
@@ -88,7 +107,7 @@ class BatchServer {
     std::chrono::steady_clock::time_point enqueued;
   };
 
-  void WorkerLoop();
+  void WorkerLoop() FAB_EXCLUDES(mu_);
   void RunBatch(std::vector<Request> batch,
                 const std::shared_ptr<const Servable>& model);
 
@@ -96,21 +115,24 @@ class BatchServer {
   /// Atomic: read lock-free on the Submit fast path, written by UpdateModel.
   std::atomic<size_t> num_features_{0};
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Request> queue_;
-  std::shared_ptr<const Servable> model_;
-  bool stopping_ = false;
+  mutable util::Mutex mu_;
+  util::CondVar cv_;
+  std::deque<Request> queue_ FAB_GUARDED_BY(mu_);
+  std::shared_ptr<const Servable> model_ FAB_GUARDED_BY(mu_);
+  bool stopping_ FAB_GUARDED_BY(mu_) = false;
 
-  mutable std::mutex stats_mu_;
-  uint64_t requests_completed_ = 0;
-  uint64_t batches_run_ = 0;
-  std::vector<double> latency_us_;
-  bool have_first_submit_ = false;
-  std::chrono::steady_clock::time_point first_submit_;
-  std::chrono::steady_clock::time_point last_complete_;
+  mutable util::Mutex stats_mu_;
+  uint64_t requests_completed_ FAB_GUARDED_BY(stats_mu_) = 0;
+  uint64_t batches_run_ FAB_GUARDED_BY(stats_mu_) = 0;
+  std::vector<double> latency_us_ FAB_GUARDED_BY(stats_mu_);
+  bool have_first_submit_ FAB_GUARDED_BY(stats_mu_) = false;
+  std::chrono::steady_clock::time_point first_submit_
+      FAB_GUARDED_BY(stats_mu_);
+  std::chrono::steady_clock::time_point last_complete_
+      FAB_GUARDED_BY(stats_mu_);
 
-  std::vector<std::thread> workers_;
+  util::Mutex lifecycle_mu_ FAB_ACQUIRED_BEFORE(mu_);
+  std::vector<std::thread> workers_ FAB_GUARDED_BY(lifecycle_mu_);
 };
 
 }  // namespace fab::serve

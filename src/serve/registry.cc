@@ -67,26 +67,29 @@ Result<std::shared_ptr<const Servable>> ModelRegistry::LoadFromDisk(
 Result<std::shared_ptr<const Servable>> ModelRegistry::Get(
     const ModelKey& key) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     auto it = loaded_.find(key);
+    // A shared_ptr copy made while the lock is held — never a reference
+    // into loaded_, which a concurrent Reload/Evict could invalidate.
     if (it != loaded_.end()) return it->second;
   }
   // Load outside the lock so a slow disk read doesn't stall lookups of
   // already-resident models.
   FAB_ASSIGN_OR_RETURN(std::shared_ptr<const Servable> servable,
                        LoadFromDisk(key));
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   // A racing loader may have won; keep the first one in.
   auto [it, inserted] = loaded_.emplace(key, std::move(servable));
-  (void)inserted;
+  if (inserted) ++generation_;
   return it->second;
 }
 
 Status ModelRegistry::Reload(const ModelKey& key) {
   FAB_ASSIGN_OR_RETURN(std::shared_ptr<const Servable> fresh,
                        LoadFromDisk(key));
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   loaded_[key] = std::move(fresh);  // atomic swap under the lock
+  ++generation_;
   return Status::OK();
 }
 
@@ -94,8 +97,9 @@ Status ModelRegistry::Put(const ModelKey& key,
                           std::unique_ptr<ml::Regressor> model) {
   FAB_ASSIGN_OR_RETURN(std::shared_ptr<const Servable> servable,
                        Servable::Wrap(std::move(model)));
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   loaded_[key] = std::move(servable);
+  ++generation_;
   return Status::OK();
 }
 
@@ -114,8 +118,8 @@ Status ModelRegistry::Install(const ModelKey& key,
 }
 
 void ModelRegistry::Evict(const ModelKey& key) {
-  std::lock_guard<std::mutex> lock(mu_);
-  loaded_.erase(key);
+  util::MutexLock lock(mu_);
+  if (loaded_.erase(key) > 0) ++generation_;
 }
 
 std::vector<ModelKey> ModelRegistry::ListOnDisk() const {
@@ -133,8 +137,13 @@ std::vector<ModelKey> ModelRegistry::ListOnDisk() const {
 }
 
 size_t ModelRegistry::LoadedCount() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return loaded_.size();
+}
+
+uint64_t ModelRegistry::Generation() const {
+  util::MutexLock lock(mu_);
+  return generation_;
 }
 
 }  // namespace fab::serve

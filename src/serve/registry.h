@@ -1,14 +1,16 @@
 #ifndef FAB_SERVE_REGISTRY_H_
 #define FAB_SERVE_REGISTRY_H_
 
+#include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "serve/servable.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace fab::serve {
 
@@ -45,6 +47,12 @@ Result<ModelKey> ParseSnapshotFileName(const std::string& filename);
 /// so readers either see the old model or the new one, never a torn
 /// state — and in-flight batches keep the old model alive through their
 /// shared_ptr until they finish.
+///
+/// Escape discipline (compiler-checked via FAB_GUARDED_BY under
+/// `-DFAB_THREAD_SAFETY=ON`): no method ever returns a reference or
+/// pointer into the guarded map — accessors hand out shared_ptr *copies*
+/// taken under the lock, so a concurrent Reload/Evict can never leave a
+/// caller holding a dangling handle.
 class ModelRegistry {
  public:
   explicit ModelRegistry(std::string root_dir) : root_(std::move(root_dir)) {}
@@ -70,6 +78,12 @@ class ModelRegistry {
   /// Number of models currently resident in memory.
   size_t LoadedCount() const;
 
+  /// Monotonic mutation counter: bumped by every successful Reload, Put,
+  /// Install and entry-removing Evict. Lets serving layers detect "has
+  /// anything changed since I last looked?" with one cheap call instead
+  /// of comparing servable pointers key by key.
+  uint64_t Generation() const;
+
   const std::string& root_dir() const { return root_; }
   std::string PathFor(const ModelKey& key) const;
 
@@ -78,8 +92,10 @@ class ModelRegistry {
       const ModelKey& key) const;
 
   const std::string root_;
-  mutable std::mutex mu_;
-  std::map<ModelKey, std::shared_ptr<const Servable>> loaded_;
+  mutable util::Mutex mu_;
+  std::map<ModelKey, std::shared_ptr<const Servable>> loaded_
+      FAB_GUARDED_BY(mu_);
+  uint64_t generation_ FAB_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace fab::serve

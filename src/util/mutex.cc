@@ -1,0 +1,26 @@
+#include "util/mutex.h"
+
+namespace fab::util {
+
+// Both waits use the adopt/release trick: the caller already holds
+// mu.raw_ (enforced by FAB_REQUIRES), so it is adopted into a
+// std::unique_lock without relocking, handed to the condition variable,
+// and released from the unique_lock afterwards so the caller keeps
+// ownership. The capability state therefore matches the annotation:
+// held on entry, held on exit.
+
+void CondVar::Wait(Mutex& mu) {
+  std::unique_lock<std::mutex> native(mu.raw_, std::adopt_lock);
+  cv_.wait(native);
+  native.release();
+}
+
+bool CondVar::WaitUntil(Mutex& mu,
+                        std::chrono::steady_clock::time_point deadline) {
+  std::unique_lock<std::mutex> native(mu.raw_, std::adopt_lock);
+  const std::cv_status status = cv_.wait_until(native, deadline);
+  native.release();
+  return status == std::cv_status::no_timeout;
+}
+
+}  // namespace fab::util

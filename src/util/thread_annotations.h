@@ -1,0 +1,97 @@
+#ifndef FAB_UTIL_THREAD_ANNOTATIONS_H_
+#define FAB_UTIL_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety capability annotations for the fab codebase.
+///
+/// These macros let the compiler *prove* lock discipline at build time:
+/// a field tagged FAB_GUARDED_BY(mu_) can only be touched while `mu_` is
+/// held, a function tagged FAB_REQUIRES(mu_) can only be called with it
+/// held, and a violation is a hard error under
+/// `-DFAB_THREAD_SAFETY=ON` (Clang, `-Wthread-safety
+/// -Werror=thread-safety` — see the top-level CMakeLists.txt and the CI
+/// `thread-safety` job). On non-Clang compilers every macro expands to
+/// nothing, so the default GCC build is byte-for-byte unaffected.
+///
+/// The analysis only understands annotated capability types, and
+/// libstdc++'s std::mutex carries no annotations — which is why locked
+/// classes here use fab::util::Mutex / MutexLock / CondVar
+/// (src/util/mutex.h) instead of std::mutex directly. fablint's
+/// `safety-unannotated-mutex` rule enforces that every mutex member in
+/// the annotated targets (src/util, src/serve) has at least one
+/// FAB_GUARDED_BY sibling, so new locked classes cannot silently opt
+/// out. See DESIGN.md §8 for the "how to annotate a new locked class"
+/// recipe.
+///
+/// Macro reference (mirrors the Clang documentation's canonical set):
+///
+///   FAB_CAPABILITY(name)       class is a lockable capability ("mutex")
+///   FAB_SCOPED_CAPABILITY      RAII class that acquires in its ctor and
+///                              releases in its dtor
+///   FAB_GUARDED_BY(mu)         field may only be read/written holding mu
+///   FAB_PT_GUARDED_BY(mu)      pointee (not the pointer) guarded by mu
+///   FAB_REQUIRES(mu...)        caller must hold mu (exclusively)
+///   FAB_REQUIRES_SHARED(...)   caller must hold mu (at least shared)
+///   FAB_ACQUIRE(mu...)         function acquires mu, caller must not hold
+///   FAB_ACQUIRE_SHARED(...)    shared-mode acquire
+///   FAB_RELEASE(mu...)         function releases mu, caller must hold
+///   FAB_RELEASE_SHARED(...)    shared-mode release
+///   FAB_TRY_ACQUIRE(b, mu...)  acquires mu iff the function returns b
+///   FAB_EXCLUDES(mu...)        caller must NOT hold mu (deadlock guard)
+///   FAB_ACQUIRED_BEFORE(...)   declared lock-order edge (this before mu)
+///   FAB_ACQUIRED_AFTER(...)    declared lock-order edge (this after mu)
+///   FAB_ASSERT_CAPABILITY(mu)  runtime assert that mu is held
+///   FAB_RETURN_CAPABILITY(mu)  function returns a reference to mu
+///   FAB_NO_THREAD_SAFETY_ANALYSIS  opt a function out (justify in-code)
+
+#if defined(__clang__) && !defined(SWIG)
+#define FAB_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define FAB_THREAD_ANNOTATION_(x)  // no-op outside Clang
+#endif
+
+#define FAB_CAPABILITY(x) FAB_THREAD_ANNOTATION_(capability(x))
+
+#define FAB_SCOPED_CAPABILITY FAB_THREAD_ANNOTATION_(scoped_lockable)
+
+#define FAB_GUARDED_BY(x) FAB_THREAD_ANNOTATION_(guarded_by(x))
+
+#define FAB_PT_GUARDED_BY(x) FAB_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+#define FAB_ACQUIRED_BEFORE(...) \
+  FAB_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+
+#define FAB_ACQUIRED_AFTER(...) \
+  FAB_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+#define FAB_REQUIRES(...) \
+  FAB_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+#define FAB_REQUIRES_SHARED(...) \
+  FAB_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+#define FAB_ACQUIRE(...) \
+  FAB_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+#define FAB_ACQUIRE_SHARED(...) \
+  FAB_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+#define FAB_RELEASE(...) \
+  FAB_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+#define FAB_RELEASE_SHARED(...) \
+  FAB_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+#define FAB_TRY_ACQUIRE(...) \
+  FAB_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+#define FAB_EXCLUDES(...) FAB_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+#define FAB_ASSERT_CAPABILITY(x) \
+  FAB_THREAD_ANNOTATION_(assert_capability(x))
+
+#define FAB_RETURN_CAPABILITY(x) FAB_THREAD_ANNOTATION_(lock_returned(x))
+
+#define FAB_NO_THREAD_SAFETY_ANALYSIS \
+  FAB_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // FAB_UTIL_THREAD_ANNOTATIONS_H_

@@ -38,10 +38,10 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
@@ -51,18 +51,18 @@ bool ThreadPool::InWorker() { return t_in_pool_worker; }
 
 void ThreadPool::Enqueue(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(task));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stopping_ && queue_.empty()) cv_.Wait(mu_);
       if (queue_.empty()) return;  // stopping and fully drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -123,30 +123,45 @@ void ThreadPool::ParallelFor(size_t begin, size_t end,
 
 namespace {
 
-std::mutex g_shared_pool_mu;
-std::unique_ptr<ThreadPool> g_shared_pool;
+Mutex g_shared_pool_mu;
+std::shared_ptr<ThreadPool> g_shared_pool FAB_GUARDED_BY(g_shared_pool_mu);
 
 }  // namespace
 
-ThreadPool& SharedPool() {
-  std::lock_guard<std::mutex> lock(g_shared_pool_mu);
+std::shared_ptr<ThreadPool> SharedPool() {
+  MutexLock lock(g_shared_pool_mu);
   if (g_shared_pool == nullptr) {
-    g_shared_pool = std::make_unique<ThreadPool>(EnvThreads());
+    g_shared_pool = std::make_shared<ThreadPool>(EnvThreads());
   }
-  return *g_shared_pool;
+  return g_shared_pool;  // a copy taken under the lock, not a reference
 }
 
 void SetSharedPoolThreads(int num_threads) {
   const int n = ResolveThreads(num_threads);
-  std::lock_guard<std::mutex> lock(g_shared_pool_mu);
-  if (g_shared_pool != nullptr && g_shared_pool->num_threads() == n) return;
-  g_shared_pool.reset();  // joins the old workers first
-  g_shared_pool = std::make_unique<ThreadPool>(n);
+  std::shared_ptr<ThreadPool> retired;
+  {
+    MutexLock lock(g_shared_pool_mu);
+    if (g_shared_pool != nullptr && g_shared_pool->num_threads() == n) return;
+    // Swap under the lock, destroy outside it: if this is the last
+    // reference, ~ThreadPool joins the old workers, and a join must not
+    // happen while holding the singleton lock (a draining task calling
+    // util::ParallelFor would need it and deadlock).
+    retired = std::move(g_shared_pool);
+    g_shared_pool = std::make_shared<ThreadPool>(n);
+  }
 }
 
 void ParallelFor(size_t begin, size_t end,
                  const std::function<void(size_t)>& fn, int max_parallel) {
-  SharedPool().ParallelFor(begin, end, fn, max_parallel);
+  // Nested calls from pool workers run inline (exactly what
+  // ThreadPool::ParallelFor would do) without taking the singleton lock
+  // or a pool reference — so a worker can never end up holding the last
+  // reference to its own pool and joining itself.
+  if (ThreadPool::InWorker()) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  SharedPool()->ParallelFor(begin, end, fn, max_parallel);
 }
 
 }  // namespace fab::util

@@ -1,16 +1,17 @@
 #ifndef FAB_UTIL_THREAD_POOL_H_
 #define FAB_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace fab::util {
 
@@ -37,6 +38,10 @@ int ResolveThreads(int requested);
 /// (e.g. a forest fit running under a scenario fan-out) executes inline
 /// on that worker instead of re-entering the queue, so nesting can never
 /// deadlock and never changes results.
+///
+/// Lock discipline is compiler-checked: queue_ and stopping_ carry
+/// FAB_GUARDED_BY(mu_) and a Clang `-DFAB_THREAD_SAFETY=ON` build
+/// rejects any access outside the lock.
 class ThreadPool {
  public:
   /// Spawns ResolveThreads(num_threads) workers.
@@ -69,20 +74,22 @@ class ThreadPool {
   /// pool worker, when the range is trivial, or when capped to one chunk.
   void ParallelFor(size_t begin, size_t end,
                    const std::function<void(size_t)>& fn,
-                   int max_parallel = 0);
+                   int max_parallel = 0) FAB_EXCLUDES(mu_);
 
   /// True when the calling thread is one of this process's pool workers
   /// (any pool; used to detect nesting).
   static bool InWorker();
 
  private:
-  void Enqueue(std::function<void()> task);
+  void Enqueue(std::function<void()> task) FAB_EXCLUDES(mu_);
   void WorkerLoop();
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stopping_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ FAB_GUARDED_BY(mu_);
+  bool stopping_ FAB_GUARDED_BY(mu_) = false;
+  /// Written only by the constructor and joined/cleared only by the
+  /// destructor; every other access is the const size() in num_threads().
   std::vector<std::thread> workers_;
 };
 
@@ -90,16 +97,24 @@ class ThreadPool {
 /// folds, scenario fan-out, forest training) shares. Sized on first use
 /// from the FAB_THREADS environment knob via ResolveThreads; resize with
 /// SetSharedPoolThreads.
-ThreadPool& SharedPool();
+///
+/// Returns a shared_ptr copied out under the singleton lock — never a
+/// reference into guarded state — so a concurrent SetSharedPoolThreads
+/// swap cannot destroy a pool a caller is still using (the old pool
+/// drains and joins when its last holder lets go).
+std::shared_ptr<ThreadPool> SharedPool();
 
 /// Re-creates the shared pool with ResolveThreads(num_threads) workers.
-/// Not safe while shared-pool work is in flight; intended for process
-/// startup and tests sweeping thread counts.
+/// Safe to call while shared-pool work is in flight: in-flight
+/// ParallelFor/Submit callers hold their own reference and finish on the
+/// pool they started with; only new SharedPool() calls see the new pool.
 void SetSharedPoolThreads(int num_threads);
 
 /// Shared-pool convenience wrapper: ThreadPool::ParallelFor on
 /// SharedPool(). `max_parallel` caps concurrency (0 = pool width, 1 =
-/// serial inline).
+/// serial inline). When called from inside a pool worker the loop runs
+/// inline without touching the singleton at all, so nested calls never
+/// contend on (or pin) the shared pool.
 void ParallelFor(size_t begin, size_t end,
                  const std::function<void(size_t)>& fn, int max_parallel = 0);
 

@@ -106,6 +106,120 @@ TEST(FablintTest, HygieneNewDelete) {
   ExpectSingleRule("hygiene_new_delete.cc", "hygiene-new-delete");
 }
 
+TEST(FablintTest, SafetyUnannotatedMutex) {
+  ExpectSingleRule("safety_unannotated_mutex.h", "safety-unannotated-mutex");
+}
+
+TEST(FablintTest, SafetyUnannotatedMutexReportsExactLine) {
+  const RunResult run =
+      RunFablint("--all-rules " + Fixture("safety_unannotated_mutex.h"));
+  EXPECT_NE(run.output.find(
+                "safety_unannotated_mutex.h:11: [safety-unannotated-mutex]"),
+            std::string::npos)
+      << run.output;
+}
+
+TEST(FablintTest, LockOrderPairsOppositeSitesAcrossFiles) {
+  const RunResult run =
+      RunFablint("--all-rules " + Fixture("lock_order_a.cc") + " " +
+                 Fixture("lock_order_b.cc"));
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_EQ(CountOccurrences(run.output, "[lock-order]"), 1u) << run.output;
+  EXPECT_EQ(CountOccurrences(run.output, "["), 1u) << run.output;
+  // Anchored at the (path, line)-later site, referencing the earlier one.
+  EXPECT_NE(run.output.find("lock_order_b.cc:16: [lock-order]"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("lock_order_a.cc:16"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("PairedLocks::first_"), std::string::npos)
+      << run.output;
+}
+
+TEST(FablintTest, LockOrderNeedsBothSitesToFire) {
+  // One TU alone nests consistently — the rule is cross-file by nature.
+  const RunResult run =
+      RunFablint("--all-rules " + Fixture("lock_order_a.cc"));
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+TEST(FablintTest, GraphIncludeCycleReportedOnceAtSmallestMember) {
+  const RunResult run =
+      RunFablint("--all-rules --root " + std::string(FABLINT_FIXTURES) + " " +
+                 Fixture("graph"));
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("checked 9 file(s), 2 violation(s)"),
+            std::string::npos)
+      << run.output;
+  EXPECT_EQ(CountOccurrences(run.output, "[graph-include-cycle]"), 1u)
+      << run.output;
+  EXPECT_NE(
+      run.output.find("graph/cycle_a.h:2: [graph-include-cycle] include "
+                      "cycle: graph/cycle_a.h -> graph/cycle_b.h -> "
+                      "graph/cycle_c.h -> graph/cycle_a.h"),
+      std::string::npos)
+      << run.output;
+  EXPECT_EQ(CountOccurrences(run.output, "[graph-unused-include]"), 1u)
+      << run.output;
+  EXPECT_NE(run.output.find("graph/unused_user.cc:1: [graph-unused-include]"),
+            std::string::npos)
+      << run.output;
+}
+
+TEST(FablintTest, DiamondIncludeShapeIsNotACycle) {
+  // The negative that keeps the cycle detector honest: reaching
+  // diamond_base.h along two paths must produce zero findings.
+  const RunResult run = RunFablint(
+      "--all-rules --root " + std::string(FABLINT_FIXTURES) + " " +
+      Fixture("graph/diamond_top.cc") + " " +
+      Fixture("graph/diamond_left.h") + " " +
+      Fixture("graph/diamond_right.h") + " " +
+      Fixture("graph/diamond_base.h"));
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_EQ(CountOccurrences(run.output, "["), 0u) << run.output;
+}
+
+TEST(FablintTest, GraphDumpPrintsResolvedEdges) {
+  const RunResult run =
+      RunFablint("--graph-dump --root " + std::string(FABLINT_FIXTURES) +
+                 " " + Fixture("graph"));
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_NE(run.output.find("include-graph: 9 file(s), 8 edge(s)"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("-> graph/cycle_b.h (line 2)"), std::string::npos)
+      << run.output;
+}
+
+TEST(FablintTest, MultiRuleAllowListSuppressesEveryNamedRule) {
+  const RunResult run =
+      RunFablint("--all-rules " + Fixture("allow_multi_rule.cc"));
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_EQ(CountOccurrences(run.output, "["), 0u) << run.output;
+}
+
+TEST(FablintTest, PrecedingLineAllowSuppresses) {
+  const RunResult run =
+      RunFablint("--all-rules " + Fixture("allow_prev_line.cc"));
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_EQ(CountOccurrences(run.output, "["), 0u) << run.output;
+}
+
+TEST(FablintTest, UnknownRuleIdIsDiagnosedNotSilence) {
+  const RunResult run =
+      RunFablint("--all-rules " + Fixture("allow_unknown_rule.cc"));
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  // The typo'd allow is itself a finding…
+  EXPECT_NE(run.output.find("allow_unknown_rule.cc:6: [lint-unknown-rule]"),
+            std::string::npos)
+      << run.output;
+  // …and it does NOT suppress the real violation underneath.
+  EXPECT_NE(run.output.find("allow_unknown_rule.cc:7: [det-rand]"),
+            std::string::npos)
+      << run.output;
+  EXPECT_EQ(CountOccurrences(run.output, "["), 2u) << run.output;
+}
+
 TEST(FablintTest, CleanFileExitsZero) {
   const RunResult run = RunFablint("--all-rules " + Fixture("clean.cc"));
   EXPECT_EQ(run.exit_code, 0) << run.output;
@@ -124,20 +238,25 @@ TEST(FablintTest, WalkingTheFixtureDirFindsEveryRuleOnce) {
       RunFablint("--all-rules --root " + std::string(FABLINT_FIXTURES) + " " +
                  std::string(FABLINT_FIXTURES));
   EXPECT_EQ(run.exit_code, 1);
-  // 11 rules, one deliberate violation each; clean.cc and suppressed.cc
+  // One deliberate violation per rule, plus allow_unknown_rule.cc which
+  // contributes a second det-rand (the typo'd allow must not suppress it);
+  // clean.cc, suppressed.cc, the allow_* negatives and the diamond headers
   // contribute nothing.
-  EXPECT_NE(run.output.find("checked 13 file(s), 11 violation(s)"),
+  EXPECT_NE(run.output.find("checked 28 file(s), 17 violation(s)"),
             std::string::npos)
       << run.output;
   for (const char* rule :
-       {"det-rand", "det-random-device", "det-time", "det-mt19937",
+       {"det-random-device", "det-time", "det-mt19937",
         "det-unordered-iter", "safety-assert", "safety-catch-all",
-        "safety-float-accum", "hygiene-guard", "hygiene-using-namespace",
-        "hygiene-new-delete"}) {
+        "safety-float-accum", "safety-unannotated-mutex", "hygiene-guard",
+        "hygiene-using-namespace", "hygiene-new-delete",
+        "graph-include-cycle", "graph-unused-include", "lock-order",
+        "lint-unknown-rule"}) {
     EXPECT_EQ(CountOccurrences(run.output, std::string("[") + rule + "]"), 1u)
         << rule << "\n"
         << run.output;
   }
+  EXPECT_EQ(CountOccurrences(run.output, "[det-rand]"), 2u) << run.output;
 }
 
 TEST(FablintTest, ScopingSkipsUnorderedIterOutsideReductionDirs) {
@@ -163,8 +282,10 @@ TEST(FablintTest, ListRulesPrintsTheFullTable) {
   for (const char* rule :
        {"det-rand", "det-random-device", "det-time", "det-mt19937",
         "det-unordered-iter", "safety-assert", "safety-catch-all",
-        "safety-float-accum", "hygiene-guard", "hygiene-using-namespace",
-        "hygiene-new-delete"}) {
+        "safety-float-accum", "safety-unannotated-mutex", "hygiene-guard",
+        "hygiene-using-namespace", "hygiene-new-delete",
+        "graph-include-cycle", "graph-unused-include", "lock-order",
+        "lint-unknown-rule"}) {
     EXPECT_NE(run.output.find(rule), std::string::npos) << rule;
   }
 }

@@ -1,0 +1,8 @@
+#include <cstdlib>
+
+// Fixture: an allow on the line ABOVE the violation suppresses it (the
+// same-line form is covered by suppressed.cc).
+int DrawSuppressed() {
+  // fablint:allow(det-rand)
+  return std::rand();
+}

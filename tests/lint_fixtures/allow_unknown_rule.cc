@@ -1,0 +1,8 @@
+#include <cstdlib>
+
+// Fixture: a typo'd rule id must be diagnosed (lint-unknown-rule), and
+// it must NOT suppress the real finding underneath — both fire.
+int DrawTypo() {
+  // fablint:allow(det-rnd)
+  return std::rand();
+}

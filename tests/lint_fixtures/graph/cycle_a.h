@@ -1,0 +1,9 @@
+#pragma once
+#include "graph/cycle_b.h"
+
+// Fixture: a -> b -> c -> a include cycle. Each header uses the next
+// one's type so graph-unused-include stays quiet; only the cycle rule
+// fires, once, anchored at this (lexicographically smallest) member.
+struct CycleA {
+  CycleB* next;
+};

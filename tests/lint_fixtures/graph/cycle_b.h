@@ -1,0 +1,7 @@
+#pragma once
+#include "graph/cycle_c.h"
+
+// Fixture: middle of the a -> b -> c -> a cycle (see cycle_a.h).
+struct CycleB {
+  CycleC* next;
+};

@@ -1,0 +1,7 @@
+#pragma once
+#include "graph/cycle_a.h"
+
+// Fixture: closes the a -> b -> c -> a cycle (see cycle_a.h).
+struct CycleC {
+  CycleA* next;
+};

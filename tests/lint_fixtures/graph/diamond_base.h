@@ -1,0 +1,7 @@
+#pragma once
+
+// Fixture: the shared base of a diamond include shape (see
+// diamond_top.cc) — a diamond is a DAG, not a cycle, and must be quiet.
+struct DiamondBase {
+  int value = 0;
+};

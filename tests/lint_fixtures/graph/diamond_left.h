@@ -1,0 +1,7 @@
+#pragma once
+#include "graph/diamond_base.h"
+
+// Fixture: left edge of the diamond (see diamond_top.cc).
+struct DiamondLeft {
+  DiamondBase base;
+};

@@ -1,0 +1,7 @@
+#pragma once
+#include "graph/diamond_base.h"
+
+// Fixture: right edge of the diamond (see diamond_top.cc).
+struct DiamondRight {
+  DiamondBase base;
+};

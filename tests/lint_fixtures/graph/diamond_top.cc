@@ -1,0 +1,9 @@
+#include "graph/diamond_left.h"
+#include "graph/diamond_right.h"
+
+// Fixture negative: a diamond (top -> left -> base, top -> right ->
+// base) reaches diamond_base.h twice without any cycle, and both
+// includes are referenced — zero graph findings expected.
+int DiamondSum(const DiamondLeft& l, const DiamondRight& r) {
+  return l.base.value + r.base.value;
+}

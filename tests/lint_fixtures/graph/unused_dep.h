@@ -1,0 +1,6 @@
+#pragma once
+
+// Fixture: exports a type that unused_user.cc includes but never names.
+struct UnusedThing {
+  int payload = 0;
+};

@@ -1,0 +1,5 @@
+#include "graph/unused_dep.h"
+
+// Fixture: nothing exported by unused_dep.h (directly or transitively)
+// is referenced here — graph-unused-include anchors at the include.
+int UnusedUserValue() { return 7; }

@@ -1,0 +1,17 @@
+#include <mutex>
+
+// Fixture: acquires first_ then second_. lock_order_b.cc nests the same
+// two mutexes in the opposite order, so the pair can deadlock under
+// load — the cross-file lock-order rule must pair the two sites.
+class PairedLocks {
+ public:
+  void LockFirstThenSecond();
+
+  std::mutex first_;   // fablint:allow(safety-unannotated-mutex)
+  std::mutex second_;  // fablint:allow(safety-unannotated-mutex)
+};
+
+void PairedLocks::LockFirstThenSecond() {
+  std::lock_guard<std::mutex> hold_first(first_);
+  std::lock_guard<std::mutex> hold_second(second_);
+}

@@ -1,0 +1,17 @@
+#include <mutex>
+
+// Fixture: the inverse nesting of lock_order_a.cc — second_ is acquired
+// first here. The lock-order diagnostic anchors at this file (the
+// (path, line)-later of the two sites).
+class PairedLocks {
+ public:
+  void LockSecondThenFirst();
+
+  std::mutex first_;   // fablint:allow(safety-unannotated-mutex)
+  std::mutex second_;  // fablint:allow(safety-unannotated-mutex)
+};
+
+void PairedLocks::LockSecondThenFirst() {
+  std::lock_guard<std::mutex> hold_second(second_);
+  std::lock_guard<std::mutex> hold_first(first_);
+}

@@ -1,0 +1,13 @@
+#pragma once
+#include <mutex>
+
+// Fixture: a mutex member with no FAB_GUARDED_BY user anywhere in the
+// file — the safety-unannotated-mutex rule must anchor at the member.
+class UnguardedQueue {
+ public:
+  void Push(int v);
+
+ private:
+  std::mutex mu_;
+  int size_ = 0;
+};

@@ -166,6 +166,30 @@ TEST_F(RegistryTest, ConcurrentGetAndReload) {
   EXPECT_EQ(failures.load(), 0);
 }
 
+TEST_F(RegistryTest, GenerationTracksMutations) {
+  const ModelKey key{"2019", 1, "rf"};
+  ModelRegistry registry(dir_);
+  ASSERT_TRUE(
+      SnapshotCodec::Save(*TrainForest(90), registry.PathFor(key)).ok());
+  EXPECT_EQ(registry.Generation(), 0u);
+
+  ASSERT_TRUE(registry.Get(key).ok());  // first load inserts
+  EXPECT_EQ(registry.Generation(), 1u);
+  ASSERT_TRUE(registry.Get(key).ok());  // cache hit: no mutation
+  EXPECT_EQ(registry.Generation(), 1u);
+
+  ASSERT_TRUE(registry.Reload(key).ok());
+  EXPECT_EQ(registry.Generation(), 2u);
+
+  registry.Evict(key);
+  EXPECT_EQ(registry.Generation(), 3u);
+  registry.Evict(key);  // nothing left to remove: no mutation
+  EXPECT_EQ(registry.Generation(), 3u);
+
+  ASSERT_TRUE(registry.Put(ModelKey{"2017", 7, "rf"}, TrainForest(91)).ok());
+  EXPECT_EQ(registry.Generation(), 4u);
+}
+
 TEST_F(RegistryTest, InstallPersistsAndServes) {
   const ModelKey key{"2017", 90, "rf"};
   ModelRegistry registry(dir_);

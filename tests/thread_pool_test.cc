@@ -24,7 +24,9 @@ TEST(ResolveThreadsTest, ZeroAndNegativeMeanHardwareConcurrency) {
   EXPECT_EQ(ResolveThreads(-1), resolved_zero);
   EXPECT_EQ(ResolveThreads(-100), resolved_zero);
   const int hw = static_cast<int>(std::thread::hardware_concurrency());
-  if (hw > 0) EXPECT_EQ(resolved_zero, hw);
+  if (hw > 0) {
+    EXPECT_EQ(resolved_zero, hw);
+  }
 }
 
 TEST(ThreadPoolTest, ConstructsAndShutsDownCleanly) {
@@ -143,11 +145,56 @@ TEST(ThreadPoolTest, StressTenThousandTinyTasks) {
 
 TEST(SharedPoolTest, ResizeTakesEffect) {
   SetSharedPoolThreads(3);
-  EXPECT_EQ(SharedPool().num_threads(), 3);
+  EXPECT_EQ(SharedPool()->num_threads(), 3);
   SetSharedPoolThreads(1);
-  EXPECT_EQ(SharedPool().num_threads(), 1);
+  EXPECT_EQ(SharedPool()->num_threads(), 1);
   SetSharedPoolThreads(0);
-  EXPECT_EQ(SharedPool().num_threads(), ResolveThreads(0));
+  EXPECT_EQ(SharedPool()->num_threads(), ResolveThreads(0));
+}
+
+TEST(SharedPoolTest, HandleOutlivesResize) {
+  // Regression for the guarded-state escape fixed in this layer:
+  // SharedPool() used to return a ThreadPool& into the guarded singleton
+  // slot, so a concurrent SetSharedPoolThreads destroyed the pool out
+  // from under the reference. Now callers get a shared_ptr copied under
+  // the lock; the retired pool stays alive until its last holder lets go.
+  SetSharedPoolThreads(2);
+  std::shared_ptr<ThreadPool> held = SharedPool();
+  SetSharedPoolThreads(3);  // swaps the singleton; `held` keeps the old pool
+  EXPECT_EQ(held->num_threads(), 2);
+  EXPECT_EQ(SharedPool()->num_threads(), 3);
+  // The retired pool still executes work correctly.
+  std::vector<int> out(64, 0);
+  held->ParallelFor(0, out.size(), [&](size_t i) { out[i] = 1; });
+  for (int v : out) EXPECT_EQ(v, 1);
+  SetSharedPoolThreads(0);
+}
+
+TEST(SharedPoolTest, ResizeRacesWithInFlightParallelFor) {
+  // TSan-exercised (thread_pool_test_tsan builds this file with
+  // -fsanitize=thread): resizing the shared pool while another thread is
+  // mid-ParallelFor must be free of data races, lost indices, and
+  // self-join deadlocks.
+  SetSharedPoolThreads(2);
+  std::atomic<bool> stop{false};
+  std::atomic<long> covered{0};
+  std::thread worker([&] {
+    while (!stop.load()) {
+      std::vector<int> hits(256, 0);
+      ParallelFor(0, hits.size(), [&](size_t i) { ++hits[i]; });
+      long sum = 0;
+      for (int h : hits) sum += h;
+      ASSERT_EQ(sum, 256);  // every index exactly once, every iteration
+      covered.fetch_add(sum);
+    }
+  });
+  for (int round = 0; round < 20; ++round) {
+    SetSharedPoolThreads(1 + round % 3);
+  }
+  stop.store(true);
+  worker.join();
+  EXPECT_GT(covered.load(), 0);
+  SetSharedPoolThreads(0);
 }
 
 }  // namespace

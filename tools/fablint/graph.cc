@@ -1,0 +1,768 @@
+#include "graph.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fab::lint {
+
+namespace {
+
+bool IsWordChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() &&
+         s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool IsHeaderPath(const std::string& rel) {
+  return EndsWith(rel, ".h") || EndsWith(rel, ".hpp") || EndsWith(rel, ".hh");
+}
+
+/// "src/util/thread_pool.cc" -> "thread_pool" (for paired-header checks).
+std::string Stem(const std::string& rel) {
+  const size_t slash = rel.find_last_of('/');
+  const std::string name =
+      slash == std::string::npos ? rel : rel.substr(slash + 1);
+  const size_t dot = name.find_last_of('.');
+  return dot == std::string::npos ? name : name.substr(0, dot);
+}
+
+std::string DirOf(const std::string& rel) {
+  const size_t slash = rel.find_last_of('/');
+  return slash == std::string::npos ? std::string() : rel.substr(0, slash);
+}
+
+/// Lexically normalizes "a/./b/../c" to "a/c".
+std::string NormPath(const std::string& p) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  for (size_t i = 0; i <= p.size(); ++i) {
+    if (i == p.size() || p[i] == '/') {
+      const std::string part = p.substr(start, i - start);
+      start = i + 1;
+      if (part.empty() || part == ".") continue;
+      if (part == ".." && !parts.empty() && parts.back() != "..") {
+        parts.pop_back();
+      } else {
+        parts.push_back(part);
+      }
+    }
+  }
+  std::string out;
+  for (const std::string& part : parts) {
+    if (!out.empty()) out += '/';
+    out += part;
+  }
+  return out;
+}
+
+struct IncludeEdge {
+  std::string written;  // path as written inside the quotes
+  std::string target;   // resolved rel path within the file set (or empty)
+  int line = 0;         // 1-based line of the #include
+};
+
+/// One token of masked source: a word or a single punctuation character.
+struct Tok {
+  std::string text;
+  int line = 0;
+  bool word = false;
+};
+
+struct FileNode {
+  std::string rel;
+  bool is_header = false;
+  std::string masked;
+  std::vector<std::string> comment_lines;
+  std::vector<bool> is_pp;          // 1-based-1: line i (0-based) is a
+                                    // preprocessor logical line
+  std::vector<IncludeEdge> includes;
+  std::vector<Tok> toks;            // masked tokens off preprocessor lines
+  std::set<std::string> tokens;     // every word token (pp lines included)
+  std::set<std::string> exports;    // headers only
+};
+
+/// C++ keywords and common type names excluded from export extraction.
+const std::set<std::string>& Keywords() {
+  static const std::set<std::string> kWords = {
+      "alignas",   "alignof",  "auto",      "bool",          "break",
+      "case",      "catch",    "char",      "class",         "const",
+      "constexpr", "continue", "decltype",  "default",       "delete",
+      "do",        "double",   "else",      "enum",          "explicit",
+      "extern",    "false",    "final",     "float",         "for",
+      "friend",    "goto",     "if",        "inline",        "int",
+      "long",      "mutable",  "namespace", "new",           "noexcept",
+      "nullptr",   "operator", "override",  "private",       "protected",
+      "public",    "requires", "return",    "short",         "signed",
+      "sizeof",    "static",   "static_assert", "struct",    "switch",
+      "template",  "this",     "throw",     "true",          "try",
+      "typedef",   "typename", "union",     "unsigned",      "using",
+      "virtual",   "void",     "volatile",  "while",         "std",
+      "size_t",    "uint64_t", "int64_t",   "uint32_t",      "int32_t",
+      "uint8_t",   "char8_t",  "wchar_t",   "co_await",      "co_return",
+      "co_yield",  "concept",  "consteval", "constinit",     "export",
+  };
+  return kWords;
+}
+
+void ParseIncludes(const std::vector<std::string>& raw_lines, FileNode& node) {
+  for (size_t i = 0; i < raw_lines.size(); ++i) {
+    const std::string& line = raw_lines[i];
+    size_t j = 0;
+    while (j < line.size() && (line[j] == ' ' || line[j] == '\t')) ++j;
+    if (j >= line.size() || line[j] != '#') continue;
+    ++j;
+    while (j < line.size() && (line[j] == ' ' || line[j] == '\t')) ++j;
+    if (line.compare(j, 7, "include") != 0) continue;
+    j += 7;
+    while (j < line.size() && (line[j] == ' ' || line[j] == '\t')) ++j;
+    if (j >= line.size() || line[j] != '"') continue;  // <...> is ignored
+    const size_t close = line.find('"', j + 1);
+    if (close == std::string::npos) continue;
+    IncludeEdge edge;
+    edge.written = line.substr(j + 1, close - j - 1);
+    edge.line = static_cast<int>(i) + 1;
+    node.includes.push_back(std::move(edge));
+  }
+}
+
+void MarkPreprocessorLines(const std::vector<std::string>& raw_lines,
+                           FileNode& node) {
+  node.is_pp.assign(raw_lines.size(), false);
+  bool continued = false;
+  for (size_t i = 0; i < raw_lines.size(); ++i) {
+    const std::string& line = raw_lines[i];
+    size_t j = 0;
+    while (j < line.size() && (line[j] == ' ' || line[j] == '\t')) ++j;
+    const bool starts_pp = j < line.size() && line[j] == '#';
+    node.is_pp[i] = continued || starts_pp;
+    continued = node.is_pp[i] && !line.empty() && line.back() == '\\';
+  }
+}
+
+void Tokenize(const FileNode& node, const std::string& masked,
+              std::vector<Tok>& toks, std::set<std::string>& all_words) {
+  int line = 1;
+  for (size_t i = 0; i < masked.size();) {
+    const char c = masked[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r') {
+      ++i;
+      continue;
+    }
+    const bool pp_line =
+        static_cast<size_t>(line - 1) < node.is_pp.size() &&
+        node.is_pp[static_cast<size_t>(line - 1)];
+    if (IsWordChar(c)) {
+      size_t j = i;
+      while (j < masked.size() && IsWordChar(masked[j])) ++j;
+      const std::string word = masked.substr(i, j - i);
+      all_words.insert(word);
+      if (!pp_line) toks.push_back(Tok{word, line, true});
+      i = j;
+    } else {
+      if (!pp_line) toks.push_back(Tok{std::string(1, c), line, false});
+      ++i;
+    }
+  }
+}
+
+/// Export extraction: names a header makes available to includers.
+/// Deliberately liberal — over-extraction only makes graph-unused-include
+/// quieter, never noisier. Collected at namespace/class scope only (never
+/// inside function bodies): any non-keyword identifier followed by one of
+/// `( = ; [ { , :`, plus every object-like or function-like `#define`
+/// whose name does not look like an include guard (`*_H_`).
+void ExtractExports(const std::vector<std::string>& raw_lines,
+                    FileNode& node) {
+  for (size_t i = 0; i < raw_lines.size(); ++i) {
+    if (!node.is_pp[i]) continue;
+    const std::string& line = raw_lines[i];
+    const size_t at = line.find("define");
+    if (at == std::string::npos) continue;
+    size_t j = at + 6;
+    while (j < line.size() && (line[j] == ' ' || line[j] == '\t')) ++j;
+    size_t k = j;
+    while (k < line.size() && IsWordChar(line[k])) ++k;
+    if (k == j) continue;
+    const std::string name = line.substr(j, k - j);
+    if (!EndsWith(name, "_H_")) node.exports.insert(name);
+  }
+
+  // Scope walk: a brace is tagged by what opened it. Only namespace and
+  // class-like (class/struct/union/enum) braces are export scope; any
+  // other brace (function body, initializer, lambda) suspends extraction
+  // until it closes.
+  std::vector<char> scopes;  // 'n' | 'c' | 'o'
+  char pending = 0;
+  const auto extractable = [&scopes] {
+    for (char s : scopes) {
+      if (s == 'o') return false;
+    }
+    return true;
+  };
+  const std::vector<Tok>& toks = node.toks;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const Tok& t = toks[i];
+    if (t.word) {
+      if (t.text == "namespace") {
+        pending = 'n';
+      } else if (t.text == "class" || t.text == "struct" ||
+                 t.text == "union" || t.text == "enum") {
+        pending = 'c';
+      } else if (extractable() && Keywords().count(t.text) == 0 &&
+                 i + 1 < toks.size() && !toks[i + 1].word) {
+        const char next = toks[i + 1].text[0];
+        if (next == '(' || next == '=' || next == ';' || next == '[' ||
+            next == '{' || next == ',' ||
+            (next == ':' &&
+             (i + 2 >= toks.size() || toks[i + 2].text != ":"))) {
+          node.exports.insert(t.text);
+        }
+      }
+      continue;
+    }
+    if (t.text == "{") {
+      scopes.push_back(pending == 'n' ? 'n' : pending == 'c' ? 'c' : 'o');
+      pending = 0;
+    } else if (t.text == "}") {
+      if (!scopes.empty()) scopes.pop_back();
+    } else if (t.text == ";") {
+      pending = 0;  // forward declaration: no scope was opened
+    }
+  }
+}
+
+// --- Lock-order pass. -------------------------------------------------------
+
+struct LockSite {
+  std::string rel;
+  int line = 0;
+};
+
+bool SiteLess(const LockSite& a, const LockSite& b) {
+  if (a.rel != b.rel) return a.rel < b.rel;
+  return a.line < b.line;
+}
+
+/// An ordered pair "A was held when B was acquired" -> earliest site.
+using LockPairs = std::map<std::pair<std::string, std::string>, LockSite>;
+
+/// Scans one file's token stream for nested mutex acquisitions.
+///
+/// Recognized acquisitions: RAII guard declarations (util::MutexLock,
+/// std::lock_guard / unique_lock / scoped_lock) whose argument list is a
+/// SINGLE bare identifier, and manual `m.Lock()` / `m.lock()` calls
+/// (released by `.Unlock()`/`.unlock()` or at scope exit). Guards with
+/// multi-argument or member-expression arguments (adopt_lock tricks,
+/// `obj.mu`) are skipped: a lexical tool cannot name those mutexes
+/// reliably, and false lock-order pairs would be worse than missed ones.
+///
+/// Mutex names are qualified "Class::member" inside (out-of-line or
+/// inline) member functions, else "file.cc::name" — so internal-linkage
+/// file-scope mutexes in different TUs stay distinct.
+void ScanLocks(const FileNode& node, LockPairs& pairs) {
+  const std::vector<Tok>& toks = node.toks;
+
+  struct Held {
+    std::string qual;
+    int depth = 0;
+    bool manual = false;
+  };
+  std::vector<Held> held;
+  int depth = 0;
+
+  // Class context: inline member bodies via the class-scope stack, out-of-
+  // line member definitions via `Class::method(...) {` heads.
+  std::vector<std::pair<int, std::string>> class_stack;  // (depth, name)
+  std::vector<char> scopes;                              // 'n' | 'c' | 'o'
+  char pending = 0;
+  std::string pending_class_name;
+  bool pending_name_frozen = false;
+  std::vector<std::pair<int, std::string>> method_stack;  // (depth, class)
+  std::string pending_method_class;
+
+  const auto current_class = [&]() -> std::string {
+    int best_depth = -1;
+    std::string best;
+    if (!class_stack.empty() && class_stack.back().first > best_depth) {
+      best_depth = class_stack.back().first;
+      best = class_stack.back().second;
+    }
+    if (!method_stack.empty() && method_stack.back().first > best_depth) {
+      best = method_stack.back().second;
+    }
+    return best;
+  };
+  const auto qualify = [&](const std::string& name) {
+    const std::string cls = current_class();
+    if (!cls.empty()) return cls + "::" + name;
+    return node.rel + "::" + name;
+  };
+  const auto acquire = [&](const std::string& name, int line, bool manual) {
+    const std::string qual = qualify(name);
+    for (const Held& h : held) {
+      if (h.qual == qual) continue;
+      const auto key = std::make_pair(h.qual, qual);
+      const LockSite site{node.rel, line};
+      auto it = pairs.find(key);
+      if (it == pairs.end()) {
+        pairs.emplace(key, site);
+      } else if (SiteLess(site, it->second)) {
+        it->second = site;  // keep the (path, line)-smallest site
+      }
+    }
+    held.push_back(Held{qual, depth, manual});
+  };
+
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const Tok& t = toks[i];
+    if (!t.word) {
+      if (t.text == "{") {
+        char tag = pending == 'n' ? 'n' : pending == 'c' ? 'c' : 'o';
+        scopes.push_back(tag);
+        ++depth;
+        if (tag == 'c' && !pending_class_name.empty()) {
+          class_stack.emplace_back(depth, pending_class_name);
+        }
+        if (tag == 'o' && !pending_method_class.empty()) {
+          method_stack.emplace_back(depth, pending_method_class);
+        }
+        pending = 0;
+        pending_class_name.clear();
+        pending_name_frozen = false;
+        pending_method_class.clear();
+      } else if (t.text == "}") {
+        if (!class_stack.empty() && class_stack.back().first == depth) {
+          class_stack.pop_back();
+        }
+        if (!method_stack.empty() && method_stack.back().first == depth) {
+          method_stack.pop_back();
+        }
+        if (!scopes.empty()) scopes.pop_back();
+        --depth;
+        while (!held.empty() && held.back().depth > depth) held.pop_back();
+      } else if (t.text == ";") {
+        pending = 0;
+        pending_class_name.clear();
+        pending_name_frozen = false;
+        pending_method_class.clear();
+      } else if (t.text == ":" && pending == 'c' &&
+                 (i + 1 >= toks.size() || toks[i + 1].text != ":") &&
+                 (i == 0 || toks[i - 1].text != ":")) {
+        pending_name_frozen = true;  // base-clause: class name is final
+      }
+      continue;
+    }
+
+    // Word token. Track class heads and out-of-line method definitions.
+    if (t.text == "namespace") {
+      pending = 'n';
+      continue;
+    }
+    if (t.text == "class" || t.text == "struct" || t.text == "union" ||
+        t.text == "enum") {
+      pending = 'c';
+      pending_name_frozen = false;
+      pending_class_name.clear();
+      continue;
+    }
+    if (pending == 'c' && !pending_name_frozen &&
+        Keywords().count(t.text) == 0) {
+      pending_class_name = t.text;
+    }
+    // `Cls::method(` (possibly `Cls::~Cls(`): remember Cls until the body
+    // brace opens.
+    if (i + 3 < toks.size() && toks[i + 1].text == ":" &&
+        toks[i + 2].text == ":" &&
+        (toks[i + 3].word || toks[i + 3].text == "~") &&
+        Keywords().count(t.text) == 0) {
+      size_t m = i + 3;
+      if (toks[m].text == "~" && m + 1 < toks.size()) ++m;
+      if (toks[m].word && m + 1 < toks.size() && toks[m + 1].text == "(") {
+        pending_method_class = t.text;
+      }
+    }
+
+    // RAII guard declaration.
+    if (t.text == "MutexLock" || t.text == "lock_guard" ||
+        t.text == "unique_lock" || t.text == "scoped_lock") {
+      size_t j = i + 1;
+      if (j < toks.size() && toks[j].text == "<") {  // template arguments
+        int angle = 1;
+        ++j;
+        while (j < toks.size() && angle > 0) {
+          if (toks[j].text == "<") ++angle;
+          if (toks[j].text == ">") --angle;
+          ++j;
+        }
+      }
+      if (j < toks.size() && toks[j].word) {  // guard variable name
+        const int line = toks[j].line;
+        ++j;
+        if (j < toks.size() && toks[j].text == "(") {
+          // Argument list up to the matching ')'.
+          int paren = 1;
+          ++j;
+          std::vector<const Tok*> args;
+          bool simple = true;
+          while (j < toks.size() && paren > 0) {
+            if (toks[j].text == "(") ++paren;
+            if (toks[j].text == ")") --paren;
+            if (paren > 0) {
+              if (toks[j].word) {
+                args.push_back(&toks[j]);
+              } else {
+                simple = false;  // '.', ',', '::', ... — not a bare name
+              }
+            }
+            ++j;
+          }
+          if (simple && args.size() == 1) {
+            acquire(args[0]->text, line, /*manual=*/false);
+          }
+        }
+      }
+      continue;
+    }
+
+    // Manual `name.Lock()` / `name.lock()` and the matching unlocks.
+    if ((t.text == "Lock" || t.text == "lock" || t.text == "Unlock" ||
+         t.text == "unlock") &&
+        i >= 2 && toks[i - 1].text == "." && toks[i - 2].word &&
+        i + 1 < toks.size() && toks[i + 1].text == "(") {
+      const std::string name = toks[i - 2].text;
+      if (t.text == "Lock" || t.text == "lock") {
+        acquire(name, t.line, /*manual=*/true);
+      } else {
+        const std::string qual = qualify(name);
+        for (size_t h = held.size(); h-- > 0;) {
+          if (held[h].manual && held[h].qual == qual) {
+            held.erase(held.begin() + static_cast<long>(h));
+            break;
+          }
+        }
+      }
+    }
+  }
+}
+
+// --- The four rules. --------------------------------------------------------
+
+void Report(std::vector<Violation>& out, const FileNode& node, int line,
+            const char* rule, std::string message) {
+  if (AllowsRule(node.comment_lines, line, rule)) return;
+  out.push_back(Violation{node.rel, line, rule, std::move(message)});
+}
+
+/// Cycle detection over the resolved include graph (iterative DFS with
+/// an explicit color map). One diagnostic per cycle, anchored at the
+/// lexicographically smallest member's outgoing #include.
+void CheckIncludeCycles(const std::vector<FileNode>& nodes,
+                        const std::map<std::string, size_t>& index,
+                        std::vector<Violation>& out) {
+  const size_t n = nodes.size();
+  std::vector<int> color(n, 0);  // 0 white, 1 on stack, 2 done
+  std::vector<std::vector<size_t>> adj(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (const IncludeEdge& e : nodes[i].includes) {
+      if (e.target.empty()) continue;
+      const size_t j = index.at(e.target);
+      if (j != i) adj[i].push_back(j);
+    }
+  }
+
+  std::vector<size_t> stack;          // current DFS path
+  std::set<std::set<size_t>> seen;    // cycles already reported
+  const std::function<void(size_t)> dfs = [&](size_t u) {
+    color[u] = 1;
+    stack.push_back(u);
+    for (size_t v : adj[u]) {
+      if (color[v] == 0) {
+        dfs(v);
+      } else if (color[v] == 1) {
+        // Found a back edge: the cycle is the path suffix from v to u.
+        auto at = std::find(stack.begin(), stack.end(), v);
+        std::vector<size_t> cycle(at, stack.end());
+        std::set<size_t> key(cycle.begin(), cycle.end());
+        if (!seen.insert(key).second) continue;
+        // Rotate so the lexicographically smallest path is the anchor.
+        size_t smallest = 0;
+        for (size_t k = 1; k < cycle.size(); ++k) {
+          if (nodes[cycle[k]].rel < nodes[cycle[smallest]].rel) smallest = k;
+        }
+        std::rotate(cycle.begin(),
+                    cycle.begin() + static_cast<long>(smallest), cycle.end());
+        const FileNode& anchor = nodes[cycle[0]];
+        const std::string& next_rel =
+            nodes[cycle.size() > 1 ? cycle[1] : cycle[0]].rel;
+        int line = 1;
+        for (const IncludeEdge& e : anchor.includes) {
+          if (e.target == next_rel) {
+            line = e.line;
+            break;
+          }
+        }
+        std::string path;
+        for (size_t k : cycle) path += nodes[k].rel + " -> ";
+        path += anchor.rel;
+        Report(out, anchor, line, "graph-include-cycle",
+               "include cycle: " + path +
+                   " (break it with a forward declaration or by splitting "
+                   "the header)");
+      }
+    }
+    stack.pop_back();
+    color[u] = 2;
+  };
+  for (size_t i = 0; i < n; ++i) {
+    if (color[i] == 0) dfs(i);
+  }
+}
+
+/// Transitive export closure of a header (cycle-safe, memoized): what an
+/// includer can legitimately be using from it, umbrella headers included.
+const std::set<std::string>& ExportClosure(
+    size_t i, const std::vector<FileNode>& nodes,
+    const std::map<std::string, size_t>& index,
+    std::vector<std::unique_ptr<std::set<std::string>>>& memo,
+    std::vector<bool>& visiting) {
+  static const std::set<std::string> kEmpty;
+  if (memo[i] != nullptr) return *memo[i];
+  if (visiting[i]) return kEmpty;  // include cycle: flagged elsewhere
+  visiting[i] = true;
+  auto closure = std::make_unique<std::set<std::string>>(nodes[i].exports);
+  for (const IncludeEdge& e : nodes[i].includes) {
+    if (e.target.empty()) continue;
+    const std::set<std::string>& sub =
+        ExportClosure(index.at(e.target), nodes, index, memo, visiting);
+    closure->insert(sub.begin(), sub.end());
+  }
+  visiting[i] = false;
+  memo[i] = std::move(closure);
+  return *memo[i];
+}
+
+void CheckUnusedIncludes(const std::vector<FileNode>& nodes,
+                         const std::map<std::string, size_t>& index,
+                         bool all_rules, std::vector<Violation>& out) {
+  std::vector<std::unique_ptr<std::set<std::string>>> memo(nodes.size());
+  std::vector<bool> visiting(nodes.size(), false);
+  for (const FileNode& node : nodes) {
+    if (!all_rules && !StartsWith(node.rel, "src/")) continue;
+    std::set<std::string> reported;
+    for (const IncludeEdge& e : node.includes) {
+      if (e.target.empty()) continue;
+      const size_t j = index.at(e.target);
+      if (!nodes[j].is_header) continue;
+      if (Stem(node.rel) == Stem(e.target)) continue;  // paired own header
+      if (!reported.insert(e.target).second) continue;
+      // Honor the standard IWYU pragmas: `export` marks a deliberate
+      // re-export (umbrella headers), `keep` a deliberate side-effect
+      // include. Both silence this rule for that line.
+      const size_t line_idx = static_cast<size_t>(e.line) - 1;
+      if (line_idx < node.comment_lines.size() &&
+          (node.comment_lines[line_idx].find("IWYU pragma: export") !=
+               std::string::npos ||
+           node.comment_lines[line_idx].find("IWYU pragma: keep") !=
+               std::string::npos)) {
+        continue;
+      }
+      const std::set<std::string>& exports =
+          ExportClosure(j, nodes, index, memo, visiting);
+      if (exports.empty()) continue;  // nothing extractable: stay quiet
+      bool used = false;
+      for (const std::string& name : exports) {
+        if (node.tokens.count(name) > 0) {
+          used = true;
+          break;
+        }
+      }
+      if (!used) {
+        Report(out, node, e.line, "graph-unused-include",
+               "unused include: nothing exported by \"" + e.written +
+                   "\" (directly or transitively) is referenced in this "
+                   "file");
+      }
+    }
+  }
+}
+
+void CheckLockOrder(const std::vector<FileNode>& nodes,
+                    std::vector<Violation>& out) {
+  LockPairs pairs;
+  for (const FileNode& node : nodes) ScanLocks(node, pairs);
+  for (const auto& [key, site] : pairs) {
+    const auto& [first, second] = key;
+    if (!(first < second)) continue;  // visit each unordered pair once
+    const auto reverse = pairs.find(std::make_pair(second, first));
+    if (reverse == pairs.end()) continue;
+    // Two sites acquire {first, second} in opposite orders. Anchor the
+    // diagnostic at the (path, line)-later site, referencing the other.
+    const LockSite* anchor = &site;              // second acquired, first held
+    const LockSite* other = &reverse->second;    // first acquired, second held
+    std::string acquired = second;
+    std::string held = first;
+    if (SiteLess(*anchor, *other)) {
+      std::swap(anchor, other);
+      std::swap(acquired, held);
+    }
+    const FileNode* anchor_node = nullptr;
+    for (const FileNode& node : nodes) {
+      if (node.rel == anchor->rel) {
+        anchor_node = &node;
+        break;
+      }
+    }
+    if (anchor_node == nullptr) continue;
+    Report(out, *anchor_node, anchor->line, "lock-order",
+           "lock-order inversion: '" + acquired + "' acquired while '" +
+               held + "' is held, but " + other->rel + ":" +
+               std::to_string(other->line) +
+               " nests them in the opposite order (pick one order "
+               "repo-wide)");
+  }
+}
+
+void CheckUnannotatedMutexes(const std::vector<FileNode>& nodes,
+                             bool all_rules, std::vector<Violation>& out) {
+  for (const FileNode& node : nodes) {
+    if (!all_rules && !StartsWith(node.rel, "src/util/") &&
+        !StartsWith(node.rel, "src/serve/")) {
+      continue;
+    }
+    const std::vector<Tok>& toks = node.toks;
+    for (size_t i = 0; i + 2 < toks.size(); ++i) {
+      const Tok& t = toks[i];
+      if (!t.word) continue;
+      const bool mutex_type = t.text == "mutex" || t.text == "shared_mutex" ||
+                              t.text == "recursive_mutex" ||
+                              t.text == "Mutex";
+      if (!mutex_type) continue;
+      if (!toks[i + 1].word || toks[i + 2].text != ";") continue;
+      const std::string& name = toks[i + 1].text;
+      // Annotated anywhere in this file? FAB_GUARDED_BY(name) or
+      // FAB_PT_GUARDED_BY(name).
+      bool guarded = false;
+      for (size_t k = 0; k + 3 < toks.size() && !guarded; ++k) {
+        if (toks[k].word &&
+            (toks[k].text == "FAB_GUARDED_BY" ||
+             toks[k].text == "FAB_PT_GUARDED_BY") &&
+            toks[k + 1].text == "(" && toks[k + 2].text == name &&
+            toks[k + 3].text == ")") {
+          guarded = true;
+        }
+      }
+      if (!guarded) {
+        Report(out, node, toks[i + 1].line, "safety-unannotated-mutex",
+               "mutex '" + name +
+                   "' guards nothing: annotate the state it protects with "
+                   "FAB_GUARDED_BY(" + name +
+                   ") (see src/util/thread_annotations.h)");
+      }
+    }
+  }
+}
+
+std::vector<FileNode> BuildNodes(const std::vector<FileInput>& files) {
+  std::vector<FileNode> nodes;
+  nodes.reserve(files.size());
+  for (const FileInput& file : files) {
+    FileNode node;
+    node.rel = file.rel;
+    node.is_header = IsHeaderPath(file.rel);
+    node.masked = MaskSource(file.src);
+    node.comment_lines = SplitLines(CommentText(file.src));
+    const std::vector<std::string> raw_lines = SplitLines(file.src);
+    MarkPreprocessorLines(raw_lines, node);
+    ParseIncludes(raw_lines, node);
+    Tokenize(node, node.masked, node.toks, node.tokens);
+    if (node.is_header) ExtractExports(raw_lines, node);
+    nodes.push_back(std::move(node));
+  }
+  std::sort(nodes.begin(), nodes.end(),
+            [](const FileNode& a, const FileNode& b) { return a.rel < b.rel; });
+
+  // Resolve quoted includes against the walked file set. Tried in order:
+  // relative to the includer's directory, under src/ (the repo's -I src
+  // convention), then root-relative.
+  std::map<std::string, size_t> index;
+  for (size_t i = 0; i < nodes.size(); ++i) index[nodes[i].rel] = i;
+  for (FileNode& node : nodes) {
+    const std::string dir = DirOf(node.rel);
+    for (IncludeEdge& edge : node.includes) {
+      for (const std::string& candidate :
+           {NormPath(dir.empty() ? edge.written : dir + "/" + edge.written),
+            NormPath("src/" + edge.written), NormPath(edge.written)}) {
+        if (index.count(candidate) > 0) {
+          edge.target = candidate;
+          break;
+        }
+      }
+    }
+  }
+  return nodes;
+}
+
+}  // namespace
+
+std::vector<Violation> LintRepoGraph(const std::vector<FileInput>& files,
+                                     const Options& options) {
+  const std::vector<FileNode> nodes = BuildNodes(files);
+  std::map<std::string, size_t> index;
+  for (size_t i = 0; i < nodes.size(); ++i) index[nodes[i].rel] = i;
+
+  std::vector<Violation> out;
+  CheckIncludeCycles(nodes, index, out);
+  CheckUnusedIncludes(nodes, index, options.all_rules, out);
+  CheckLockOrder(nodes, out);
+  CheckUnannotatedMutexes(nodes, options.all_rules, out);
+  return out;
+}
+
+void GraphDump(const std::vector<FileInput>& files, std::ostream& out) {
+  const std::vector<FileNode> nodes = BuildNodes(files);
+  size_t edges = 0;
+  for (const FileNode& node : nodes) {
+    for (const IncludeEdge& e : node.includes) {
+      if (!e.target.empty()) ++edges;
+    }
+  }
+  out << "include-graph: " << nodes.size() << " file(s), " << edges
+      << " edge(s)\n";
+  for (const FileNode& node : nodes) {
+    out << node.rel << "\n";
+    for (const IncludeEdge& e : node.includes) {
+      if (e.target.empty()) {
+        out << "  ?? \"" << e.written << "\" (line " << e.line
+            << ", outside the walked set)\n";
+      } else {
+        out << "  -> " << e.target << " (line " << e.line << ")\n";
+      }
+    }
+    if (node.is_header) {
+      out << "  exports: " << node.exports.size() << " name(s)\n";
+    }
+  }
+}
+
+}  // namespace fab::lint

@@ -1,0 +1,40 @@
+#ifndef FAB_TOOLS_FABLINT_GRAPH_H_
+#define FAB_TOOLS_FABLINT_GRAPH_H_
+
+#include <iosfwd>
+#include <vector>
+
+#include "lint.h"
+
+/// fablint pass 2 — cross-file analysis over the whole walked file set.
+///
+/// Pass 1 (here, internal) builds a repo graph from every input at once:
+/// the quoted-include DAG, a per-file symbol index (exported names, word
+/// tokens, mutex members) and per-file lock-acquisition sequences. Pass 2
+/// evaluates four rules no single-file linter can express:
+///
+///   graph-include-cycle      cycles in the quoted-include graph
+///   graph-unused-include     includes whose transitive exports are never
+///                            referenced by the includer (IWYU-lite)
+///   lock-order               the same two mutexes nested in opposite
+///                            orders anywhere in the repo (deadlock shape)
+///   safety-unannotated-mutex mutex members with no FAB_GUARDED_BY user
+///
+/// Like pass 1 rules, everything is lexical (MaskSource + token scans),
+/// diagnostics carry file:line anchors, and `fablint:allow(<rule-id>)`
+/// suppressions on the anchor line (or the line above) are honored.
+namespace fab::lint {
+
+/// Runs the cross-file rules over `files` (each already read into memory,
+/// rel paths root-relative with forward slashes). Returned violations are
+/// unsorted; the caller merges them with per-file findings and sorts.
+std::vector<Violation> LintRepoGraph(const std::vector<FileInput>& files,
+                                     const Options& options);
+
+/// Prints the resolved quoted-include graph (one block per file, edges
+/// with the include's line number) to `out` — the `--graph-dump` view.
+void GraphDump(const std::vector<FileInput>& files, std::ostream& out);
+
+}  // namespace fab::lint
+
+#endif  // FAB_TOOLS_FABLINT_GRAPH_H_

@@ -59,9 +59,9 @@ bool IsHeaderPath(const std::string& rel) {
 /// Shared per-file scanning state.
 struct Ctx {
   std::string rel;
-  std::vector<std::string> raw_lines;  // original text, for suppressions
-  std::string masked;                  // comments/strings blanked
-  std::vector<size_t> line_start;      // offset of each line in masked
+  std::vector<std::string> comment_lines;  // CommentText, for suppressions
+  std::string masked;                      // comments/strings blanked
+  std::vector<size_t> line_start;          // offset of each line in masked
   bool all_rules = false;
   std::vector<Violation> out;
 };
@@ -71,18 +71,17 @@ int LineOf(const Ctx& ctx, size_t pos) {
   return static_cast<int>(it - ctx.line_start.begin());
 }
 
-/// True when `line` (1-based) or the line above carries
-/// `fablint:allow(<list>)` naming `rule` or `*`.
-bool Suppressed(const Ctx& ctx, int line, const std::string& rule) {
-  for (int l = line; l >= line - 1 && l >= 1; --l) {
-    if (static_cast<size_t>(l) > ctx.raw_lines.size()) continue;
-    const std::string& text = ctx.raw_lines[static_cast<size_t>(l) - 1];
-    const size_t at = text.find("fablint:allow(");
-    if (at == std::string::npos) continue;
-    const size_t open = at + std::string("fablint:allow(").size() - 1;
+/// Calls `fn(id)` for each comma-separated id inside every
+/// `fablint:allow(<list>)` occurrence on `text` (whitespace stripped).
+template <typename Fn>
+void ForEachAllowId(const std::string& text, Fn fn) {
+  const std::string marker = "fablint:allow(";
+  size_t at = text.find(marker);
+  while (at != std::string::npos) {
+    const size_t open = at + marker.size() - 1;
     const size_t close = text.find(')', open);
-    if (close == std::string::npos) continue;
-    std::string list = text.substr(open + 1, close - open - 1);
+    if (close == std::string::npos) return;
+    const std::string list = text.substr(open + 1, close - open - 1);
     size_t start = 0;
     while (start <= list.size()) {
       size_t comma = list.find(',', start);
@@ -91,11 +90,15 @@ bool Suppressed(const Ctx& ctx, int line, const std::string& rule) {
       id.erase(std::remove_if(id.begin(), id.end(),
                               [](char c) { return IsSpace(c); }),
                id.end());
-      if (id == rule || id == "*") return true;
+      if (!id.empty()) fn(id);
       start = comma + 1;
     }
+    at = text.find(marker, close);
   }
-  return false;
+}
+
+bool Suppressed(const Ctx& ctx, int line, const std::string& rule) {
+  return AllowsRule(ctx.comment_lines, line, rule);
 }
 
 void Add(Ctx& ctx, size_t pos, const char* rule, std::string message) {
@@ -330,6 +333,34 @@ void CheckHygiene(Ctx& ctx) {
   });
 }
 
+// --- Lint-the-linter rules. -------------------------------------------------
+
+/// A typo'd id in an allow list suppresses nothing and silently rots: a
+/// misspelling like det-rnd looks like a suppression but the finding it
+/// meant to cover still fires (or worse, was fixed and the stale allow
+/// hides a future regression). Ids containing '<' or '>' are treated as
+/// documentation placeholders and skipped.
+void CheckUnknownRules(Ctx& ctx) {
+  std::set<std::string> known;
+  for (const RuleInfo& rule : AllRules()) known.insert(rule.id);
+  for (size_t l = 0; l < ctx.comment_lines.size(); ++l) {
+    ForEachAllowId(ctx.comment_lines[l], [&](const std::string& id) {
+      if (id == "*" || known.count(id) > 0) return;
+      if (id.find('<') != std::string::npos ||
+          id.find('>') != std::string::npos) {
+        return;  // placeholder in prose, e.g. fablint:allow(<rule-id>)
+      }
+      const int line = static_cast<int>(l) + 1;
+      if (Suppressed(ctx, line, "lint-unknown-rule")) return;
+      ctx.out.push_back(Violation{
+          ctx.rel, line, "lint-unknown-rule",
+          "unknown rule id '" + id +
+              "' in fablint:allow list (run fablint --list-rules; a typo "
+              "here suppresses nothing)"});
+    });
+  }
+}
+
 }  // namespace
 
 const std::vector<RuleInfo>& AllRules() {
@@ -347,6 +378,17 @@ const std::vector<RuleInfo>& AllRules() {
       {"hygiene-guard", "headers need #pragma once or an include guard"},
       {"hygiene-using-namespace", "no using namespace in headers"},
       {"hygiene-new-delete", "no raw new/delete outside justified sites"},
+      {"safety-unannotated-mutex",
+       "mutex members must guard something via FAB_GUARDED_BY "
+       "(src/util, src/serve)"},
+      {"graph-include-cycle", "no cycles in the quoted-include graph"},
+      {"graph-unused-include",
+       "quoted includes must export something the includer references "
+       "(src/)"},
+      {"lock-order",
+       "no opposite-order nested mutex acquisitions across the repo"},
+      {"lint-unknown-rule",
+       "fablint:allow lists may only name real rule ids (or *)"},
   };
   return kRules;
 }
@@ -432,6 +474,106 @@ std::string MaskSource(const std::string& src) {
   return out;
 }
 
+std::string CommentText(const std::string& src) {
+  // Same scanner shape as MaskSource, keeping the opposite side: only
+  // comment text survives; code and string/char literals (raw strings
+  // included) are blanked. Newlines always survive so line numbers match.
+  std::string out(src.size(), ' ');
+  for (size_t i = 0; i < src.size(); ++i) {
+    if (src[i] == '\n') out[i] = '\n';
+  }
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  for (size_t i = 0; i < src.size(); ++i) {
+    const char c = src[i];
+    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
+    switch (state) {
+      case State::kCode: {
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          ++i;
+        } else if (c == '"') {
+          // Raw string literal: skip it wholesale (its body may contain
+          // comment-looking text that must NOT count as a comment).
+          if (i > 0 && src[i - 1] == 'R' &&
+              (i < 2 || !IsWordChar(src[i - 2]) || src[i - 2] == 'u' ||
+               src[i - 2] == 'U' || src[i - 2] == 'L' || src[i - 2] == '8')) {
+            const size_t open = src.find('(', i + 1);
+            if (open != std::string::npos) {
+              const std::string delim = src.substr(i + 1, open - i - 1);
+              const std::string closer = ")" + delim + "\"";
+              size_t close = src.find(closer, open + 1);
+              if (close == std::string::npos) close = src.size();
+              i = std::min(src.size(), close + closer.size()) - 1;
+              break;
+            }
+          }
+          state = State::kString;
+        } else if (c == '\'') {
+          state = State::kChar;
+        }
+        break;
+      }
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          out[i] = c;
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = c;
+        }
+        break;
+      case State::kString:
+      case State::kChar: {
+        const char quote = state == State::kString ? '"' : '\'';
+        if (c == '\\' && next != '\0' && next != '\n') {
+          ++i;
+        } else if (c == quote || c == '\n') {  // '\n': unterminated literal
+          state = State::kCode;
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> SplitLines(const std::string& src) {
+  std::vector<std::string> lines;
+  size_t start = 0;
+  for (size_t i = 0; i <= src.size(); ++i) {
+    if (i == src.size() || src[i] == '\n') {
+      if (i == src.size() && start == i && !lines.empty()) break;
+      lines.push_back(src.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return lines;
+}
+
+bool AllowsRule(const std::vector<std::string>& comment_lines, int line,
+                const std::string& rule) {
+  for (int l = line; l >= line - 1 && l >= 1; --l) {
+    if (static_cast<size_t>(l) > comment_lines.size()) continue;
+    bool hit = false;
+    ForEachAllowId(comment_lines[static_cast<size_t>(l) - 1],
+                   [&](const std::string& id) {
+                     if (id == rule || id == "*") hit = true;
+                   });
+    if (hit) return true;
+  }
+  return false;
+}
+
 std::vector<Violation> LintSource(const std::string& rel_path,
                                   const std::string& src,
                                   const Options& options) {
@@ -439,23 +581,18 @@ std::vector<Violation> LintSource(const std::string& rel_path,
   ctx.rel = rel_path;
   ctx.all_rules = options.all_rules;
   ctx.masked = MaskSource(src);
+  ctx.comment_lines = SplitLines(CommentText(src));
 
   ctx.line_start.push_back(0);
   for (size_t i = 0; i < src.size(); ++i) {
     if (src[i] == '\n') ctx.line_start.push_back(i + 1);
-  }
-  size_t start = 0;
-  for (size_t i = 0; i <= src.size(); ++i) {
-    if (i == src.size() || src[i] == '\n') {
-      ctx.raw_lines.push_back(src.substr(start, i - start));
-      start = i + 1;
-    }
   }
 
   CheckBannedRandomness(ctx);
   CheckUnorderedIteration(ctx);
   CheckSafety(ctx);
   CheckHygiene(ctx);
+  CheckUnknownRules(ctx);
 
   std::sort(ctx.out.begin(), ctx.out.end(),
             [](const Violation& a, const Violation& b) {

@@ -29,6 +29,13 @@ struct Violation {
   std::string message;
 };
 
+/// One source file handed to the cross-file (repo-graph) pass: the
+/// root-relative path plus the full file contents.
+struct FileInput {
+  std::string rel;
+  std::string src;
+};
+
 struct RuleInfo {
   const char* id;
   const char* summary;
@@ -52,6 +59,23 @@ struct Options {
 /// diagnostics computed on the masked text map 1:1 onto the original.
 /// Exposed for testing.
 std::string MaskSource(const std::string& src);
+
+/// The inverse projection of MaskSource for comments: only comment text
+/// survives, everything else (code, string/char literals) is blanked.
+/// Layout is preserved. `fablint:allow` suppressions are parsed from this
+/// view, so an allow-shaped string literal can never silence a finding.
+std::string CommentText(const std::string& src);
+
+/// Splits `src` into lines (without terminators). A trailing newline does
+/// not produce an extra empty line.
+std::vector<std::string> SplitLines(const std::string& src);
+
+/// True when line `line` (1-based) or the line above in `comment_lines`
+/// (the SplitLines of CommentText) carries `fablint:allow(<list>)` naming
+/// `rule` or `*`. Shared by the per-file and repo-graph passes so both
+/// honor suppressions identically.
+bool AllowsRule(const std::vector<std::string>& comment_lines, int line,
+                const std::string& rule);
 
 /// Lints one in-memory source file. `rel_path` uses forward slashes and is
 /// relative to the repository root (it drives rule scoping and appears in

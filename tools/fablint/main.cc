@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "graph.h"
 #include "lint.h"
 
 namespace fs = std::filesystem;
@@ -14,9 +15,11 @@ namespace {
 
 constexpr const char* kUsage =
     "usage: fablint [--root <dir>] [--all-rules] [--exclude <substr>]...\n"
-    "               [--list-rules] <file-or-dir>...\n"
+    "               [--list-rules] [--graph-dump] <file-or-dir>...\n"
     "\n"
-    "Lints fab C++ sources for determinism, safety and hygiene violations.\n"
+    "Lints fab C++ sources for determinism, safety and hygiene violations,\n"
+    "then runs cross-file rules (include cycles, unused includes, lock\n"
+    "ordering, mutex annotation coverage) over the whole walked set.\n"
     "Diagnostics: <path>:<line>: [<rule-id>] <message>\n"
     "Suppress a finding with '// fablint:allow(<rule-id>)' on the same or\n"
     "the preceding line.\n"
@@ -26,6 +29,7 @@ constexpr const char* kUsage =
     "  --all-rules     disable path-based rule scoping (fixture mode)\n"
     "  --exclude <s>   skip files whose root-relative path contains <s>\n"
     "  --list-rules    print the rule table and exit\n"
+    "  --graph-dump    print the resolved include graph and exit\n"
     "\n"
     "exit status: 0 clean, 1 violations found, 2 usage or I/O error\n";
 
@@ -50,6 +54,7 @@ std::string RelPath(const fs::path& file, const fs::path& root) {
 int main(int argc, char** argv) {
   fs::path root = fs::current_path();
   bool all_rules = false;
+  bool graph_dump = false;
   std::vector<std::string> excludes;
   std::vector<fs::path> inputs;
 
@@ -65,6 +70,8 @@ int main(int argc, char** argv) {
       return 0;
     } else if (arg == "--all-rules") {
       all_rules = true;
+    } else if (arg == "--graph-dump") {
+      graph_dump = true;
     } else if (arg == "--root") {
       if (i + 1 >= argc) {
         std::cerr << "fablint: --root needs a value\n" << kUsage;
@@ -122,6 +129,7 @@ int main(int argc, char** argv) {
 
   size_t checked = 0;
   std::vector<fab::lint::Violation> violations;
+  std::vector<fab::lint::FileInput> graph_inputs;
   for (const fs::path& file : files) {
     const std::string rel = RelPath(file, root);
     bool skip = false;
@@ -141,10 +149,29 @@ int main(int argc, char** argv) {
     std::ostringstream buffer;
     buffer << in.rdbuf();
     ++checked;
+    graph_inputs.push_back(fab::lint::FileInput{rel, buffer.str()});
     std::vector<fab::lint::Violation> found =
-        fab::lint::LintSource(rel, buffer.str(), options);
+        fab::lint::LintSource(rel, graph_inputs.back().src, options);
     violations.insert(violations.end(), found.begin(), found.end());
   }
+
+  if (graph_dump) {
+    fab::lint::GraphDump(graph_inputs, std::cout);
+    return 0;
+  }
+
+  // Pass 2: cross-file rules over the whole walked set, then one global
+  // (path, line, rule) order so per-file and graph findings interleave
+  // deterministically.
+  std::vector<fab::lint::Violation> graph_found =
+      fab::lint::LintRepoGraph(graph_inputs, options);
+  violations.insert(violations.end(), graph_found.begin(), graph_found.end());
+  std::sort(violations.begin(), violations.end(),
+            [](const fab::lint::Violation& a, const fab::lint::Violation& b) {
+              if (a.path != b.path) return a.path < b.path;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
 
   for (const fab::lint::Violation& v : violations) {
     std::cout << v.path << ":" << v.line << ": [" << v.rule << "] "
