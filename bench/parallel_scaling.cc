@@ -17,6 +17,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "explain/permutation.h"
 #include "explain/shap.h"
 #include "ml/forest.h"
@@ -91,6 +92,12 @@ int main(int argc, char** argv) {
   std::printf("%8s  %10s  %10s  %10s  %10s  %s\n", "threads", "pfi_s",
               "shap_s", "total_s", "speedup", "bitwise");
 
+  fab::bench::BenchReporter reporter("parallel_scaling");
+  reporter.set_iters(sizeof(kWidths) / sizeof(kWidths[0]));
+  reporter.AddScalar("rows", static_cast<double>(kRows));
+  reporter.AddScalar("features", static_cast<double>(kFeatures));
+  reporter.AddScalar("trees", kTrees);
+
   std::vector<double> baseline_pfi, baseline_shap;
   double baseline_total = 0.0;
   bool all_identical = true;
@@ -125,8 +132,14 @@ int main(int argc, char** argv) {
     std::printf("%8d  %10.3f  %10.3f  %10.3f  %9.2fx  %s\n", width, pfi_s,
                 shap_s, total, baseline_total / total,
                 identical ? "yes" : "NO");
+    const std::string tag = "_w" + std::to_string(width);
+    reporter.AddScalar("pfi_s" + tag, pfi_s);
+    reporter.AddScalar("shap_s" + tag, shap_s);
+    reporter.AddScalar("speedup" + tag, baseline_total / total);
   }
   fab::util::SetSharedPoolThreads(0);
+  reporter.AddScalar("bitwise_identical", all_identical ? 1.0 : 0.0);
+  fab::bench::DieIf(reporter.Write(), "bench report");
 
   if (!all_identical) {
     std::fprintf(stderr,

@@ -14,6 +14,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "ml/forest.h"
 #include "ml/gbdt.h"
 #include "serve/batch_server.h"
@@ -57,6 +58,7 @@ int main(int argc, char** argv) {
 
   std::printf("=== serve_throughput: %zu rows, %d trees, %zu features ===\n\n",
               kRows, kTrees, kFeatures);
+  fab::bench::BenchReporter reporter("serve_throughput");
 
   // Train once on a modest sample; inference is what we measure.
   const fab::ml::ColMatrix train = MakeMatrix(2000, kFeatures, 1);
@@ -179,5 +181,16 @@ int main(int argc, char** argv) {
   const double speedup = sec_virtual_per_row / sec_flat_batch;
   std::printf("\nflat-batched vs per-row virtual speedup: %.2fx  [%s]\n",
               speedup, speedup >= 2.0 ? "PASS >= 2x" : "FAIL < 2x");
+
+  reporter.set_iters(kRows);
+  reporter.AddScalar("trees", kTrees);
+  reporter.AddScalar("rows_per_s_virtual_per_row", rows / sec_virtual_per_row);
+  reporter.AddScalar("rows_per_s_virtual_batch", rows / sec_virtual_batch);
+  reporter.AddScalar("rows_per_s_flat_batch", rows / sec_flat_batch);
+  reporter.AddScalar("flat_vs_per_row_speedup", speedup);
+  reporter.AddScalar("server_rows_per_s", stats.rows_per_sec);
+  reporter.AddJson("server_statsz", server.StatszJson());
+  fab::bench::DieIf(reporter.Write(), "bench report");
+
   return speedup >= 2.0 ? 0 : 1;
 }

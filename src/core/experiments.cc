@@ -9,6 +9,7 @@
 #include "ml/gbdt.h"
 #include "serve/registry.h"
 #include "serve/snapshot.h"
+#include "util/obs/trace.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
 
@@ -151,8 +152,11 @@ Status Experiments::PrecomputeAll(const std::vector<StudyPeriod>& periods,
   // Scenario fan-out: every final vector (FRA + SHAP) is seeded purely by
   // (config seed, period, window) and caches to its own file, so the
   // units are independent and the fan-out is thread-count invariant.
+  FAB_TRACE_SCOPE("core/precompute_all", {{"scenarios", pairs.size()}});
   std::vector<Status> statuses(pairs.size());
   util::ParallelFor(0, pairs.size(), [&](size_t i) {
+    FAB_TRACE_SCOPE("core/scenario", {{"period", PeriodName(pairs[i].first)},
+                                      {"window", pairs[i].second}});
     statuses[i] = FinalVector(pairs[i].first, pairs[i].second).status();
   });
   for (const Status& s : statuses) FAB_RETURN_IF_ERROR(s);

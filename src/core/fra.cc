@@ -7,6 +7,7 @@
 #include "explain/correlation.h"
 #include "explain/permutation.h"
 #include "explain/ranking.h"
+#include "util/obs/trace.h"
 #include "util/stats.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
@@ -118,6 +119,12 @@ Result<FraResult> RunFra(const ml::Dataset& data, const FraOptions& options) {
   for (int iter = 0;
        current.size() > options.target_size && iter < options.max_iterations;
        ++iter) {
+    // Explicit span object (not the macro) so the features-removed count,
+    // only known at the bottom of the iteration, lands on the end event.
+    obs::TraceSpan iter_span("fra/iteration",
+                             {{"iter", iter},
+                              {"features", current.size()},
+                              {"corr_threshold", corr_threshold}});
     FAB_ASSIGN_OR_RETURN(ml::Dataset sub, data.SelectFeatures(current));
     FAB_ASSIGN_OR_RETURN(
         MethodImportances m,
@@ -149,6 +156,7 @@ Result<FraResult> RunFra(const ml::Dataset& data, const FraOptions& options) {
       }
     }
 
+    iter_span.AddArg("removed", removed);
     result.history.push_back(FraIteration{iter, current.size(), removed,
                                           corr_threshold});
     // Never remove everything: fall back to keeping the consensus-best

@@ -1,6 +1,7 @@
 #include "explain/permutation.h"
 
 #include "ml/metrics.h"
+#include "util/obs/trace.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
 
@@ -9,6 +10,8 @@ namespace fab::explain {
 Result<std::vector<double>> PermutationImportance(
     const ml::Regressor& model, const ml::Dataset& data,
     const PermutationOptions& options) {
+  FAB_TRACE_SCOPE("explain/pfi", {{"features", data.num_features()},
+                                  {"repeats", options.n_repeats}});
   if (options.n_repeats < 1) {
     return Status::InvalidArgument("n_repeats must be >= 1");
   }
@@ -31,6 +34,7 @@ Result<std::vector<double>> PermutationImportance(
   util::ParallelFor(
       0, data.num_features(),
       [&](size_t j) {
+        FAB_TRACE_SCOPE("explain/pfi_feature", {{"feature", j}});
         Rng rng(feature_seeds[j]);
         ml::ColMatrix scratch = data.x;
         const std::vector<double>& original = data.x.column(j);

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "util/obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace fab::explain {
@@ -182,10 +183,13 @@ Status AccumulateShap(const ml::RegressionTree& tree, const ml::ColMatrix& x,
 Result<std::vector<double>> MeanAbsShapTrees(
     const std::vector<ml::RegressionTree>& trees, const ml::ColMatrix& x,
     double scale) {
+  FAB_TRACE_SCOPE("explain/shap",
+                  {{"rows", x.rows()}, {"trees", trees.size()}});
   const size_t rows = x.rows();
   std::vector<std::vector<double>> row_abs(rows);
   std::vector<Status> statuses(rows);
   util::ParallelFor(0, rows, [&](size_t r) {
+    FAB_TRACE_SCOPE("explain/shap_row", {{"row", r}});
     std::vector<double> phi(x.cols(), 0.0);
     for (const ml::RegressionTree& tree : trees) {
       const Status s = AccumulateShap(tree, x, r, scale, &phi);

@@ -3,12 +3,18 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/obs/metrics.h"
+#include "util/obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace fab::ml {
 
 Status RandomForestRegressor::Fit(const ColMatrix& x,
                                   const std::vector<double>& y) {
+  FAB_TRACE_SCOPE("ml/rf_fit", {{"trees", params_.n_trees},
+                                {"rows", x.rows()},
+                                {"cols", x.cols()}});
+  obs::GetCounter("ml/rf_fits").Increment();
   if (y.size() != x.rows()) {
     return Status::InvalidArgument("x/y size mismatch");
   }

@@ -3,9 +3,16 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/obs/metrics.h"
+#include "util/obs/trace.h"
+
 namespace fab::ml {
 
 Status GbdtRegressor::Fit(const ColMatrix& x, const std::vector<double>& y) {
+  FAB_TRACE_SCOPE("ml/gbdt_fit", {{"rounds", params_.n_rounds},
+                                  {"rows", x.rows()},
+                                  {"cols", x.cols()}});
+  obs::GetCounter("ml/gbdt_fits").Increment();
   if (y.size() != x.rows()) {
     return Status::InvalidArgument("x/y size mismatch");
   }

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "ml/metrics.h"
+#include "util/obs/trace.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
 
@@ -59,6 +60,7 @@ std::vector<ParamPoint> ExpandGrid(
 
 Result<double> CrossValMse(const Regressor& prototype, const Dataset& data,
                            const std::vector<Fold>& folds) {
+  FAB_TRACE_SCOPE("ml/cross_val_mse", {{"folds", folds.size()}});
   if (folds.empty()) return Status::InvalidArgument("no folds");
   // Folds train concurrently on the shared pool — each fold's model is a
   // fresh clone whose fit is deterministic in its params, so per-fold
@@ -67,6 +69,7 @@ Result<double> CrossValMse(const Regressor& prototype, const Dataset& data,
   std::vector<double> fold_mse(folds.size(), 0.0);
   std::vector<Status> statuses(folds.size());
   util::ParallelFor(0, folds.size(), [&](size_t f) {
+    FAB_TRACE_SCOPE("ml/cv_fold", {{"fold", f}});
     const Fold& fold = folds[f];
     Dataset train = data.TakeRows(fold.train);
     Dataset valid = data.TakeRows(fold.validation);

@@ -1,21 +1,22 @@
 #include "serve/batch_server.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
 
+#include "util/obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace fab::serve {
 
 namespace {
 
-double Percentile(std::vector<double> sorted_copy, double q) {
-  if (sorted_copy.empty()) return 0.0;
-  std::sort(sorted_copy.begin(), sorted_copy.end());
-  const double pos = q * static_cast<double>(sorted_copy.size() - 1);
-  const size_t lo = static_cast<size_t>(pos);
-  const size_t hi = std::min(lo + 1, sorted_copy.size() - 1);
-  const double frac = pos - static_cast<double>(lo);
-  return sorted_copy[lo] * (1.0 - frac) + sorted_copy[hi] * frac;
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return v > 0 ? "\"inf\"" : (v < 0 ? "\"-inf\"" : "\"nan\"");
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
 }
 
 }  // namespace
@@ -71,7 +72,7 @@ Result<std::future<double>> BatchServer::Submit(std::vector<double> features) {
   }
   Request request;
   request.features = std::move(features);
-  request.enqueued = std::chrono::steady_clock::now();
+  request.enqueued = obs::Clock::Now();
   std::future<double> future = request.promise.get_future();
   {
     util::MutexLock lock(mu_);
@@ -84,7 +85,7 @@ Result<std::future<double>> BatchServer::Submit(std::vector<double> features) {
     util::MutexLock lock(stats_mu_);
     if (!have_first_submit_) {
       have_first_submit_ = true;
-      first_submit_ = std::chrono::steady_clock::now();
+      first_submit_ = obs::Clock::Now();
     }
   }
   cv_.NotifyOne();
@@ -119,7 +120,7 @@ void BatchServer::WorkerLoop() {
         // Hold the batch open briefly so bursty single-row traffic
         // coalesces instead of running one row at a time.
         const auto deadline =
-            std::chrono::steady_clock::now() +
+            obs::Clock::Now() +
             std::chrono::microseconds(options_.coalesce_wait_us);
         while (!stopping_ && queue_.size() < options_.max_batch) {
           if (!cv_.WaitUntil(mu_, deadline)) break;  // timed out
@@ -140,6 +141,14 @@ void BatchServer::WorkerLoop() {
 void BatchServer::RunBatch(std::vector<Request> batch,
                            const std::shared_ptr<const Servable>& model) {
   const size_t rows = batch.size();
+  FAB_TRACE_SCOPE("serve/batch", {{"rows", rows}});
+  // Queue wait ends here: the requests just left the queue for a batch.
+  const obs::Clock::time_point batch_start = obs::Clock::Now();
+  for (const Request& request : batch) {
+    queue_wait_us_hist_.Record(
+        obs::Clock::MicrosBetween(request.enqueued, batch_start));
+  }
+  batch_size_hist_.Record(static_cast<double>(rows));
   const size_t expected = num_features_.load();
   const size_t cols = expected != 0 ? expected : batch.front().features.size();
   ml::ColMatrix x(rows, cols);
@@ -151,7 +160,12 @@ void BatchServer::RunBatch(std::vector<Request> batch,
   }
   std::vector<double> pred =
       model != nullptr ? model->Predict(x) : std::vector<double>(rows, 0.0);
-  const auto done = std::chrono::steady_clock::now();
+  const obs::Clock::time_point done = obs::Clock::Now();
+  // End-to-end latency lands in the bounded histogram — no sample cap,
+  // no unbounded vector, O(1) memory for any request volume.
+  for (const Request& request : batch) {
+    latency_us_hist_.Record(obs::Clock::MicrosBetween(request.enqueued, done));
+  }
   {
     // Record stats before fulfilling the promises: once a caller's future
     // resolves, a subsequent Stats() call must already count that request.
@@ -159,12 +173,6 @@ void BatchServer::RunBatch(std::vector<Request> batch,
     requests_completed_ += rows;
     batches_run_ += 1;
     last_complete_ = done;
-    for (const Request& request : batch) {
-      if (latency_us_.size() >= options_.latency_sample_cap) break;
-      latency_us_.push_back(
-          std::chrono::duration<double, std::micro>(done - request.enqueued)
-              .count());
-    }
   }
   for (size_t r = 0; r < rows; ++r) {
     batch[r].promise.set_value(pred[r]);
@@ -172,17 +180,23 @@ void BatchServer::RunBatch(std::vector<Request> batch,
 }
 
 BatchServerStats BatchServer::Stats() const {
-  util::MutexLock lock(stats_mu_);
   BatchServerStats stats;
+  // Histogram readouts are lock-free; only the scalar counters need
+  // stats_mu_. See BatchServerStats for the percentile error contract.
+  stats.p50_latency_us = latency_us_hist_.Percentile(0.50);
+  stats.p95_latency_us = latency_us_hist_.Percentile(0.95);
+  stats.p99_latency_us = latency_us_hist_.Percentile(0.99);
+  stats.max_latency_us = latency_us_hist_.Max();
+  stats.p99_batch_size = batch_size_hist_.Percentile(0.99);
+  stats.p50_queue_wait_us = queue_wait_us_hist_.Percentile(0.50);
+  stats.p99_queue_wait_us = queue_wait_us_hist_.Percentile(0.99);
+  util::MutexLock lock(stats_mu_);
   stats.requests_completed = requests_completed_;
   stats.batches_run = batches_run_;
   stats.mean_batch_size =
       batches_run_ > 0 ? static_cast<double>(requests_completed_) /
                              static_cast<double>(batches_run_)
                        : 0.0;
-  stats.p50_latency_us = Percentile(latency_us_, 0.50);
-  stats.p99_latency_us = Percentile(latency_us_, 0.99);
-  for (double v : latency_us_) stats.max_latency_us = std::max(stats.max_latency_us, v);
   if (have_first_submit_ && requests_completed_ > 0) {
     const double span =
         std::chrono::duration<double>(last_complete_ - first_submit_).count();
@@ -191,6 +205,20 @@ BatchServerStats BatchServer::Stats() const {
     }
   }
   return stats;
+}
+
+std::string BatchServer::StatszJson() const {
+  const BatchServerStats stats = Stats();
+  std::string out = "{";
+  out += "\"requests_completed\":" + std::to_string(stats.requests_completed);
+  out += ",\"batches_run\":" + std::to_string(stats.batches_run);
+  out += ",\"mean_batch_size\":" + JsonNumber(stats.mean_batch_size);
+  out += ",\"rows_per_sec\":" + JsonNumber(stats.rows_per_sec);
+  out += ",\"latency_us\":" + latency_us_hist_.ToJson();
+  out += ",\"batch_size\":" + batch_size_hist_.ToJson();
+  out += ",\"queue_wait_us\":" + queue_wait_us_hist_.ToJson();
+  out += "}";
+  return out;
 }
 
 }  // namespace fab::serve

@@ -2,16 +2,18 @@
 #define FAB_SERVE_BATCH_SERVER_H_
 
 #include <atomic>
-#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "serve/servable.h"
 #include "util/mutex.h"
+#include "util/obs/clock.h"
+#include "util/obs/metrics.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
 
@@ -26,20 +28,33 @@ struct BatchServerOptions {
   /// How long a worker holding a non-full batch waits for more requests
   /// before running what it has (0 = run immediately).
   int coalesce_wait_us = 200;
-  /// Latency samples kept for percentile stats (oldest-first cap).
-  size_t latency_sample_cap = 1 << 20;
 };
 
 /// Point-in-time serving counters.
+///
+/// Percentile fields are read out of fixed-footprint log-scale
+/// obs::Histograms (not raw samples), so memory stays bounded no matter
+/// how long the server runs. Approximation contract: each percentile is
+/// the geometric midpoint of a bucket whose edges grow by 2^(1/8),
+/// clamped to the exact observed min/max — within a relative error of
+/// 2^(1/16) - 1 ≈ 4.4% (< 5%) of the exact sorted-sample percentile.
+/// Counts, means, max and rows_per_sec are exact.
 struct BatchServerStats {
   uint64_t requests_completed = 0;
   uint64_t batches_run = 0;
   /// requests_completed / batches_run.
   double mean_batch_size = 0.0;
+  /// Batch-size distribution (rows per executed batch).
+  double p99_batch_size = 0.0;
   /// End-to-end (enqueue → promise fulfilled) latency percentiles, µs.
   double p50_latency_us = 0.0;
+  double p95_latency_us = 0.0;
   double p99_latency_us = 0.0;
   double max_latency_us = 0.0;
+  /// Enqueue → batch-assembly wait percentiles, µs (time spent queued
+  /// before a worker picked the request into a batch).
+  double p50_queue_wait_us = 0.0;
+  double p99_queue_wait_us = 0.0;
   /// Completed requests divided by the first-submit → last-completion span.
   double rows_per_sec = 0.0;
 };
@@ -97,6 +112,11 @@ class BatchServer {
 
   BatchServerStats Stats() const;
 
+  /// Stats() plus the full histograms, rendered as one JSON object —
+  /// the machine-readable twin used by telemetry scrapes and the bench
+  /// reporter ("statsz" in the /varz-/statsz debug-page tradition).
+  std::string StatszJson() const;
+
   /// Feature count the served model expects (0 when unknown).
   size_t num_features() const { return num_features_.load(); }
 
@@ -104,7 +124,7 @@ class BatchServer {
   struct Request {
     std::vector<double> features;
     std::promise<double> promise;
-    std::chrono::steady_clock::time_point enqueued;
+    obs::Clock::time_point enqueued;
   };
 
   void WorkerLoop() FAB_EXCLUDES(mu_);
@@ -124,12 +144,16 @@ class BatchServer {
   mutable util::Mutex stats_mu_;
   uint64_t requests_completed_ FAB_GUARDED_BY(stats_mu_) = 0;
   uint64_t batches_run_ FAB_GUARDED_BY(stats_mu_) = 0;
-  std::vector<double> latency_us_ FAB_GUARDED_BY(stats_mu_);
   bool have_first_submit_ FAB_GUARDED_BY(stats_mu_) = false;
-  std::chrono::steady_clock::time_point first_submit_
-      FAB_GUARDED_BY(stats_mu_);
-  std::chrono::steady_clock::time_point last_complete_
-      FAB_GUARDED_BY(stats_mu_);
+  obs::Clock::time_point first_submit_ FAB_GUARDED_BY(stats_mu_);
+  obs::Clock::time_point last_complete_ FAB_GUARDED_BY(stats_mu_);
+
+  // Per-instance histograms (bounded memory, see BatchServerStats).
+  // obs instruments are internally lock-free, so they live outside
+  // stats_mu_ — recording never contends with Stats() readers.
+  obs::Histogram latency_us_hist_;
+  obs::Histogram batch_size_hist_;
+  obs::Histogram queue_wait_us_hist_;
 
   util::Mutex lifecycle_mu_ FAB_ACQUIRED_BEFORE(mu_);
   std::vector<std::thread> workers_ FAB_GUARDED_BY(lifecycle_mu_);

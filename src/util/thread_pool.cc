@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "util/obs/clock.h"
+#include "util/obs/metrics.h"
+#include "util/obs/trace.h"
+
 namespace fab::util {
 
 namespace {
@@ -10,6 +14,26 @@ namespace {
 /// Set for the lifetime of every pool worker thread (any pool), so nested
 /// ParallelFor calls can detect they are already on a worker.
 thread_local bool t_in_pool_worker = false;
+
+#if !defined(FAB_OBS_DISABLED)
+// Pool telemetry (shared across pool instances — the interesting signal
+// is process-wide pressure on the shared pool). Fetched once; Record /
+// Add are lock-free. Compiled out entirely under FAB_OBS=OFF so the
+// worker loop carries no clock reads or atomics.
+obs::Gauge& QueueDepthGauge() {
+  static obs::Gauge& gauge = obs::GetGauge("threadpool/queue_depth");
+  return gauge;
+}
+obs::Histogram& TaskLatencyHistogram() {
+  static obs::Histogram& histogram =
+      obs::GetHistogram("threadpool/task_us");
+  return histogram;
+}
+obs::Counter& TasksEnqueuedCounter() {
+  static obs::Counter& counter = obs::GetCounter("threadpool/tasks_enqueued");
+  return counter;
+}
+#endif
 
 int EnvThreads() {
   const char* v = std::getenv("FAB_THREADS");
@@ -54,6 +78,10 @@ void ThreadPool::Enqueue(std::function<void()> task) {
     MutexLock lock(mu_);
     queue_.push_back(std::move(task));
   }
+#if !defined(FAB_OBS_DISABLED)
+  QueueDepthGauge().Add(1);
+  TasksEnqueuedCounter().Increment();
+#endif
   cv_.NotifyOne();
 }
 
@@ -67,7 +95,18 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+#if !defined(FAB_OBS_DISABLED)
+    QueueDepthGauge().Add(-1);
+    const obs::Clock::time_point start = obs::Clock::Now();
+    {
+      FAB_TRACE_SCOPE("threadpool/task");
+      task();  // packaged_task-style wrappers capture their own exceptions
+    }
+    TaskLatencyHistogram().Record(
+        obs::Clock::MicrosBetween(start, obs::Clock::Now()));
+#else
     task();  // packaged_task-style wrappers capture their own exceptions
+#endif
   }
 }
 

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <string>
 #include <thread>
 
 #include "ml/forest.h"
@@ -101,6 +102,37 @@ TEST(BatchServerTest, ConcurrentClientsAndStats) {
   EXPECT_LE(stats.p50_latency_us, stats.p99_latency_us);
   EXPECT_LE(stats.p99_latency_us, stats.max_latency_us);
   EXPECT_GT(stats.rows_per_sec, 0.0);
+}
+
+TEST(BatchServerTest, StatszJsonMatchesStats) {
+  auto servable = TrainServable(45);
+  const ml::ColMatrix queries = MakeMatrix(24, 6, 46);
+  BatchServerOptions options;
+  options.num_threads = 2;
+  options.max_batch = 8;
+  BatchServer server(servable, options);
+  for (size_t i = 0; i < queries.rows(); ++i) {
+    ASSERT_TRUE(server.Forecast(RowOf(queries, i)).ok());
+  }
+
+  const BatchServerStats stats = server.Stats();
+  const std::string json = server.StatszJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  // Exact counters agree with the struct readout.
+  EXPECT_NE(json.find("\"requests_completed\":" +
+                      std::to_string(stats.requests_completed)),
+            std::string::npos);
+  EXPECT_NE(
+      json.find("\"batches_run\":" + std::to_string(stats.batches_run)),
+      std::string::npos);
+  // Histogram blocks are present with the percentile keys dashboards read.
+  for (const char* block : {"\"latency_us\":{", "\"batch_size\":{",
+                            "\"queue_wait_us\":{"}) {
+    EXPECT_NE(json.find(block), std::string::npos) << block;
+  }
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
 }
 
 TEST(BatchServerTest, RejectsWrongFeatureCount) {

@@ -110,6 +110,44 @@ TEST(FablintTest, SafetyUnannotatedMutex) {
   ExpectSingleRule("safety_unannotated_mutex.h", "safety-unannotated-mutex");
 }
 
+TEST(FablintTest, ObsRawClock) {
+  ExpectSingleRule("obs_raw_clock.cc", "obs-raw-clock");
+}
+
+TEST(FablintTest, ObsRawClockReportsExactLine) {
+  const RunResult run =
+      RunFablint("--all-rules " + Fixture("obs_raw_clock.cc"));
+  EXPECT_NE(run.output.find("obs_raw_clock.cc:9: [obs-raw-clock]"),
+            std::string::npos)
+      << run.output;
+}
+
+TEST(FablintTest, ObsRawClockAppliesOutsideExemptDirsInScopedMode) {
+  // Unlike det-unordered-iter (opt-in dirs), obs-raw-clock applies
+  // everywhere by default — scoped mode must still fire on this path.
+  const RunResult scoped =
+      RunFablint("--root " + std::string(FABLINT_FIXTURES) + " " +
+                 Fixture("obs_raw_clock.cc"));
+  EXPECT_EQ(scoped.exit_code, 1) << scoped.output;
+  EXPECT_EQ(CountOccurrences(scoped.output, "[obs-raw-clock]"), 1u)
+      << scoped.output;
+}
+
+TEST(FablintTest, ObsRawClockExemptsBenchByPath) {
+  // bench/ reports wall time by design: the identical ::now() call under
+  // a bench/ prefix is clean in scoped mode (and only resurfaces under
+  // --all-rules, which bypasses every path scope).
+  const RunResult scoped =
+      RunFablint("--root " + std::string(FABLINT_FIXTURES) + " " +
+                 Fixture("bench/raw_clock_exempt.cc"));
+  EXPECT_EQ(scoped.exit_code, 0) << scoped.output;
+  const RunResult all =
+      RunFablint("--all-rules --root " + std::string(FABLINT_FIXTURES) + " " +
+                 Fixture("bench/raw_clock_exempt.cc"));
+  EXPECT_EQ(all.exit_code, 1) << all.output;
+  EXPECT_EQ(CountOccurrences(all.output, "[obs-raw-clock]"), 1u) << all.output;
+}
+
 TEST(FablintTest, SafetyUnannotatedMutexReportsExactLine) {
   const RunResult run =
       RunFablint("--all-rules " + Fixture("safety_unannotated_mutex.h"));
@@ -239,10 +277,12 @@ TEST(FablintTest, WalkingTheFixtureDirFindsEveryRuleOnce) {
                  std::string(FABLINT_FIXTURES));
   EXPECT_EQ(run.exit_code, 1);
   // One deliberate violation per rule, plus allow_unknown_rule.cc which
-  // contributes a second det-rand (the typo'd allow must not suppress it);
-  // clean.cc, suppressed.cc, the allow_* negatives and the diamond headers
+  // contributes a second det-rand (the typo'd allow must not suppress it)
+  // and bench/raw_clock_exempt.cc which contributes a second obs-raw-clock
+  // (--all-rules bypasses the bench/ path exemption); clean.cc,
+  // suppressed.cc, the allow_* negatives and the diamond headers
   // contribute nothing.
-  EXPECT_NE(run.output.find("checked 28 file(s), 17 violation(s)"),
+  EXPECT_NE(run.output.find("checked 30 file(s), 19 violation(s)"),
             std::string::npos)
       << run.output;
   for (const char* rule :
@@ -257,6 +297,8 @@ TEST(FablintTest, WalkingTheFixtureDirFindsEveryRuleOnce) {
         << run.output;
   }
   EXPECT_EQ(CountOccurrences(run.output, "[det-rand]"), 2u) << run.output;
+  EXPECT_EQ(CountOccurrences(run.output, "[obs-raw-clock]"), 2u)
+      << run.output;
 }
 
 TEST(FablintTest, ScopingSkipsUnorderedIterOutsideReductionDirs) {
@@ -285,7 +327,7 @@ TEST(FablintTest, ListRulesPrintsTheFullTable) {
         "safety-float-accum", "safety-unannotated-mutex", "hygiene-guard",
         "hygiene-using-namespace", "hygiene-new-delete",
         "graph-include-cycle", "graph-unused-include", "lock-order",
-        "lint-unknown-rule"}) {
+        "lint-unknown-rule", "obs-raw-clock"}) {
     EXPECT_NE(run.output.find(rule), std::string::npos) << rule;
   }
 }

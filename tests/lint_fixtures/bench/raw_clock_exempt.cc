@@ -1,0 +1,13 @@
+// Fixture: a raw steady_clock::now() under a bench/ path prefix — exempt
+// from obs-raw-clock in scoped mode (benchmarks report wall time by
+// design), but it still fires under --all-rules. Never compiled.
+#include <chrono>
+
+namespace fab_fixture {
+
+inline double BenchWallMillis(std::chrono::steady_clock::time_point start) {
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(now - start).count();
+}
+
+}  // namespace fab_fixture

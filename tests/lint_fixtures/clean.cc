@@ -1,7 +1,7 @@
 // Fixture: zero violations — banned identifiers appear only inside
 // comments and string literals, which the masker must blank out.
 // Mentions for the masker: std::rand(), time(nullptr), assert(x),
-// catch (...), new int, std::mt19937. Never compiled.
+// catch (...), new int, std::mt19937, steady_clock::now(). Never compiled.
 #include <chrono>
 #include <map>
 #include <memory>
@@ -20,8 +20,9 @@ inline double SortedOrderSum(const std::map<std::string, double>& weights) {
 }
 
 inline std::unique_ptr<std::vector<double>> OwnedBuffer(std::size_t n) {
-  // steady_clock is fine for durations; only wall clocks are banned.
-  const auto t0 = std::chrono::steady_clock::now();
+  // steady_clock *types* are fine (deadlines, durations); only a raw
+  // steady_clock::now() read would trip obs-raw-clock.
+  const std::chrono::steady_clock::time_point t0{};
   (void)t0;
   return std::make_unique<std::vector<double>>(n, 0.0);
 }

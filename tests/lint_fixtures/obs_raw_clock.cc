@@ -1,0 +1,13 @@
+// Fixture: exactly one violation — a raw steady_clock::now() read
+// outside src/util/obs/ and bench/ must trip obs-raw-clock (and nothing
+// else; steady_clock *types* and durations stay clean). Never compiled.
+#include <chrono>
+
+namespace fab_fixture {
+
+inline double ElapsedMicros(std::chrono::steady_clock::time_point start) {
+  const auto now = std::chrono::steady_clock::now();  // the one violation
+  return std::chrono::duration<double, std::micro>(now - start).count();
+}
+
+}  // namespace fab_fixture

@@ -7,6 +7,7 @@
 #include <thread>
 #include <vector>
 
+#include "util/obs/clock.h"
 #include "util/thread_annotations.h"
 
 namespace fab::util {
@@ -66,13 +67,12 @@ TEST(CondVarTest, WaitUntilTimesOut) {
   Mutex mu;
   CondVar cv;
   MutexLock lock(mu);
-  const auto deadline =
-      std::chrono::steady_clock::now() + std::chrono::milliseconds(5);
+  const auto deadline = obs::Clock::Now() + std::chrono::milliseconds(5);
   // Nobody notifies, so the wait must report timeout (false) and return
   // with the lock re-held (verified by the guarded write below).
   bool woke = cv.WaitUntil(mu, deadline);
   EXPECT_FALSE(woke);
-  EXPECT_GE(std::chrono::steady_clock::now(), deadline);
+  EXPECT_GE(obs::Clock::Now(), deadline);
 }
 
 TEST(CondVarTest, WaitUntilWakesBeforeDeadlineOnNotify) {
@@ -87,8 +87,7 @@ TEST(CondVarTest, WaitUntilWakesBeforeDeadlineOnNotify) {
   bool saw_ready = false;
   {
     MutexLock lock(mu);
-    const auto deadline =
-        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    const auto deadline = obs::Clock::Now() + std::chrono::seconds(30);
     while (!ready) {
       if (!cv.WaitUntil(mu, deadline)) break;
     }

@@ -333,6 +333,37 @@ void CheckHygiene(Ctx& ctx) {
   });
 }
 
+// --- Observability rules. ---------------------------------------------------
+
+/// Raw monotonic-clock reads outside the observability layer defeat the
+/// single-wall-clock-boundary contract: timing must go through obs::Clock
+/// (src/util/obs/clock.h) so wall-clock values provably flow only into
+/// obs sinks (trace buffers, metric histograms), never into computation.
+/// src/util/obs/ itself and bench/ (which reports wall time by design)
+/// are exempt.
+void CheckRawClock(Ctx& ctx) {
+  if (!ctx.all_rules && (StartsWith(ctx.rel, "src/util/obs/") ||
+                         StartsWith(ctx.rel, "bench/"))) {
+    return;
+  }
+  const std::string& text = ctx.masked;
+  for (const char* clock :
+       {"steady_clock", "system_clock", "high_resolution_clock"}) {
+    ForEachToken(text, clock, [&](size_t pos) {
+      size_t i = SkipWs(text, pos + std::string(clock).size());
+      if (i + 1 >= text.size() || text[i] != ':' || text[i + 1] != ':') return;
+      i = SkipWs(text, i + 2);
+      if (!TokenAt(text, i, "now")) return;
+      i = SkipWs(text, i + 3);
+      if (i >= text.size() || text[i] != '(') return;
+      Add(ctx, pos, "obs-raw-clock",
+          std::string(clock) +
+              "::now() outside src/util/obs/ and bench/: read time through "
+              "obs::Clock so wall-clock stays an observability-only input");
+    });
+  }
+}
+
 // --- Lint-the-linter rules. -------------------------------------------------
 
 /// A typo'd id in an allow list suppresses nothing and silently rots: a
@@ -389,6 +420,9 @@ const std::vector<RuleInfo>& AllRules() {
        "no opposite-order nested mutex acquisitions across the repo"},
       {"lint-unknown-rule",
        "fablint:allow lists may only name real rule ids (or *)"},
+      {"obs-raw-clock",
+       "raw *_clock::now() banned outside src/util/obs/ and bench/; "
+       "use obs::Clock"},
   };
   return kRules;
 }
@@ -592,6 +626,7 @@ std::vector<Violation> LintSource(const std::string& rel_path,
   CheckUnorderedIteration(ctx);
   CheckSafety(ctx);
   CheckHygiene(ctx);
+  CheckRawClock(ctx);
   CheckUnknownRules(ctx);
 
   std::sort(ctx.out.begin(), ctx.out.end(),
