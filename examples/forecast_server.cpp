@@ -1,28 +1,45 @@
-// Forecast server demo: the full serving lifecycle in one binary.
+// Forecast server demo: the full networked serving lifecycle in one binary.
 //
 //   1. Train the three fine-tuned model kinds (RF, GBDT, MLP) on a
 //      synthetic Crypto100-style regression task.
 //   2. Install them into a ModelRegistry as versioned snapshots on disk.
-//   3. Stand up a BatchServer over the flattened RF and let concurrent
-//      clients issue single-row forecasts that get coalesced into batches.
-//   4. Retrain, republish the snapshot, and hot-reload without downtime.
+//   3. Stand up the fab::net stack — ShardedRouter (2 admission-controlled
+//      BatchServer shards) + ForecastService + HttpServer on an ephemeral
+//      port — and exercise /healthz, /predict and /statusz through the
+//      sanctioned HttpClient.
+//   4. Retrain, republish the snapshot, hot-reload: the router resolves
+//      the servable per request, so the very next /predict serves the new
+//      model with zero downtime and no server restart.
 //
-//   ./forecast_server
+//   ./forecast_server             # demo mode: runs the tour, exits 0
+//   ./forecast_server --serve [P] # stays up on port P (default ephemeral)
+//
+// Demo mode doubles as the ctest `forecast_server_example` smoke test: a
+// real TCP socket, JSON-validated responses, non-zero exit on any miss.
 
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
+#include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "ml/forest.h"
 #include "ml/gbdt.h"
 #include "ml/mlp.h"
-#include "serve/batch_server.h"
+#include "net/forecast_service.h"
+#include "net/http_client.h"
+#include "net/http_server.h"
+#include "net/json.h"
+#include "net/shard_router.h"
 #include "serve/registry.h"
 #include "serve/snapshot.h"
 #include "util/random.h"
 
 namespace {
+
+constexpr size_t kFeatures = 12;
 
 fab::ml::ColMatrix MakeMatrix(size_t n, size_t f, uint64_t seed) {
   fab::Rng rng(seed);
@@ -49,12 +66,67 @@ void Die(const fab::Status& status, const char* what) {
   std::exit(1);
 }
 
+void DieIf(bool condition, const char* what) {
+  if (!condition) return;
+  std::fprintf(stderr, "FATAL %s\n", what);
+  std::exit(1);
+}
+
+/// Builds the /predict request body for `key` with `rows` random rows.
+std::string PredictBody(const fab::serve::ModelKey& key, size_t rows,
+                        uint64_t seed) {
+  fab::Rng rng(seed);
+  std::ostringstream body;
+  body << "{\"period\":" << fab::net::EscapeJson(key.period)
+       << ",\"window\":" << key.window
+       << ",\"model\":" << fab::net::EscapeJson(key.model) << ",\"rows\":[";
+  for (size_t r = 0; r < rows; ++r) {
+    body << (r == 0 ? "[" : ",[");
+    for (size_t j = 0; j < kFeatures; ++j) {
+      body << (j == 0 ? "" : ",") << rng.Normal();
+    }
+    body << "]";
+  }
+  body << "]}";
+  return body.str();
+}
+
+/// POSTs one /predict for `key`, validates the JSON, returns the first
+/// forecast.
+double Predict(fab::net::HttpClient& client, const fab::serve::ModelKey& key,
+               size_t rows, uint64_t seed) {
+  auto response = client.Post("/predict", PredictBody(key, rows, seed));
+  Die(response.status(), "POST /predict");
+  DieIf(response->status_code != 200, "/predict did not return 200");
+  auto doc = fab::net::ParseJson(response->body);
+  Die(doc.status(), "parse /predict response");
+  const fab::net::JsonValue* forecasts = doc->Find("forecasts");
+  DieIf(forecasts == nullptr || !forecasts->is_array() ||
+            forecasts->array().size() != rows,
+        "/predict response missing forecasts");
+  auto shard = doc->GetNumber("shard");
+  Die(shard.status(), "/predict response missing shard");
+  std::printf("  %-14s -> shard %d, %zu forecasts, first %.4f\n",
+              key.ToString().c_str(), static_cast<int>(*shard), rows,
+              forecasts->array()[0].number());
+  return forecasts->array()[0].number();
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fab;
 
-  const size_t kFeatures = 12;
+  bool serve_forever = false;
+  uint16_t requested_port = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--serve") == 0) {
+      serve_forever = true;
+    } else {
+      requested_port = static_cast<uint16_t>(std::atoi(argv[i]));
+    }
+  }
+
   const std::string dir =
       (std::filesystem::temp_directory_path() / "fab_forecast_server_demo")
           .string();
@@ -82,10 +154,16 @@ int main() {
   Die(mlp->Fit(train, y), "mlp fit");
 
   // --- 2. Install snapshots into the registry. -----------------------------
+  // Three distinct scenario keys so the shard hash has something to route:
+  // under 2 shards, rf lands on shard 0 and xgb/mlp on shard 1.
+  const serve::ModelKey kRfKey{"2017", 7, "rf"};
+  const serve::ModelKey kXgbKey{"2019", 21, "xgb"};
+  const serve::ModelKey kMlpKey{"2017", 1, "mlp"};
+
   serve::ModelRegistry registry(dir);
-  Die(registry.Install({"2017", 7, "rf"}, std::move(rf)), "install rf");
-  Die(registry.Install({"2017", 7, "xgb"}, std::move(xgb)), "install xgb");
-  Die(registry.Install({"2017", 7, "mlp"}, std::move(mlp)), "install mlp");
+  Die(registry.Install(kRfKey, std::move(rf)), "install rf");
+  Die(registry.Install(kXgbKey, std::move(xgb)), "install xgb");
+  Die(registry.Install(kMlpKey, std::move(mlp)), "install mlp");
 
   std::printf("registry at %s:\n", dir.c_str());
   for (const serve::ModelKey& key : registry.ListOnDisk()) {
@@ -95,61 +173,78 @@ int main() {
                 info.ok() ? serve::ModelKindName(info->kind) : "?");
   }
 
-  // --- 3. Serve concurrent traffic over the flattened RF. ------------------
-  auto servable = registry.Get({"2017", 7, "rf"});
-  Die(servable.status(), "registry get");
-  std::printf("\nserving %s (flattened=%s, %zu features)\n",
-              (*servable)->model().name().c_str(),
-              (*servable)->flattened() ? "yes" : "no",
-              (*servable)->num_features());
+  // --- 3. Stand up the fab::net serving stack. -----------------------------
+  net::ShardedRouterOptions router_options;
+  router_options.num_shards = 2;
+  router_options.threads_per_shard = 2;
+  router_options.max_batch = 32;
+  router_options.max_shard_queue = 256;
+  auto router = net::ShardedRouter::Create(&registry, router_options);
+  Die(router.status(), "router create");
 
-  serve::BatchServerOptions options;
-  options.num_threads = 2;
-  options.max_batch = 32;
-  serve::BatchServer server(*servable, options);
+  net::ForecastService service(router->get());
 
-  const ml::ColMatrix queries = MakeMatrix(512, kFeatures, 3);
-  constexpr int kClients = 4;
-  std::vector<std::thread> clients;
-  for (int c = 0; c < kClients; ++c) {
-    clients.emplace_back([&, c] {
-      std::vector<double> features(kFeatures);
-      for (size_t r = static_cast<size_t>(c); r < queries.rows();
-           r += kClients) {
-        for (size_t j = 0; j < kFeatures; ++j) features[j] = queries.at(r, j);
-        auto forecast = server.Forecast(features);
-        if (!forecast.ok()) std::fprintf(stderr, "forecast failed\n");
-      }
-    });
+  net::HttpServerOptions server_options;
+  server_options.port = requested_port;
+  server_options.num_workers = 4;
+  net::HttpServer server(server_options);
+  service.RegisterRoutes(&server);
+  Die(server.Start(), "server start");
+  std::printf("\nserving on http://127.0.0.1:%u (%zu shards)\n",
+              server.port(), (*router)->num_shards());
+
+  if (serve_forever) {
+    std::printf("press Ctrl-C to stop\n");
+    for (;;) std::this_thread::sleep_for(std::chrono::seconds(60));
   }
-  for (auto& client : clients) client.join();
 
-  const serve::BatchServerStats stats = server.Stats();
-  std::printf("%llu forecasts in %llu batches (mean %.1f rows/batch)\n",
-              static_cast<unsigned long long>(stats.requests_completed),
-              static_cast<unsigned long long>(stats.batches_run),
-              stats.mean_batch_size);
-  std::printf("%.0f rows/s, p50 %.0f us, p99 %.0f us\n", stats.rows_per_sec,
-              stats.p50_latency_us, stats.p99_latency_us);
+  // --- 4. Exercise the API through the sanctioned client. ------------------
+  net::HttpClient client("127.0.0.1", server.port());
 
-  // --- 4. Hot-reload: retrain, republish, swap — no downtime. --------------
+  auto health = client.Get("/healthz");
+  Die(health.status(), "GET /healthz");
+  DieIf(health->status_code != 200, "/healthz did not return 200");
+  std::printf("GET /healthz -> %d %s\n", health->status_code,
+              health->body.c_str());
+
+  std::printf("POST /predict:\n");
+  Predict(client, kRfKey, 4, 11);
+  Predict(client, kXgbKey, 4, 12);
+  Predict(client, kMlpKey, 4, 13);
+
+  auto statusz = client.Get("/statusz");
+  Die(statusz.status(), "GET /statusz");
+  DieIf(statusz->status_code != 200, "/statusz did not return 200");
+  auto statusz_doc = net::ParseJson(statusz->body);
+  Die(statusz_doc.status(), "parse /statusz");
+  const net::JsonValue* router_json = statusz_doc->Find("router");
+  DieIf(router_json == nullptr, "/statusz missing router");
+  auto num_shards = router_json->GetNumber("num_shards");
+  Die(num_shards.status(), "/statusz missing num_shards");
+  DieIf(static_cast<size_t>(*num_shards) != (*router)->num_shards(),
+        "/statusz shard count mismatch");
+  std::printf("GET /statusz -> %d (%zu shards reported, %zu bytes)\n",
+              statusz->status_code, static_cast<size_t>(*num_shards),
+              statusz->body.size());
+
+  // --- 5. Hot-reload: retrain, republish, swap — no downtime. --------------
+  // The router resolves the registry servable on every submit, so the
+  // republished snapshot serves the moment Reload() swaps it in. The
+  // server never restarts; the client keeps its connection.
+  const double before = Predict(client, kRfKey, 1, 99);
   const ml::ColMatrix fresh_train = MakeMatrix(800, kFeatures, 4);
   auto fresh_rf = std::make_unique<ml::RandomForestRegressor>(rf_params);
   Die(fresh_rf->Fit(fresh_train, MakeTarget(fresh_train, 5)), "retrain");
-  Die(serve::SnapshotCodec::Save(*fresh_rf,
-                                 registry.PathFor({"2017", 7, "rf"})),
+  Die(serve::SnapshotCodec::Save(*fresh_rf, registry.PathFor(kRfKey)),
       "republish");
-  Die(registry.Reload({"2017", 7, "rf"}), "reload");
-  auto swapped = registry.Get({"2017", 7, "rf"});
-  Die(swapped.status(), "get after reload");
-  server.UpdateModel(*swapped);
+  Die(registry.Reload(kRfKey), "reload");
+  const double after = Predict(client, kRfKey, 1, 99);
+  std::printf("hot-reload: forecast %.4f -> %.4f over one live connection\n",
+              before, after);
 
-  std::vector<double> probe(kFeatures, 0.25);
-  auto after = server.Forecast(probe);
-  Die(after.status(), "forecast after hot-swap");
-  std::printf("\nhot-swapped model serves: forecast(0.25...) = %.4f\n", *after);
-
+  // --- 6. Clean shutdown. --------------------------------------------------
   server.Shutdown();
+  (*router)->Shutdown();
   std::filesystem::remove_all(dir);
   std::printf("done.\n");
   return 0;

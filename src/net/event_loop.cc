@@ -1,0 +1,169 @@
+#include "net/event_loop.h"
+
+#include <cerrno>
+#include <cstring>
+#include <memory>
+
+#include <poll.h>
+#include <unistd.h>
+
+#if defined(__linux__)
+#include <sys/epoll.h>
+#define FAB_NET_HAVE_EPOLL 1
+#else
+#define FAB_NET_HAVE_EPOLL 0
+#endif
+
+namespace fab::net {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+#if FAB_NET_HAVE_EPOLL
+uint32_t ToEpollMask(bool want_read, bool want_write) {
+  uint32_t mask = 0;
+  if (want_read) mask |= EPOLLIN;
+  if (want_write) mask |= EPOLLOUT;
+  return mask;
+}
+#endif
+
+}  // namespace
+
+EventLoop::Backend EventLoop::DefaultBackend() {
+#if FAB_NET_HAVE_EPOLL
+  return Backend::kEpoll;
+#else
+  return Backend::kPoll;
+#endif
+}
+
+Result<std::unique_ptr<EventLoop>> EventLoop::Create(Backend backend) {
+  // fablint:allow(hygiene-new-delete) — private ctor, factory owns it.
+  std::unique_ptr<EventLoop> loop(new EventLoop(backend));
+  if (backend == Backend::kEpoll) {
+#if FAB_NET_HAVE_EPOLL
+    loop->epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    if (loop->epoll_fd_ < 0) return Errno("epoll_create1");
+#else
+    return Status::FailedPrecondition("epoll backend unavailable");
+#endif
+  }
+  return loop;
+}
+
+EventLoop::~EventLoop() {
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+Status EventLoop::Add(int fd, bool want_read, bool want_write) {
+  if (fd < 0) return Status::InvalidArgument("Add: negative fd");
+  if (interest_.count(fd) != 0) {
+    return Status::AlreadyExists("fd " + std::to_string(fd) +
+                                 " already registered");
+  }
+#if FAB_NET_HAVE_EPOLL
+  if (backend_ == Backend::kEpoll) {
+    struct epoll_event ev = {};
+    ev.events = ToEpollMask(want_read, want_write);
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      return Errno("epoll_ctl(ADD)");
+    }
+  }
+#endif
+  interest_[fd] = Interest{want_read, want_write};
+  return Status::OK();
+}
+
+Status EventLoop::Mod(int fd, bool want_read, bool want_write) {
+  auto it = interest_.find(fd);
+  if (it == interest_.end()) {
+    return Status::NotFound("fd " + std::to_string(fd) + " not registered");
+  }
+#if FAB_NET_HAVE_EPOLL
+  if (backend_ == Backend::kEpoll) {
+    struct epoll_event ev = {};
+    ev.events = ToEpollMask(want_read, want_write);
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+      return Errno("epoll_ctl(MOD)");
+    }
+  }
+#endif
+  it->second = Interest{want_read, want_write};
+  return Status::OK();
+}
+
+Status EventLoop::Del(int fd) {
+  auto it = interest_.find(fd);
+  if (it == interest_.end()) {
+    return Status::NotFound("fd " + std::to_string(fd) + " not registered");
+  }
+#if FAB_NET_HAVE_EPOLL
+  if (backend_ == Backend::kEpoll) {
+    struct epoll_event ev = {};  // non-null for pre-2.6.9 kernel ABI
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, &ev) != 0) {
+      return Errno("epoll_ctl(DEL)");
+    }
+  }
+#endif
+  interest_.erase(it);
+  return Status::OK();
+}
+
+Status EventLoop::Wait(int timeout_ms, std::vector<IoEvent>* out) {
+  out->clear();
+#if FAB_NET_HAVE_EPOLL
+  if (backend_ == Backend::kEpoll) {
+    struct epoll_event events[64];
+    const int n = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) return Status::OK();  // caller just re-waits
+      return Errno("epoll_wait");
+    }
+    out->reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      IoEvent event;
+      event.fd = events[i].data.fd;
+      event.readable = (events[i].events & EPOLLIN) != 0;
+      event.writable = (events[i].events & EPOLLOUT) != 0;
+      event.error = (events[i].events & (EPOLLERR | EPOLLHUP)) != 0;
+      out->push_back(event);
+    }
+    return Status::OK();
+  }
+#endif
+  // Scalar poll fallback: rebuild the pollfd array from the interest
+  // table each wait. O(watched fds) per call — fine at the connection
+  // counts a single shard front-end handles, and fully portable.
+  std::vector<struct pollfd> fds;
+  fds.reserve(interest_.size());
+  for (const auto& [fd, want] : interest_) {
+    struct pollfd p = {};
+    p.fd = fd;
+    if (want.read) p.events |= POLLIN;
+    if (want.write) p.events |= POLLOUT;
+    fds.push_back(p);
+  }
+  const int n = ::poll(fds.data(), fds.size(), timeout_ms);
+  if (n < 0) {
+    if (errno == EINTR) return Status::OK();
+    return Errno("poll");
+  }
+  for (const struct pollfd& p : fds) {
+    if (p.revents == 0) continue;
+    IoEvent event;
+    event.fd = p.fd;
+    event.readable = (p.revents & POLLIN) != 0;
+    event.writable = (p.revents & POLLOUT) != 0;
+    event.error = (p.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+    out->push_back(event);
+  }
+  return Status::OK();
+}
+
+}  // namespace fab::net

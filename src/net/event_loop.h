@@ -1,0 +1,85 @@
+#ifndef FAB_NET_EVENT_LOOP_H_
+#define FAB_NET_EVENT_LOOP_H_
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "util/status.h"
+
+namespace fab::net {
+
+/// One readiness notification from EventLoop::Wait.
+struct IoEvent {
+  int fd = -1;
+  bool readable = false;
+  bool writable = false;
+  /// Error or hangup; the owner should tear the fd down.
+  bool error = false;
+};
+
+/// Readiness-notification multiplexer behind the HTTP server's IO
+/// thread: epoll on Linux (level-triggered — the simple, unmissable
+/// semantics), with a portable scalar poll(2) fallback selected either
+/// at compile time (non-Linux) or at runtime (tests exercise both
+/// backends on the same host).
+///
+/// Not thread-safe by design: one EventLoop belongs to one IO thread,
+/// which is the only thread that touches any registered fd. Cross-thread
+/// wakeups go through an fd the loop watches (the server's wakeup pipe),
+/// never through this class directly.
+class EventLoop {
+ public:
+  enum class Backend {
+    kEpoll,  ///< Linux epoll; Create() fails on other platforms
+    kPoll,   ///< portable poll(2) over the registered-fd table
+  };
+
+  /// The preferred backend for this platform (epoll on Linux).
+  static Backend DefaultBackend();
+
+  /// Builds a loop, acquiring the epoll instance when applicable.
+  static Result<std::unique_ptr<EventLoop>> Create(
+      Backend backend = DefaultBackend());
+
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Registers `fd` for readiness notifications. Errors/hangups are
+  /// always reported regardless of the flags.
+  Status Add(int fd, bool want_read, bool want_write);
+
+  /// Updates an already-registered fd's interest set.
+  Status Mod(int fd, bool want_read, bool want_write);
+
+  /// Deregisters `fd` (the caller still owns and closes it).
+  Status Del(int fd);
+
+  /// Blocks up to `timeout_ms` (-1 = indefinitely) and appends ready
+  /// events to `out` (cleared first). Zero events on timeout is OK.
+  Status Wait(int timeout_ms, std::vector<IoEvent>* out);
+
+  Backend backend() const { return backend_; }
+  size_t watched_count() const { return interest_.size(); }
+
+ private:
+  explicit EventLoop(Backend backend) : backend_(backend) {}
+
+  struct Interest {
+    bool read = false;
+    bool write = false;
+  };
+
+  const Backend backend_;
+  int epoll_fd_ = -1;  ///< valid only for kEpoll
+  /// fd → interest; the poll backend builds its pollfd array from this,
+  /// the epoll backend keeps it for watched_count and Mod validation.
+  std::map<int, Interest> interest_;
+};
+
+}  // namespace fab::net
+
+#endif  // FAB_NET_EVENT_LOOP_H_

@@ -1,0 +1,50 @@
+#ifndef FAB_NET_FORECAST_SERVICE_H_
+#define FAB_NET_FORECAST_SERVICE_H_
+
+#include <string>
+
+#include "net/http_server.h"
+#include "net/shard_router.h"
+#include "util/status.h"
+
+namespace fab::net {
+
+/// Maps a fab::Status to the HTTP status code the serving API uses:
+/// OK→200, InvalidArgument→400, NotFound→404, Unavailable→429,
+/// FailedPrecondition→503, anything else→500.
+int HttpStatusFor(const Status& status);
+
+/// The JSON forecast API over a ShardedRouter.
+///
+///   POST /predict   {"period":"2017","window":7,"model":"rf",
+///                    "rows":[[f0,f1,...],...]}
+///                   → 200 {"forecasts":[...],"shard":N}
+///                   → 429 {"error":...} + Retry-After when shedding
+///   GET  /statusz   router shard statsz + full obs metrics export
+///   GET  /healthz   200 {"status":"ok"}
+///
+/// Handlers are non-blocking: /predict fans each row into the shard's
+/// BatchServer via SubmitWithCallback and the LAST completion serializes
+/// and sends the response — no handler thread ever parks on a forecast,
+/// which is what lets a small worker pool sustain thousands of in-flight
+/// rows. Stateless apart from the router pointer; thread-safe.
+class ForecastService {
+ public:
+  /// `router` is borrowed and must outlive the service.
+  explicit ForecastService(ShardedRouter* router) : router_(router) {}
+
+  /// Registers /predict, /statusz and /healthz on `server`. Call before
+  /// HttpServer::Start.
+  void RegisterRoutes(HttpServer* server);
+
+  void HandlePredict(const HttpRequest& request, Responder responder);
+  void HandleStatusz(const HttpRequest& request, Responder responder);
+  void HandleHealthz(const HttpRequest& request, Responder responder);
+
+ private:
+  ShardedRouter* const router_;
+};
+
+}  // namespace fab::net
+
+#endif  // FAB_NET_FORECAST_SERVICE_H_

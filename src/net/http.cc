@@ -1,0 +1,233 @@
+#include "net/http.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+namespace fab::net {
+
+namespace {
+
+bool EqualsIgnoreCase(const std::string& a, const std::string& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+const std::string* FindHeader(
+    const std::vector<std::pair<std::string, std::string>>& headers,
+    const std::string& name) {
+  for (const auto& [key, value] : headers) {
+    if (EqualsIgnoreCase(key, name)) return &value;
+  }
+  return nullptr;
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t')) --e;
+  return s.substr(b, e - b);
+}
+
+}  // namespace
+
+const std::string* HttpRequest::Header(const std::string& name) const {
+  return FindHeader(headers, name);
+}
+
+bool HttpRequest::KeepAlive() const {
+  const std::string* connection = Header("Connection");
+  if (connection != nullptr) {
+    if (EqualsIgnoreCase(*connection, "close")) return false;
+    if (EqualsIgnoreCase(*connection, "keep-alive")) return true;
+  }
+  return version != "HTTP/1.0";  // 1.1 default is persistent
+}
+
+const std::string* HttpResponse::Header(const std::string& name) const {
+  return FindHeader(headers, name);
+}
+
+HttpResponse HttpResponse::Json(int status_code, std::string body) {
+  HttpResponse response;
+  response.status_code = status_code;
+  response.reason = ReasonPhrase(status_code);
+  response.headers.emplace_back("Content-Type", "application/json");
+  response.body = std::move(body);
+  return response;
+}
+
+std::string HttpResponse::Serialize(bool keep_alive) const {
+  std::string out = "HTTP/1.1 " + std::to_string(status_code) + " " +
+                    (reason.empty() ? ReasonPhrase(status_code) : reason) +
+                    "\r\n";
+  for (const auto& [key, value] : headers) {
+    out += key + ": " + value + "\r\n";
+  }
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+const char* ReasonPhrase(int status_code) {
+  switch (status_code) {
+    case 200: return "OK";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 413: return "Content Too Large";
+    case 429: return "Too Many Requests";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+HttpParser::HttpParser(Mode mode) : HttpParser(mode, Limits()) {}
+
+HttpParser::HttpParser(Mode mode, Limits limits)
+    : mode_(mode), limits_(limits) {}
+
+Status HttpParser::Fail(const std::string& what) {
+  phase_ = Phase::kError;
+  buffer_.clear();
+  return Status::InvalidArgument("http parse: " + what);
+}
+
+Status HttpParser::Consume(const char* data, size_t n) {
+  if (phase_ == Phase::kError) {
+    return Status::FailedPrecondition("http parser in error state");
+  }
+  buffer_.append(data, n);
+  return TryParse();
+}
+
+Status HttpParser::TryParse() {
+  if (phase_ == Phase::kHead) {
+    const size_t head_end = buffer_.find("\r\n\r\n");
+    if (head_end == std::string::npos) {
+      if (buffer_.size() > limits_.max_head_bytes) {
+        return Fail("header section exceeds " +
+                    std::to_string(limits_.max_head_bytes) + " bytes");
+      }
+      return Status::OK();  // need more bytes
+    }
+    FAB_RETURN_IF_ERROR(ParseHead(buffer_.substr(0, head_end)));
+    buffer_.erase(0, head_end + 4);
+    phase_ = Phase::kBody;
+  }
+  if (phase_ == Phase::kBody) {
+    if (buffer_.size() < body_expected_) return Status::OK();
+    std::string& body =
+        mode_ == Mode::kRequest ? request_.body : response_.body;
+    body = buffer_.substr(0, body_expected_);
+    buffer_.erase(0, body_expected_);  // surplus stays for the next message
+    phase_ = Phase::kDone;
+  }
+  return Status::OK();
+}
+
+Status HttpParser::ParseHead(const std::string& head) {
+  std::vector<std::pair<std::string, std::string>>* headers = nullptr;
+  size_t line_end = head.find("\r\n");
+  const std::string first =
+      head.substr(0, line_end == std::string::npos ? head.size() : line_end);
+  if (mode_ == Mode::kRequest) {
+    request_ = HttpRequest();
+    const size_t sp1 = first.find(' ');
+    const size_t sp2 = first.rfind(' ');
+    if (sp1 == std::string::npos || sp2 == sp1) {
+      return Fail("malformed request line");
+    }
+    request_.method = first.substr(0, sp1);
+    request_.target = first.substr(sp1 + 1, sp2 - sp1 - 1);
+    request_.version = first.substr(sp2 + 1);
+    if (request_.method.empty() || request_.target.empty() ||
+        request_.version.rfind("HTTP/", 0) != 0) {
+      return Fail("malformed request line");
+    }
+    headers = &request_.headers;
+  } else {
+    response_ = HttpResponse();
+    if (first.rfind("HTTP/", 0) != 0) return Fail("malformed status line");
+    const size_t sp1 = first.find(' ');
+    if (sp1 == std::string::npos) return Fail("malformed status line");
+    const size_t sp2 = first.find(' ', sp1 + 1);
+    const std::string code_token =
+        first.substr(sp1 + 1, sp2 == std::string::npos ? std::string::npos
+                                                       : sp2 - sp1 - 1);
+    char* end = nullptr;
+    const long code = std::strtol(code_token.c_str(), &end, 10);
+    if (end == code_token.c_str() || *end != '\0' || code < 100 ||
+        code > 599) {
+      return Fail("malformed status code");
+    }
+    response_.status_code = static_cast<int>(code);
+    response_.reason =
+        sp2 == std::string::npos ? std::string() : first.substr(sp2 + 1);
+    headers = &response_.headers;
+  }
+
+  // Header lines: `Name: value`, no obsolete line folding.
+  size_t pos = line_end == std::string::npos ? head.size() : line_end + 2;
+  while (pos < head.size()) {
+    size_t next = head.find("\r\n", pos);
+    if (next == std::string::npos) next = head.size();
+    const std::string line = head.substr(pos, next - pos);
+    pos = next + 2;
+    if (line.empty()) continue;
+    if (line[0] == ' ' || line[0] == '\t') {
+      return Fail("obsolete header folding unsupported");
+    }
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos || colon == 0) {
+      return Fail("malformed header line");
+    }
+    (*headers).emplace_back(line.substr(0, colon),
+                            Trim(line.substr(colon + 1)));
+  }
+
+  body_expected_ = 0;
+  const std::string* content_length = FindHeader(*headers, "Content-Length");
+  if (content_length != nullptr) {
+    char* end = nullptr;
+    const unsigned long long parsed =
+        std::strtoull(content_length->c_str(), &end, 10);
+    if (end == content_length->c_str() || *end != '\0') {
+      return Fail("malformed Content-Length");
+    }
+    if (parsed > limits_.max_body_bytes) {
+      return Fail("body of " + std::to_string(parsed) + " bytes exceeds " +
+                  std::to_string(limits_.max_body_bytes) + "-byte limit");
+    }
+    body_expected_ = static_cast<size_t>(parsed);
+  }
+  if (FindHeader(*headers, "Transfer-Encoding") != nullptr) {
+    return Fail("chunked transfer encoding unsupported");
+  }
+  return Status::OK();
+}
+
+Status HttpParser::Reset() {
+  if (phase_ != Phase::kDone) {
+    return Status::FailedPrecondition("Reset before message complete");
+  }
+  request_ = HttpRequest();
+  response_ = HttpResponse();
+  body_expected_ = 0;
+  phase_ = Phase::kHead;
+  // Surplus bytes already received (pipelined next message) parse now.
+  return TryParse();
+}
+
+}  // namespace fab::net

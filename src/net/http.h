@@ -1,0 +1,113 @@
+#ifndef FAB_NET_HTTP_H_
+#define FAB_NET_HTTP_H_
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace fab::net {
+
+/// A parsed HTTP/1.1 request (server side) — method, target, headers,
+/// body. Header names compare case-insensitively per RFC 9110.
+struct HttpRequest {
+  std::string method;   // "GET", "POST", ...
+  std::string target;   // "/predict" (query strings kept verbatim)
+  std::string version;  // "HTTP/1.1"
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// First header with `name` (case-insensitive); null when absent.
+  const std::string* Header(const std::string& name) const;
+
+  /// HTTP/1.1 defaults to persistent connections; "Connection: close"
+  /// (or HTTP/1.0 without keep-alive) opts out.
+  bool KeepAlive() const;
+};
+
+/// An HTTP response under construction (server side) or parsed (client
+/// side). Serialize() renders the wire form; Content-Length and
+/// Connection are emitted by the serializer, everything else comes from
+/// `headers`.
+struct HttpResponse {
+  int status_code = 200;
+  std::string reason = "OK";
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  const std::string* Header(const std::string& name) const;
+
+  /// Convenience factory: status + JSON body with the right content type.
+  static HttpResponse Json(int status_code, std::string body);
+
+  /// Wire form: status line, headers, Content-Length, Connection
+  /// (keep-alive/close), blank line, body.
+  std::string Serialize(bool keep_alive) const;
+};
+
+/// Standard reason phrase for `status_code` ("OK", "Too Many Requests",
+/// ...; "Unknown" for codes the map does not carry).
+const char* ReasonPhrase(int status_code);
+
+/// Incremental HTTP/1.1 message parser, one instance per connection.
+///
+/// Feed raw bytes as they arrive with Consume(); once done() turns true
+/// the parsed message is in request()/response() and any bytes past the
+/// message end stay buffered for the next Reset() cycle (keep-alive
+/// pipelining). Malformed or oversized input turns the parser into a
+/// terminal error state: the server maps it to 400, the client to a
+/// protocol error.
+///
+/// Deliberately minimal for the serving workload: Content-Length bodies
+/// only (no chunked transfer), no multi-line header folding, bounded
+/// header and body sizes. Single-threaded use — each connection's bytes
+/// are parsed on the IO thread.
+class HttpParser {
+ public:
+  enum class Mode { kRequest, kResponse };
+
+  struct Limits {
+    size_t max_head_bytes = 16 * 1024;        ///< status/request line + headers
+    size_t max_body_bytes = 4 * 1024 * 1024;  ///< Content-Length cap
+  };
+
+  explicit HttpParser(Mode mode);  // default Limits
+  HttpParser(Mode mode, Limits limits);
+
+  /// Appends `n` bytes and advances the parse. Returns a non-OK status
+  /// exactly once, at the transition into the error state.
+  Status Consume(const char* data, size_t n);
+
+  /// True once one complete message has been parsed.
+  bool done() const { return phase_ == Phase::kDone; }
+  bool error() const { return phase_ == Phase::kError; }
+
+  /// The parsed message; valid once done() (mode-matching accessor only).
+  const HttpRequest& request() const { return request_; }
+  const HttpResponse& response() const { return response_; }
+
+  /// Discards the parsed message and starts parsing the next one from
+  /// any already-buffered surplus bytes (keep-alive reuse).
+  Status Reset();
+
+ private:
+  enum class Phase { kHead, kBody, kDone, kError };
+
+  Status Fail(const std::string& what);
+  Status TryParse();
+  Status ParseHead(const std::string& head);
+
+  const Mode mode_;
+  const Limits limits_;
+  Phase phase_ = Phase::kHead;
+  std::string buffer_;
+  size_t body_expected_ = 0;
+  HttpRequest request_;
+  HttpResponse response_;
+};
+
+}  // namespace fab::net
+
+#endif  // FAB_NET_HTTP_H_

@@ -1,0 +1,137 @@
+#include "net/http_client.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+namespace fab::net {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+HttpClient::HttpClient(std::string host, uint16_t port, int timeout_ms)
+    : host_(std::move(host)), port_(port), timeout_ms_(timeout_ms) {}
+
+HttpClient::~HttpClient() { Disconnect(); }
+
+void HttpClient::Disconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status HttpClient::EnsureConnected() {
+  if (fd_ >= 0) return Status::OK();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  struct timeval tv = {};
+  tv.tv_sec = timeout_ms_ / 1000;
+  tv.tv_usec = (timeout_ms_ % 1000) * 1000;
+  (void)!::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  (void)!::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  const int one = 1;
+  (void)!::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port_);
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host address: " + host_);
+  }
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const Status status =
+        Errno("connect " + host_ + ":" + std::to_string(port_));
+    ::close(fd);
+    return status;
+  }
+  fd_ = fd;
+  return Status::OK();
+}
+
+Status HttpClient::SendAll(const std::string& bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Errno("send");
+  }
+  return Status::OK();
+}
+
+Result<HttpResponse> HttpClient::RoundTrip(const HttpRequest& request) {
+  FAB_RETURN_IF_ERROR(EnsureConnected());
+
+  std::string wire = request.method + " " + request.target + " HTTP/1.1\r\n";
+  wire += "Host: " + host_ + ":" + std::to_string(port_) + "\r\n";
+  for (const auto& [key, value] : request.headers) {
+    wire += key + ": " + value + "\r\n";
+  }
+  wire += "Content-Length: " + std::to_string(request.body.size()) + "\r\n";
+  wire += "Connection: keep-alive\r\n\r\n";
+  wire += request.body;
+
+  Status sent = SendAll(wire);
+  if (!sent.ok()) {
+    // A keep-alive peer may have closed the idle connection between
+    // round trips; reconnect once and retry before giving up.
+    Disconnect();
+    FAB_RETURN_IF_ERROR(EnsureConnected());
+    FAB_RETURN_IF_ERROR(SendAll(wire));
+  }
+
+  HttpParser parser(HttpParser::Mode::kResponse);
+  char buf[16384];
+  while (!parser.done()) {
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      FAB_RETURN_IF_ERROR(parser.Consume(buf, static_cast<size_t>(n)));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    Disconnect();
+    if (n == 0) return Status::IoError("connection closed mid-response");
+    return Errno("recv");
+  }
+  HttpResponse response = parser.response();
+  const std::string* connection = response.Header("Connection");
+  if (connection != nullptr && *connection == "close") Disconnect();
+  return response;
+}
+
+Result<HttpResponse> HttpClient::Get(const std::string& target) {
+  HttpRequest request;
+  request.method = "GET";
+  request.target = target;
+  return RoundTrip(request);
+}
+
+Result<HttpResponse> HttpClient::Post(const std::string& target,
+                                      std::string body,
+                                      const std::string& content_type) {
+  HttpRequest request;
+  request.method = "POST";
+  request.target = target;
+  request.headers.emplace_back("Content-Type", content_type);
+  request.body = std::move(body);
+  return RoundTrip(request);
+}
+
+}  // namespace fab::net

@@ -1,0 +1,59 @@
+#ifndef FAB_NET_HTTP_CLIENT_H_
+#define FAB_NET_HTTP_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "net/http.h"
+#include "util/status.h"
+
+namespace fab::net {
+
+/// Blocking keep-alive HTTP/1.1 client for one host:port.
+///
+/// Exists so that tests, the load-generator bench and the examples can
+/// speak to the server without touching raw sockets themselves —
+/// fablint's `net-raw-syscall` rule confines socket syscalls to
+/// src/net/, and this class is the sanctioned client-side door.
+///
+/// One connection, reused across requests (Connection: keep-alive);
+/// a torn connection reconnects transparently on the next call. NOT
+/// thread-safe: one HttpClient per thread (the load generator gives
+/// each open-loop worker its own).
+class HttpClient {
+ public:
+  /// `timeout_ms` bounds each connect/send/receive (SO_RCVTIMEO /
+  /// SO_SNDTIMEO), so a wedged server fails the call instead of hanging
+  /// the client thread.
+  HttpClient(std::string host, uint16_t port, int timeout_ms = 5000);
+  ~HttpClient();
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  /// One round trip: sends `request` (Content-Length and Host are
+  /// filled in), blocks for the full response.
+  Result<HttpResponse> RoundTrip(const HttpRequest& request);
+
+  /// Convenience wrappers.
+  Result<HttpResponse> Get(const std::string& target);
+  Result<HttpResponse> Post(const std::string& target, std::string body,
+                            const std::string& content_type =
+                                "application/json");
+
+  /// Drops the pooled connection (next call reconnects).
+  void Disconnect();
+
+ private:
+  Status EnsureConnected();
+  Status SendAll(const std::string& bytes);
+
+  const std::string host_;
+  const uint16_t port_;
+  const int timeout_ms_;
+  int fd_ = -1;
+};
+
+}  // namespace fab::net
+
+#endif  // FAB_NET_HTTP_CLIENT_H_

@@ -1,0 +1,170 @@
+#ifndef FAB_NET_HTTP_SERVER_H_
+#define FAB_NET_HTTP_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "net/event_loop.h"
+#include "net/http.h"
+#include "util/mutex.h"
+#include "util/obs/metrics.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+#include "util/thread_pool.h"
+
+namespace fab::net {
+
+namespace internal {
+/// The handler-thread → IO-thread bridge (control queue + wakeup pipe).
+/// Defined in http_server.cc; Responders hold it weakly.
+struct ServerCore;
+}  // namespace internal
+
+struct HttpServerOptions {
+  /// TCP port to bind; 0 picks an ephemeral port (read it back via
+  /// port() after Start — how every test avoids port collisions).
+  uint16_t port = 0;
+  /// Bind address. Loopback by default: this is a shard front-end meant
+  /// to sit behind a balancer, not an open listener.
+  std::string bind_address = "127.0.0.1";
+  /// Handler pool width (util::ResolveThreads convention).
+  int num_workers = 4;
+  /// Accepted connections beyond this are immediately closed.
+  size_t max_connections = 1024;
+  /// Event backend; tests exercise kPoll explicitly, production follows
+  /// EventLoop::DefaultBackend().
+  EventLoop::Backend backend = EventLoop::DefaultBackend();
+  /// Per-message parser bounds (header/body size caps).
+  HttpParser::Limits parser_limits;
+};
+
+/// Completion handle for one in-flight HTTP exchange.
+///
+/// Copyable and cheap; Send may be called from any thread exactly once
+/// per exchange (later calls are dropped). The response is posted to the
+/// IO thread — which owns every socket — through the server's control
+/// queue and wakeup pipe; a {connection-generation} tag makes a late
+/// Send against a since-recycled fd a no-op instead of a cross-talk
+/// bug. Outliving the server is safe: the core is held weakly and a
+/// Send after Shutdown simply vanishes.
+class Responder {
+ public:
+  void Send(HttpResponse response) const;
+
+ private:
+  friend class HttpServer;
+
+  Responder(std::weak_ptr<internal::ServerCore> core, int fd,
+            uint64_t conn_id)
+      : core_(std::move(core)), fd_(fd), conn_id_(conn_id) {}
+
+  std::weak_ptr<internal::ServerCore> core_;
+  int fd_ = -1;
+  uint64_t conn_id_ = 0;
+};
+
+/// Minimal non-blocking HTTP/1.1 server.
+///
+/// Architecture: ONE IO thread runs the EventLoop and is the only thread
+/// that ever reads, writes, accepts or closes a socket — connection
+/// state needs no locking because it has exactly one owner. Parsed
+/// requests are dispatched to a util::ThreadPool of handler workers;
+/// handlers answer through a Responder, so a handler that merely
+/// enqueues work (the /predict path) occupies a worker for microseconds
+/// while thousands of exchanges stay in flight.
+///
+/// Keep-alive: after a response is flushed the connection re-arms for
+/// the next request (HTTP/1.1 default); while a request is being
+/// handled the connection's read interest is off, so a client gets
+/// one-in-one-out ordering without pipelining surprises.
+///
+/// Routes are exact {method, path} matches registered before Start();
+/// unmatched paths get 404, matched-path-wrong-method 405.
+class HttpServer {
+ public:
+  using Handler = std::function<void(const HttpRequest&, Responder)>;
+
+  explicit HttpServer(HttpServerOptions options);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Registers a handler for exact `path` under `method`. Call before
+  /// Start(); the route table is immutable while serving.
+  void Handle(std::string method, std::string path, Handler handler);
+
+  /// Binds, listens and spawns the IO thread + worker pool.
+  Status Start() FAB_EXCLUDES(lifecycle_mu_);
+
+  /// Closes the listener and every connection, joins the IO thread,
+  /// drains the worker pool. Responses still in flight are dropped (the
+  /// socket is gone). Idempotent.
+  void Shutdown() FAB_EXCLUDES(lifecycle_mu_);
+
+  /// The bound port (resolves option port 0); valid after Start().
+  uint16_t port() const { return port_.load(); }
+
+ private:
+  /// Per-connection state, owned exclusively by the IO thread.
+  struct Connection {
+    uint64_t conn_id = 0;
+    HttpParser parser;
+    std::string write_buffer;
+    bool keep_alive = true;
+    /// A request is with the handler pool; read interest is off.
+    bool handling = false;
+    /// Close once write_buffer flushes.
+    bool close_after_write = false;
+
+    Connection(uint64_t id, const HttpParser::Limits& limits)
+        : conn_id(id), parser(HttpParser::Mode::kRequest, limits) {}
+  };
+
+  void IoLoop(EventLoop* loop);
+  void AcceptNew(EventLoop* loop);
+  void HandleReadable(EventLoop* loop, int fd);
+  void HandleWritable(EventLoop* loop, int fd);
+  void DispatchIfReady(EventLoop* loop, int fd);
+  void QueueResponse(EventLoop* loop, int fd, uint64_t conn_id,
+                     HttpResponse response);
+  void CloseConnection(EventLoop* loop, int fd);
+  void DrainControlQueue(EventLoop* loop);
+
+  const HttpServerOptions options_;
+  std::map<std::pair<std::string, std::string>, Handler> routes_;
+
+  std::shared_ptr<internal::ServerCore> core_;
+  std::atomic<uint16_t> port_{0};
+  std::atomic<bool> stopping_{false};
+
+  /// IO-thread-only state (no guard needed: single owner, see class
+  /// comment); torn down by the loop on exit.
+  std::map<int, Connection> connections_;
+  uint64_t next_conn_id_ = 1;
+  int listen_fd_ = -1;
+  int wakeup_read_fd_ = -1;
+
+  std::unique_ptr<util::ThreadPool> workers_;
+
+  util::Mutex lifecycle_mu_;
+  std::thread io_thread_ FAB_GUARDED_BY(lifecycle_mu_);
+
+  // Server-wide telemetry (process registry, scraped via /statusz).
+  obs::Counter& accepted_ = obs::GetCounter("net/http/accepted");
+  obs::Counter& requests_ = obs::GetCounter("net/http/requests");
+  obs::Counter& responses_ = obs::GetCounter("net/http/responses");
+  obs::Counter& parse_errors_ = obs::GetCounter("net/http/parse_errors");
+  obs::Counter& overloaded_ = obs::GetCounter("net/http/conn_overflow");
+  obs::Gauge& open_connections_ = obs::GetGauge("net/http/open_connections");
+};
+
+}  // namespace fab::net
+
+#endif  // FAB_NET_HTTP_SERVER_H_

@@ -1,0 +1,134 @@
+#ifndef FAB_NET_SHARD_ROUTER_H_
+#define FAB_NET_SHARD_ROUTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/batch_server.h"
+#include "serve/registry.h"
+#include "util/obs/metrics.h"
+#include "util/status.h"
+
+namespace fab::net {
+
+/// Deterministic scenario-key → shard mapping: FNV-1a 64 over the
+/// canonical "period|window|model" string, mod `num_shards`. Pure and
+/// version-pinned (kShardHashVersion) — the same key maps to the same
+/// shard on every host, every restart, every build. Golden-tested.
+uint64_t ShardHash(const serve::ModelKey& key);
+size_t ShardOf(const serve::ModelKey& key, size_t num_shards);
+
+/// Bumped only if the hash function ever changes; persisted into the
+/// shard layout file so an incompatible router refuses to start instead
+/// of silently re-sharding.
+inline constexpr int kShardHashVersion = 1;
+
+struct ShardedRouterOptions {
+  /// Number of shards (each one coalescing BatchServer + queue).
+  size_t num_shards = 4;
+  /// Per-shard worker threads (ResolveThreads convention).
+  int threads_per_shard = 2;
+  /// Per-shard BatchServer batching knobs.
+  size_t max_batch = 64;
+  int coalesce_wait_us = 200;
+  /// Hard per-shard queue bound: submits beyond it shed (HTTP 429).
+  size_t max_shard_queue = 256;
+  /// Admission SLO: when a shard's predicted queue wait exceeds this,
+  /// new requests shed before latency collapses. 0 disables the check.
+  double slo_queue_wait_us = 50000.0;
+  /// The histogram-p99 arm of the admission predicate only engages
+  /// above this queue depth, so a cumulative p99 inflated by a past
+  /// overload cannot latch the shard into permanent shedding.
+  size_t slo_low_watermark = 8;
+  /// Drain budget handed to each shard's BatchServer at shutdown.
+  int shutdown_drain_ms = 2000;
+};
+
+/// Why a request was (not) admitted; the HTTP layer maps kShedQueueFull
+/// and kShedSlo to 429 + Retry-After.
+enum class Admission {
+  kAdmitted,
+  kShedQueueFull,
+  kShedSlo,
+};
+
+/// Routes scenario keys across a fixed set of admission-controlled
+/// BatchServer shards, each serving the subset of the ModelRegistry
+/// that hashes to it.
+///
+/// Layout persistence: Create() writes (first run) or validates (later
+/// runs) `shard_layout.txt` in the registry root, recording num_shards
+/// and the hash version. A restart with a different shard count is
+/// REJECTED at load time — resharding is an explicit operation (delete
+/// the layout file), never an accident that silently moves keys between
+/// queues mid-deployment.
+///
+/// Thread-safe: Submit may be called from any handler thread. Shard
+/// state lives in the BatchServers (locked internally) and per-shard
+/// obs counters (lock-free); the router itself is immutable after
+/// Create.
+class ShardedRouter {
+ public:
+  /// Builds the shard set over `registry` (not owned; must outlive the
+  /// router). Fails if a persisted layout disagrees with `options`.
+  static Result<std::unique_ptr<ShardedRouter>> Create(
+      serve::ModelRegistry* registry, const ShardedRouterOptions& options);
+
+  ~ShardedRouter();
+
+  ShardedRouter(const ShardedRouter&) = delete;
+  ShardedRouter& operator=(const ShardedRouter&) = delete;
+
+  /// Admission-checked asynchronous forecast: resolves `key` in the
+  /// registry, applies the shard's admission predicate, and enqueues
+  /// onto the shard's BatchServer. The callback fires exactly once on
+  /// admitted requests. `admission` (optional) reports the verdict;
+  /// sheds return kUnavailable, unknown keys kNotFound.
+  Status Submit(const serve::ModelKey& key, std::vector<double> features,
+                serve::BatchServer::Callback done,
+                Admission* admission = nullptr);
+
+  /// Shard index serving `key` under this router's layout.
+  size_t ShardFor(const serve::ModelKey& key) const;
+
+  /// Suggested client back-off when shedding, in seconds (>= 1): the
+  /// shard's predicted queue wait, rounded up — what Retry-After carries.
+  int RetryAfterSeconds(size_t shard) const;
+
+  /// Aggregated JSON: per-shard BatchServer statsz + admission counters.
+  std::string StatszJson() const;
+
+  /// Drains every shard's queue under its deadline (see
+  /// BatchServerOptions::shutdown_drain_ms semantics).
+  void Shutdown();
+
+  size_t num_shards() const { return shards_.size(); }
+  const ShardedRouterOptions& options() const { return options_; }
+
+  /// The layout file path for `registry_root`.
+  static std::string LayoutPath(const std::string& registry_root);
+
+ private:
+  struct Shard {
+    std::unique_ptr<serve::BatchServer> server;
+    obs::Counter* admitted = nullptr;   ///< registry-owned
+    obs::Counter* shed_full = nullptr;  ///< registry-owned
+    obs::Counter* shed_slo = nullptr;   ///< registry-owned
+  };
+
+  ShardedRouter(serve::ModelRegistry* registry,
+                const ShardedRouterOptions& options);
+
+  /// The admission predicate; kAdmitted means "enqueue now".
+  Admission Admit(const Shard& shard) const;
+
+  serve::ModelRegistry* const registry_;
+  const ShardedRouterOptions options_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace fab::net
+
+#endif  // FAB_NET_SHARD_ROUTER_H_

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <utility>
 
 #include "util/obs/trace.h"
 #include "util/thread_pool.h"
@@ -17,6 +18,16 @@ std::string JsonNumber(double v) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.17g", v);
   return buf;
+}
+
+/// EMA update via relaxed CAS: workers race, each applies its own sample,
+/// and any interleaving yields a valid smoothed estimate.
+void EmaUpdate(std::atomic<double>& ema, double sample, double alpha) {
+  double prev = ema.load(std::memory_order_relaxed);
+  double next;
+  do {
+    next = prev == 0.0 ? sample : prev + alpha * (sample - prev);
+  } while (!ema.compare_exchange_weak(prev, next, std::memory_order_relaxed));
 }
 
 }  // namespace
@@ -46,38 +57,71 @@ void BatchServer::Start() {
 }
 
 void BatchServer::Shutdown() {
-  // lifecycle_mu_ is held for the whole stop-notify-join sequence, so a
+  // lifecycle_mu_ is held for the whole stop-drain-join sequence, so a
   // concurrent Start/Shutdown pair serializes: either the restart sees a
   // fully joined server, or the shutdown joins the freshly started
   // workers. Lock order lifecycle_mu_ -> mu_ matches Start().
   util::MutexLock lifecycle(lifecycle_mu_);
+  std::vector<Request> abandoned;
   {
     util::MutexLock lock(mu_);
     if (stopping_ && workers_.empty()) return;
     stopping_ = true;
+    cv_.NotifyAll();
+    if (!workers_.empty()) {
+      // Bounded drain: workers keep batching while we wait; whatever is
+      // still queued at the deadline is pulled out and failed explicitly
+      // below. With the queue empty the workers' wait loops exit.
+      if (options_.shutdown_drain_ms < 0) {
+        while (!queue_.empty()) drained_cv_.Wait(mu_);
+      } else {
+        const auto deadline =
+            obs::Clock::Now() +
+            std::chrono::milliseconds(options_.shutdown_drain_ms);
+        while (!queue_.empty()) {
+          if (!drained_cv_.WaitUntil(mu_, deadline)) break;  // timed out
+        }
+      }
+    }
+    while (!queue_.empty()) {
+      abandoned.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
   }
   cv_.NotifyAll();
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
   workers_.clear();
+  // Accepted requests are never silently lost: each one left at the
+  // drain deadline resolves with an explicit error, after the workers
+  // are gone (so completion order is deterministic per request).
+  requests_abandoned_.fetch_add(abandoned.size(), std::memory_order_relaxed);
+  for (Request& request : abandoned) {
+    Complete(std::move(request),
+             Status::Unavailable("shutdown deadline: request not served"));
+  }
 }
 
-Result<std::future<double>> BatchServer::Submit(std::vector<double> features) {
-  const size_t expected = num_features_.load();
-  if (expected != 0 && features.size() != expected) {
-    return Status::InvalidArgument(
-        "feature count mismatch: got " + std::to_string(features.size()) +
-        ", model expects " + std::to_string(expected));
+void BatchServer::Complete(Request request, Result<double> result) {
+  if (request.callback) {
+    request.callback(std::move(result));
+  } else {
+    request.promise.set_value(std::move(result));
   }
-  Request request;
-  request.features = std::move(features);
-  request.enqueued = obs::Clock::Now();
-  std::future<double> future = request.promise.get_future();
+}
+
+Status BatchServer::Enqueue(Request request) {
   {
     util::MutexLock lock(mu_);
     if (stopping_) {
       return Status::FailedPrecondition("server is shut down");
+    }
+    if (options_.max_queue != 0 && queue_.size() >= options_.max_queue) {
+      requests_rejected_.fetch_add(1, std::memory_order_relaxed);
+      return Status::Unavailable(
+          "queue full: " + std::to_string(queue_.size()) + " of " +
+          std::to_string(options_.max_queue) + " slots in use");
     }
     queue_.push_back(std::move(request));
   }
@@ -89,11 +133,72 @@ Result<std::future<double>> BatchServer::Submit(std::vector<double> features) {
     }
   }
   cv_.NotifyOne();
+  return Status::OK();
+}
+
+Result<std::future<Result<double>>> BatchServer::Submit(
+    std::vector<double> features) {
+  const size_t expected = num_features_.load();
+  if (expected != 0 && features.size() != expected) {
+    return Status::InvalidArgument(
+        "feature count mismatch: got " + std::to_string(features.size()) +
+        ", model expects " + std::to_string(expected));
+  }
+  Request request;
+  request.features = std::move(features);
+  request.enqueued = obs::Clock::Now();
+  std::future<Result<double>> future = request.promise.get_future();
+  FAB_RETURN_IF_ERROR(Enqueue(std::move(request)));
   return future;
 }
 
+Result<std::future<Result<double>>> BatchServer::SubmitTo(
+    std::shared_ptr<const Servable> model, std::vector<double> features) {
+  if (model == nullptr) {
+    return Status::InvalidArgument("SubmitTo requires a non-null model");
+  }
+  const size_t expected = model->num_features();
+  if (expected != 0 && features.size() != expected) {
+    return Status::InvalidArgument(
+        "feature count mismatch: got " + std::to_string(features.size()) +
+        ", model expects " + std::to_string(expected));
+  }
+  Request request;
+  request.features = std::move(features);
+  request.model = std::move(model);
+  request.enqueued = obs::Clock::Now();
+  std::future<Result<double>> future = request.promise.get_future();
+  FAB_RETURN_IF_ERROR(Enqueue(std::move(request)));
+  return future;
+}
+
+Status BatchServer::SubmitWithCallback(std::shared_ptr<const Servable> model,
+                                       std::vector<double> features,
+                                       Callback done) {
+  if (model == nullptr) {
+    return Status::InvalidArgument(
+        "SubmitWithCallback requires a non-null model");
+  }
+  if (!done) {
+    return Status::InvalidArgument(
+        "SubmitWithCallback requires a completion callback");
+  }
+  const size_t expected = model->num_features();
+  if (expected != 0 && features.size() != expected) {
+    return Status::InvalidArgument(
+        "feature count mismatch: got " + std::to_string(features.size()) +
+        ", model expects " + std::to_string(expected));
+  }
+  Request request;
+  request.features = std::move(features);
+  request.model = std::move(model);
+  request.callback = std::move(done);
+  request.enqueued = obs::Clock::Now();
+  return Enqueue(std::move(request));
+}
+
 Result<double> BatchServer::Forecast(std::vector<double> features) {
-  FAB_ASSIGN_OR_RETURN(std::future<double> future,
+  FAB_ASSIGN_OR_RETURN(std::future<Result<double>> future,
                        Submit(std::move(features)));
   return future.get();
 }
@@ -102,6 +207,24 @@ void BatchServer::UpdateModel(std::shared_ptr<const Servable> model) {
   util::MutexLock lock(mu_);
   model_ = std::move(model);
   if (model_ != nullptr) num_features_ = model_->num_features();
+}
+
+size_t BatchServer::QueueDepth() const {
+  util::MutexLock lock(mu_);
+  return queue_.size();
+}
+
+double BatchServer::EstimatedQueueWaitUs() const {
+  const double row_us = ema_row_service_us_.load(std::memory_order_relaxed);
+  if (row_us <= 0.0) return 0.0;
+  size_t depth;
+  {
+    util::MutexLock lock(mu_);
+    depth = queue_.size();
+  }
+  const int threads = util::ResolveThreads(options_.num_threads);
+  return static_cast<double>(depth) * row_us /
+         static_cast<double>(threads > 0 ? threads : 1);
 }
 
 void BatchServer::WorkerLoop() {
@@ -125,14 +248,32 @@ void BatchServer::WorkerLoop() {
         while (!stopping_ && queue_.size() < options_.max_batch) {
           if (!cv_.WaitUntil(mu_, deadline)) break;  // timed out
         }
+        // Another worker may have drained the queue while we waited.
+        if (queue_.empty()) continue;
       }
-      const size_t take = std::min(queue_.size(), options_.max_batch);
-      batch.reserve(take);
-      for (size_t i = 0; i < take; ++i) {
-        batch.push_back(std::move(queue_.front()));
+      // Extract the maximal same-model run: rows for the front request's
+      // effective model coalesce into one batch; requests for other
+      // models are put back in their original relative order and picked
+      // up by the next extraction. A default-model request (null model)
+      // and an explicit submit to that same servable batch together.
+      model = queue_.front().model != nullptr ? queue_.front().model : model_;
+      std::vector<Request> skipped;
+      while (!queue_.empty() && batch.size() < options_.max_batch) {
+        Request request = std::move(queue_.front());
         queue_.pop_front();
+        const Servable* effective =
+            request.model != nullptr ? request.model.get() : model_.get();
+        if (effective == model.get()) {
+          batch.push_back(std::move(request));
+        } else {
+          skipped.push_back(std::move(request));
+        }
       }
-      model = model_;  // shared_ptr copy under the lock, never a reference
+      for (auto it = skipped.rbegin(); it != skipped.rend(); ++it) {
+        queue_.push_front(std::move(*it));
+      }
+      if (!skipped.empty()) cv_.NotifyOne();  // other-model work remains
+      if (queue_.empty()) drained_cv_.NotifyAll();
     }
     if (!batch.empty()) RunBatch(std::move(batch), model);
   }
@@ -149,7 +290,8 @@ void BatchServer::RunBatch(std::vector<Request> batch,
         obs::Clock::MicrosBetween(request.enqueued, batch_start));
   }
   batch_size_hist_.Record(static_cast<double>(rows));
-  const size_t expected = num_features_.load();
+  const size_t expected =
+      model != nullptr ? model->num_features() : num_features_.load();
   const size_t cols = expected != 0 ? expected : batch.front().features.size();
   ml::ColMatrix x(rows, cols);
   for (size_t r = 0; r < rows; ++r) {
@@ -161,6 +303,11 @@ void BatchServer::RunBatch(std::vector<Request> batch,
   std::vector<double> pred =
       model != nullptr ? model->Predict(x) : std::vector<double>(rows, 0.0);
   const obs::Clock::time_point done = obs::Clock::Now();
+  // Feed the admission estimator: per-row service time for this batch.
+  EmaUpdate(ema_row_service_us_,
+            obs::Clock::MicrosBetween(batch_start, done) /
+                static_cast<double>(rows),
+            /*alpha=*/0.25);
   // End-to-end latency lands in the bounded histogram — no sample cap,
   // no unbounded vector, O(1) memory for any request volume.
   for (const Request& request : batch) {
@@ -175,7 +322,7 @@ void BatchServer::RunBatch(std::vector<Request> batch,
     last_complete_ = done;
   }
   for (size_t r = 0; r < rows; ++r) {
-    batch[r].promise.set_value(pred[r]);
+    Complete(std::move(batch[r]), pred[r]);
   }
 }
 
@@ -190,6 +337,9 @@ BatchServerStats BatchServer::Stats() const {
   stats.p99_batch_size = batch_size_hist_.Percentile(0.99);
   stats.p50_queue_wait_us = queue_wait_us_hist_.Percentile(0.50);
   stats.p99_queue_wait_us = queue_wait_us_hist_.Percentile(0.99);
+  stats.requests_rejected = requests_rejected_.load(std::memory_order_relaxed);
+  stats.requests_abandoned =
+      requests_abandoned_.load(std::memory_order_relaxed);
   util::MutexLock lock(stats_mu_);
   stats.requests_completed = requests_completed_;
   stats.batches_run = batches_run_;
@@ -211,9 +361,13 @@ std::string BatchServer::StatszJson() const {
   const BatchServerStats stats = Stats();
   std::string out = "{";
   out += "\"requests_completed\":" + std::to_string(stats.requests_completed);
+  out += ",\"requests_rejected\":" + std::to_string(stats.requests_rejected);
+  out += ",\"requests_abandoned\":" + std::to_string(stats.requests_abandoned);
   out += ",\"batches_run\":" + std::to_string(stats.batches_run);
   out += ",\"mean_batch_size\":" + JsonNumber(stats.mean_batch_size);
   out += ",\"rows_per_sec\":" + JsonNumber(stats.rows_per_sec);
+  out += ",\"queue_depth\":" + std::to_string(QueueDepth());
+  out += ",\"est_queue_wait_us\":" + JsonNumber(EstimatedQueueWaitUs());
   out += ",\"latency_us\":" + latency_us_hist_.ToJson();
   out += ",\"batch_size\":" + batch_size_hist_.ToJson();
   out += ",\"queue_wait_us\":" + queue_wait_us_hist_.ToJson();

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <string>
@@ -28,6 +29,17 @@ struct BatchServerOptions {
   /// How long a worker holding a non-full batch waits for more requests
   /// before running what it has (0 = run immediately).
   int coalesce_wait_us = 200;
+  /// Upper bound on queued-but-not-yet-batched requests (0 = unbounded).
+  /// When full, Submit fails fast with kUnavailable instead of letting
+  /// the queue — and with it the queue-wait latency — grow without
+  /// limit. This is the hard backstop the fab::net admission layer
+  /// builds its softer SLO-based shedding on.
+  size_t max_queue = 0;
+  /// Shutdown drains already-accepted requests for at most this long;
+  /// whatever is still queued at the deadline is completed with a
+  /// kUnavailable error rather than dropped or waited on forever.
+  /// Negative = drain fully, however long it takes.
+  int shutdown_drain_ms = 5000;
 };
 
 /// Point-in-time serving counters.
@@ -41,6 +53,11 @@ struct BatchServerOptions {
 /// Counts, means, max and rows_per_sec are exact.
 struct BatchServerStats {
   uint64_t requests_completed = 0;
+  /// Submits refused at the door because the queue was at max_queue.
+  uint64_t requests_rejected = 0;
+  /// Accepted requests completed with an error at the shutdown-drain
+  /// deadline (never silently dropped: each one's future resolves).
+  uint64_t requests_abandoned = 0;
   uint64_t batches_run = 0;
   /// requests_completed / batches_run.
   double mean_batch_size = 0.0;
@@ -64,9 +81,20 @@ struct BatchServerStats {
 /// kernel — the pattern that turns N queue-depth point lookups into one
 /// cache-friendly flat-forest sweep.
 ///
-/// Thread-safe: any number of client threads may Submit concurrently;
-/// UpdateModel hot-swaps the served model without draining the queue
-/// (in-flight batches finish on the model they started with).
+/// Two serving modes share the queue and workers:
+///   * default-model: Submit(features) runs against the model installed
+///     at construction / by UpdateModel — the original single-model mode;
+///   * keyed: SubmitTo/SubmitWithCallback carry an explicit Servable, so
+///     one BatchServer can serve every scenario key of a fab::net shard.
+///     Workers extract maximal same-model runs from the queue, so rows
+///     for the same model still coalesce into one kernel sweep while
+///     rows for different models never mix in a batch.
+///
+/// Completion is a Result<double>: the value on success, or the error
+/// that ended the request asynchronously (e.g. the shutdown-drain
+/// deadline). Thread-safe: any number of client threads may Submit
+/// concurrently; UpdateModel hot-swaps the served model without draining
+/// the queue (in-flight batches finish on the model they started with).
 ///
 /// Three capabilities, each compiler-checked via FAB_GUARDED_BY under
 /// `-DFAB_THREAD_SAFETY=ON`:
@@ -81,6 +109,12 @@ struct BatchServerStats {
 ///                      cross-TU lock-order rule watches the inverse).
 class BatchServer {
  public:
+  /// Invoked exactly once per accepted request with its forecast or the
+  /// terminal error. Runs on a worker thread (or on the thread driving
+  /// Shutdown, for deadline-abandoned requests): keep it cheap and never
+  /// call back into this BatchServer from inside it.
+  using Callback = std::function<void(Result<double>)>;
+
   BatchServer(std::shared_ptr<const Servable> model,
               const BatchServerOptions& options);
   ~BatchServer();
@@ -88,10 +122,26 @@ class BatchServer {
   BatchServer(const BatchServer&) = delete;
   BatchServer& operator=(const BatchServer&) = delete;
 
-  /// Enqueues one feature row; the future resolves to the forecast.
-  /// Fails fast (before queueing) on a feature-count mismatch or after
-  /// Shutdown.
-  Result<std::future<double>> Submit(std::vector<double> features)
+  /// Enqueues one feature row against the default model; the future
+  /// resolves to the forecast or the asynchronous error. Fails fast
+  /// (before queueing) on a feature-count mismatch, a full queue, or
+  /// after Shutdown.
+  Result<std::future<Result<double>>> Submit(std::vector<double> features)
+      FAB_EXCLUDES(mu_);
+
+  /// Keyed variant: enqueues against an explicit model (fab::net shards
+  /// route many scenario keys into one BatchServer this way).
+  Result<std::future<Result<double>>> SubmitTo(
+      std::shared_ptr<const Servable> model, std::vector<double> features)
+      FAB_EXCLUDES(mu_);
+
+  /// Callback-completed keyed submit: no future, no waiting thread. The
+  /// admission verdict is the returned Status; the forecast (or async
+  /// error) arrives through `done`. This is what lets an HTTP front-end
+  /// keep thousands of requests in flight without parking a thread per
+  /// request.
+  Status SubmitWithCallback(std::shared_ptr<const Servable> model,
+                            std::vector<double> features, Callback done)
       FAB_EXCLUDES(mu_);
 
   /// Blocking convenience wrapper around Submit.
@@ -105,9 +155,11 @@ class BatchServer {
   /// constructor. Serving stats carry over across restarts.
   void Start() FAB_EXCLUDES(lifecycle_mu_, mu_);
 
-  /// Stops accepting requests, drains the queue, joins the workers.
-  /// Idempotent; also run by the destructor. A stopped server can be
-  /// revived with Start().
+  /// Stops accepting requests, drains the queue (bounded by
+  /// options.shutdown_drain_ms), joins the workers. Requests still
+  /// queued at the drain deadline are completed with kUnavailable — an
+  /// accepted request is never silently lost. Idempotent; also run by
+  /// the destructor. A stopped server can be revived with Start().
   void Shutdown() FAB_EXCLUDES(lifecycle_mu_, mu_);
 
   BatchServerStats Stats() const;
@@ -117,15 +169,35 @@ class BatchServer {
   /// reporter ("statsz" in the /varz-/statsz debug-page tradition).
   std::string StatszJson() const;
 
+  /// Requests accepted but not yet picked into a batch.
+  size_t QueueDepth() const FAB_EXCLUDES(mu_);
+
+  /// Predicted queue wait for a request admitted right now, in µs:
+  /// current depth × the EMA per-row service time ÷ worker count. Zero
+  /// until the first batch completes. The fab::net admission layer sheds
+  /// load when this crosses the queue-wait SLO — before latency
+  /// collapses, not after.
+  double EstimatedQueueWaitUs() const FAB_EXCLUDES(mu_);
+
   /// Feature count the served model expects (0 when unknown).
   size_t num_features() const { return num_features_.load(); }
 
  private:
   struct Request {
     std::vector<double> features;
-    std::promise<double> promise;
+    /// Explicit model for keyed submits; null = default model, resolved
+    /// when a worker assembles the batch.
+    std::shared_ptr<const Servable> model;
+    std::promise<Result<double>> promise;  ///< used when callback empty
+    Callback callback;
     obs::Clock::time_point enqueued;
   };
+
+  /// Fulfils a request exactly once, via callback or promise.
+  static void Complete(Request request, Result<double> result);
+
+  /// Shared admission + enqueue path behind every Submit flavour.
+  Status Enqueue(Request request) FAB_EXCLUDES(mu_);
 
   void WorkerLoop() FAB_EXCLUDES(mu_);
   void RunBatch(std::vector<Request> batch,
@@ -134,9 +206,15 @@ class BatchServer {
   const BatchServerOptions options_;
   /// Atomic: read lock-free on the Submit fast path, written by UpdateModel.
   std::atomic<size_t> num_features_{0};
+  /// EMA of per-row batch service time in µs (relaxed CAS updates from
+  /// workers; feeds EstimatedQueueWaitUs).
+  std::atomic<double> ema_row_service_us_{0.0};
 
   mutable util::Mutex mu_;
   util::CondVar cv_;
+  /// Workers notify when the queue empties; Shutdown's bounded drain
+  /// waits on it instead of polling.
+  util::CondVar drained_cv_;
   std::deque<Request> queue_ FAB_GUARDED_BY(mu_);
   std::shared_ptr<const Servable> model_ FAB_GUARDED_BY(mu_);
   bool stopping_ FAB_GUARDED_BY(mu_) = false;
@@ -147,6 +225,11 @@ class BatchServer {
   bool have_first_submit_ FAB_GUARDED_BY(stats_mu_) = false;
   obs::Clock::time_point first_submit_ FAB_GUARDED_BY(stats_mu_);
   obs::Clock::time_point last_complete_ FAB_GUARDED_BY(stats_mu_);
+
+  // Admission counters are lock-free so the rejection fast path never
+  // touches stats_mu_.
+  std::atomic<uint64_t> requests_rejected_{0};
+  std::atomic<uint64_t> requests_abandoned_{0};
 
   // Per-instance histograms (bounded memory, see BatchServerStats).
   // obs instruments are internally lock-free, so they live outside

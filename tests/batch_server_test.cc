@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <string>
 #include <thread>
 
@@ -45,6 +46,45 @@ std::shared_ptr<const Servable> TrainServable(uint64_t seed,
   return *servable;
 }
 
+/// A regressor whose Predict blocks for a fixed delay per call — lets
+/// tests hold the worker pool busy so queue-bound and drain-deadline
+/// paths actually trigger.
+class SlowRegressor : public ml::Regressor {
+ public:
+  explicit SlowRegressor(int delay_ms, double value = 7.0)
+      : delay_ms_(delay_ms), value_(value) {}
+
+  Status Fit(const ml::ColMatrix&, const std::vector<double>&) override {
+    return Status::OK();
+  }
+  double PredictOne(const ml::ColMatrix&, size_t) const override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms_));
+    return value_;
+  }
+  std::vector<double> Predict(const ml::ColMatrix& x) const override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms_));
+    return std::vector<double>(x.rows(), value_);
+  }
+  Status SetParam(const std::string&, double) override { return Status::OK(); }
+  std::unique_ptr<ml::Regressor> CloneUnfitted() const override {
+    return std::make_unique<SlowRegressor>(delay_ms_, value_);
+  }
+  std::vector<double> FeatureImportances() const override { return {}; }
+  std::string name() const override { return "slow"; }
+
+ private:
+  int delay_ms_;
+  double value_;
+};
+
+std::shared_ptr<const Servable> MakeSlowServable(int delay_ms,
+                                                 double value = 7.0) {
+  auto servable =
+      Servable::Wrap(std::make_unique<SlowRegressor>(delay_ms, value));
+  EXPECT_TRUE(servable.ok());
+  return *servable;
+}
+
 TEST(BatchServerTest, ServesSameResultsAsDirectPredict) {
   auto servable = TrainServable(31);
   const ml::ColMatrix queries = MakeMatrix(80, 6, 32);
@@ -55,14 +95,16 @@ TEST(BatchServerTest, ServesSameResultsAsDirectPredict) {
   options.max_batch = 16;
   BatchServer server(servable, options);
 
-  std::vector<std::future<double>> futures;
+  std::vector<std::future<Result<double>>> futures;
   for (size_t i = 0; i < queries.rows(); ++i) {
     auto submitted = server.Submit(RowOf(queries, i));
     ASSERT_TRUE(submitted.ok());
     futures.push_back(std::move(*submitted));
   }
   for (size_t i = 0; i < futures.size(); ++i) {
-    EXPECT_EQ(futures[i].get(), want[i]) << "request " << i;
+    Result<double> got = futures[i].get();
+    ASSERT_TRUE(got.ok()) << "request " << i;
+    EXPECT_EQ(*got, want[i]) << "request " << i;
   }
 }
 
@@ -96,6 +138,8 @@ TEST(BatchServerTest, ConcurrentClientsAndStats) {
   const BatchServerStats stats = server.Stats();
   EXPECT_EQ(stats.requests_completed,
             static_cast<uint64_t>(kClients * kPerClient));
+  EXPECT_EQ(stats.requests_rejected, 0u);
+  EXPECT_EQ(stats.requests_abandoned, 0u);
   EXPECT_GE(stats.batches_run, 1u);
   EXPECT_LE(stats.batches_run, stats.requests_completed);
   EXPECT_GE(stats.mean_batch_size, 1.0);
@@ -126,6 +170,11 @@ TEST(BatchServerTest, StatszJsonMatchesStats) {
   EXPECT_NE(
       json.find("\"batches_run\":" + std::to_string(stats.batches_run)),
       std::string::npos);
+  // Admission counters surface for the net front-end's /statusz.
+  EXPECT_NE(json.find("\"requests_rejected\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"requests_abandoned\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"queue_depth\":"), std::string::npos);
+  EXPECT_NE(json.find("\"est_queue_wait_us\":"), std::string::npos);
   // Histogram blocks are present with the percentile keys dashboards read.
   for (const char* block : {"\"latency_us\":{", "\"batch_size\":{",
                             "\"queue_wait_us\":{"}) {
@@ -162,6 +211,149 @@ TEST(BatchServerTest, HotSwapServesNewModel) {
   EXPECT_EQ(*after, new_model->PredictOne(queries, 0));
 }
 
+TEST(BatchServerTest, KeyedSubmitServesPerRequestModels) {
+  // One BatchServer, many models: the fab::net shard pattern. Rows carry
+  // their own Servable and must be answered by it, not the default.
+  auto model_a = TrainServable(51);
+  auto model_b = TrainServable(52);
+  const ml::ColMatrix queries = MakeMatrix(40, 6, 53);
+  const std::vector<double> want_a = model_a->Predict(queries);
+  const std::vector<double> want_b = model_b->Predict(queries);
+
+  BatchServerOptions options;
+  options.num_threads = 2;
+  options.max_batch = 8;
+  // No default model: the keyed path supplies one per request.
+  BatchServer server(nullptr, options);
+
+  std::vector<std::future<Result<double>>> futures_a;
+  std::vector<std::future<Result<double>>> futures_b;
+  for (size_t i = 0; i < queries.rows(); ++i) {
+    auto a = server.SubmitTo(model_a, RowOf(queries, i));
+    auto b = server.SubmitTo(model_b, RowOf(queries, i));
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    futures_a.push_back(std::move(*a));
+    futures_b.push_back(std::move(*b));
+  }
+  for (size_t i = 0; i < queries.rows(); ++i) {
+    Result<double> got_a = futures_a[i].get();
+    Result<double> got_b = futures_b[i].get();
+    ASSERT_TRUE(got_a.ok());
+    ASSERT_TRUE(got_b.ok());
+    EXPECT_EQ(*got_a, want_a[i]) << "model_a row " << i;
+    EXPECT_EQ(*got_b, want_b[i]) << "model_b row " << i;
+  }
+  // Interleaved two-model traffic still coalesces: fewer batches than
+  // requests proves same-model runs were extracted, not row-at-a-time.
+  const BatchServerStats stats = server.Stats();
+  EXPECT_EQ(stats.requests_completed, 2 * queries.rows());
+  EXPECT_LT(stats.batches_run, stats.requests_completed);
+
+  // Keyed feature validation uses the request's model, not the default.
+  auto bad = server.SubmitTo(model_a, {1.0});
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(server.SubmitTo(nullptr, RowOf(queries, 0)).ok());
+}
+
+TEST(BatchServerTest, SubmitWithCallbackCompletesWithoutBlocking) {
+  auto model = TrainServable(54);
+  const ml::ColMatrix queries = MakeMatrix(16, 6, 55);
+  const std::vector<double> want = model->Predict(queries);
+
+  BatchServerOptions options;
+  options.num_threads = 2;
+  BatchServer server(nullptr, options);
+
+  std::atomic<int> completions{0};
+  std::atomic<int> mismatches{0};
+  for (size_t i = 0; i < queries.rows(); ++i) {
+    const double expect = want[i];
+    Status admitted = server.SubmitWithCallback(
+        model, RowOf(queries, i), [&, expect](Result<double> result) {
+          if (!result.ok() || *result != expect) mismatches.fetch_add(1);
+          completions.fetch_add(1);
+        });
+    ASSERT_TRUE(admitted.ok());
+  }
+  server.Shutdown();  // drains: every callback has fired by return
+  EXPECT_EQ(completions.load(), static_cast<int>(queries.rows()));
+  EXPECT_EQ(mismatches.load(), 0);
+
+  // Admission-layer preconditions are synchronous errors.
+  EXPECT_EQ(server
+                .SubmitWithCallback(nullptr, RowOf(queries, 0),
+                                    [](Result<double>) {})
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(server.SubmitWithCallback(model, RowOf(queries, 0), nullptr).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(BatchServerTest, BoundedQueueShedsWithUnavailable) {
+  // One slow single-threaded worker + a 4-slot queue: once the worker is
+  // busy and the queue is full, further submits must fail fast with
+  // kUnavailable (the signal the HTTP layer turns into 429).
+  BatchServerOptions options;
+  options.num_threads = 1;
+  options.max_batch = 1;
+  options.coalesce_wait_us = 0;
+  options.max_queue = 4;
+  BatchServer server(MakeSlowServable(/*delay_ms=*/50), options);
+
+  std::vector<std::future<Result<double>>> admitted;
+  uint64_t rejected = 0;
+  // 16 instantaneous submits against 1 in-flight + 4 queue slots: at
+  // least one must be shed (the worker can't drain 16×50ms instantly).
+  for (int i = 0; i < 16; ++i) {
+    auto submitted = server.Submit({1.0});
+    if (submitted.ok()) {
+      admitted.push_back(std::move(*submitted));
+    } else {
+      EXPECT_EQ(submitted.status().code(), StatusCode::kUnavailable);
+      ++rejected;
+    }
+  }
+  EXPECT_GT(rejected, 0u);
+  // Every admitted request still completes normally.
+  for (auto& future : admitted) {
+    Result<double> got = future.get();
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, 7.0);
+  }
+  const BatchServerStats stats = server.Stats();
+  EXPECT_EQ(stats.requests_rejected, rejected);
+  EXPECT_EQ(stats.requests_completed, admitted.size());
+}
+
+TEST(BatchServerTest, EstimatedQueueWaitTracksServiceTime) {
+  BatchServerOptions options;
+  options.num_threads = 1;
+  options.max_batch = 1;
+  options.coalesce_wait_us = 0;
+  BatchServer server(MakeSlowServable(/*delay_ms=*/20), options);
+
+  EXPECT_EQ(server.EstimatedQueueWaitUs(), 0.0);  // no samples yet
+  ASSERT_TRUE(server.Forecast({1.0}).ok());       // seeds the EMA
+
+  // Park the worker and stack the queue; the estimate must now predict a
+  // wait in the order of queue_depth × ~20ms.
+  std::vector<std::future<Result<double>>> futures;
+  for (int i = 0; i < 6; ++i) {
+    auto submitted = server.Submit({1.0});
+    ASSERT_TRUE(submitted.ok());
+    futures.push_back(std::move(*submitted));
+  }
+  const double est = server.EstimatedQueueWaitUs();
+  EXPECT_GT(est, 0.0);
+  EXPECT_GT(server.QueueDepth(), 0u);
+  for (auto& future : futures) ASSERT_TRUE(future.get().ok());
+  EXPECT_EQ(server.QueueDepth(), 0u);
+  // Single-row batches at ~20ms/row: the EMA must be in that decade.
+  EXPECT_GT(est, 1000.0);
+}
+
 TEST(BatchServerTest, ShutdownDrainsAndRejectsNewWork) {
   auto servable = TrainServable(39);
   const ml::ColMatrix queries = MakeMatrix(32, 6, 40);
@@ -169,7 +361,7 @@ TEST(BatchServerTest, ShutdownDrainsAndRejectsNewWork) {
   options.num_threads = 2;
   BatchServer server(servable, options);
 
-  std::vector<std::future<double>> futures;
+  std::vector<std::future<Result<double>>> futures;
   for (size_t i = 0; i < queries.rows(); ++i) {
     auto submitted = server.Submit(RowOf(queries, i));
     ASSERT_TRUE(submitted.ok());
@@ -177,10 +369,52 @@ TEST(BatchServerTest, ShutdownDrainsAndRejectsNewWork) {
   }
   server.Shutdown();
   // Every accepted request was answered before the workers exited.
-  for (auto& future : futures) (void)future.get();
+  for (auto& future : futures) EXPECT_TRUE(future.get().ok());
   EXPECT_EQ(server.Stats().requests_completed, queries.rows());
+  EXPECT_EQ(server.Stats().requests_abandoned, 0u);
   // New work is refused after shutdown.
   EXPECT_FALSE(server.Submit(RowOf(queries, 0)).ok());
+}
+
+TEST(BatchServerTest, ShutdownDeadlineNeverSilentlyDropsRequests) {
+  // Regression for the drain-under-deadline contract: with a worker too
+  // slow to drain the backlog inside shutdown_drain_ms, leftover
+  // requests must resolve with an explicit kUnavailable — every future
+  // fires, nothing hangs, and completed + abandoned accounts for every
+  // accepted request.
+  BatchServerOptions options;
+  options.num_threads = 1;
+  options.max_batch = 1;
+  options.coalesce_wait_us = 0;
+  options.shutdown_drain_ms = 60;  // ~1 slow batch worth of drain budget
+  BatchServer server(MakeSlowServable(/*delay_ms=*/50), options);
+
+  std::vector<std::future<Result<double>>> futures;
+  for (int i = 0; i < 12; ++i) {
+    auto submitted = server.Submit({1.0});
+    ASSERT_TRUE(submitted.ok());
+    futures.push_back(std::move(*submitted));
+  }
+  server.Shutdown();
+
+  uint64_t served = 0;
+  uint64_t abandoned = 0;
+  for (auto& future : futures) {
+    // Must not block: every promise was fulfilled by Shutdown's return.
+    Result<double> got = future.get();
+    if (got.ok()) {
+      EXPECT_EQ(*got, 7.0);
+      ++served;
+    } else {
+      EXPECT_EQ(got.status().code(), StatusCode::kUnavailable);
+      ++abandoned;
+    }
+  }
+  EXPECT_EQ(served + abandoned, futures.size());
+  EXPECT_GT(abandoned, 0u);  // 12×50ms cannot drain in 60ms
+  const BatchServerStats stats = server.Stats();
+  EXPECT_EQ(stats.requests_completed, served);
+  EXPECT_EQ(stats.requests_abandoned, abandoned);
 }
 
 TEST(BatchServerTest, StartAfterShutdownRevivesServer) {
@@ -205,8 +439,9 @@ TEST(BatchServerTest, StartAfterShutdownRevivesServer) {
 TEST(BatchServerTest, StartStopStartStressJoinsCleanly) {
   // TSan-exercised (batch_server_test_tsan): hammer the lifecycle while
   // client threads submit continuously. Every accepted future must
-  // resolve (no promise ever abandoned), every cycle must join cleanly,
-  // and the cv wait predicates must read only mu_-guarded state.
+  // resolve (no promise ever abandoned without an error), every cycle
+  // must join cleanly, and the cv wait predicates must read only
+  // mu_-guarded state.
   auto servable = TrainServable(43);
   const ml::ColMatrix queries = MakeMatrix(16, 6, 44);
   BatchServerOptions options;
@@ -216,7 +451,8 @@ TEST(BatchServerTest, StartStopStartStressJoinsCleanly) {
 
   std::atomic<bool> stop{false};
   std::atomic<uint64_t> accepted{0};
-  std::atomic<uint64_t> resolved{0};
+  std::atomic<uint64_t> served{0};
+  std::atomic<uint64_t> failed{0};
   std::vector<std::thread> clients;
   for (int c = 0; c < 3; ++c) {
     clients.emplace_back([&, c] {
@@ -226,8 +462,12 @@ TEST(BatchServerTest, StartStopStartStressJoinsCleanly) {
         ++row;
         if (!submitted.ok()) continue;  // server between Shutdown and Start
         accepted.fetch_add(1);
-        (void)submitted->get();  // must resolve: Shutdown drains the queue
-        resolved.fetch_add(1);
+        // Must resolve: Shutdown drains or errors every accepted request.
+        if (submitted->get().ok()) {
+          served.fetch_add(1);
+        } else {
+          failed.fetch_add(1);
+        }
       }
     });
   }
@@ -238,8 +478,10 @@ TEST(BatchServerTest, StartStopStartStressJoinsCleanly) {
   stop.store(true);
   for (auto& client : clients) client.join();
   server.Shutdown();
-  EXPECT_EQ(accepted.load(), resolved.load());
-  EXPECT_EQ(server.Stats().requests_completed, accepted.load());
+  EXPECT_EQ(accepted.load(), served.load() + failed.load());
+  const BatchServerStats stats = server.Stats();
+  EXPECT_EQ(stats.requests_completed, served.load());
+  EXPECT_EQ(stats.requests_abandoned, failed.load());
 }
 
 }  // namespace

@@ -148,6 +148,43 @@ TEST(FablintTest, ObsRawClockExemptsBenchByPath) {
   EXPECT_EQ(CountOccurrences(all.output, "[obs-raw-clock]"), 1u) << all.output;
 }
 
+TEST(FablintTest, NetRawSyscall) {
+  ExpectSingleRule("net_raw_syscall.cc", "net-raw-syscall");
+}
+
+TEST(FablintTest, NetRawSyscallReportsExactLine) {
+  const RunResult run =
+      RunFablint("--all-rules " + Fixture("net_raw_syscall.cc"));
+  EXPECT_NE(run.output.find("net_raw_syscall.cc:17: [net-raw-syscall]"),
+            std::string::npos)
+      << run.output;
+}
+
+TEST(FablintTest, NetRawSyscallAppliesOutsideNetInScopedMode) {
+  const RunResult scoped =
+      RunFablint("--root " + std::string(FABLINT_FIXTURES) + " " +
+                 Fixture("net_raw_syscall.cc"));
+  EXPECT_EQ(scoped.exit_code, 1) << scoped.output;
+  EXPECT_EQ(CountOccurrences(scoped.output, "[net-raw-syscall]"), 1u)
+      << scoped.output;
+}
+
+TEST(FablintTest, NetRawSyscallExemptsSrcNetByPath) {
+  // src/net/ is the sanctioned socket layer: the identical ::socket()
+  // call under that prefix is clean in scoped mode, and only resurfaces
+  // under --all-rules (which bypasses every path scope).
+  const RunResult scoped =
+      RunFablint("--root " + std::string(FABLINT_FIXTURES) + " " +
+                 Fixture("src/net/raw_syscall_exempt.cc"));
+  EXPECT_EQ(scoped.exit_code, 0) << scoped.output;
+  const RunResult all =
+      RunFablint("--all-rules --root " + std::string(FABLINT_FIXTURES) + " " +
+                 Fixture("src/net/raw_syscall_exempt.cc"));
+  EXPECT_EQ(all.exit_code, 1) << all.output;
+  EXPECT_EQ(CountOccurrences(all.output, "[net-raw-syscall]"), 1u)
+      << all.output;
+}
+
 TEST(FablintTest, SafetyUnannotatedMutexReportsExactLine) {
   const RunResult run =
       RunFablint("--all-rules " + Fixture("safety_unannotated_mutex.h"));
@@ -277,12 +314,12 @@ TEST(FablintTest, WalkingTheFixtureDirFindsEveryRuleOnce) {
                  std::string(FABLINT_FIXTURES));
   EXPECT_EQ(run.exit_code, 1);
   // One deliberate violation per rule, plus allow_unknown_rule.cc which
-  // contributes a second det-rand (the typo'd allow must not suppress it)
-  // and bench/raw_clock_exempt.cc which contributes a second obs-raw-clock
-  // (--all-rules bypasses the bench/ path exemption); clean.cc,
-  // suppressed.cc, the allow_* negatives and the diamond headers
-  // contribute nothing.
-  EXPECT_NE(run.output.find("checked 30 file(s), 19 violation(s)"),
+  // contributes a second det-rand (the typo'd allow must not suppress it),
+  // bench/raw_clock_exempt.cc which contributes a second obs-raw-clock and
+  // src/net/raw_syscall_exempt.cc a second net-raw-syscall (--all-rules
+  // bypasses the path exemptions); clean.cc, suppressed.cc, the allow_*
+  // negatives and the diamond headers contribute nothing.
+  EXPECT_NE(run.output.find("checked 32 file(s), 21 violation(s)"),
             std::string::npos)
       << run.output;
   for (const char* rule :
@@ -298,6 +335,8 @@ TEST(FablintTest, WalkingTheFixtureDirFindsEveryRuleOnce) {
   }
   EXPECT_EQ(CountOccurrences(run.output, "[det-rand]"), 2u) << run.output;
   EXPECT_EQ(CountOccurrences(run.output, "[obs-raw-clock]"), 2u)
+      << run.output;
+  EXPECT_EQ(CountOccurrences(run.output, "[net-raw-syscall]"), 2u)
       << run.output;
 }
 
@@ -327,7 +366,7 @@ TEST(FablintTest, ListRulesPrintsTheFullTable) {
         "safety-float-accum", "safety-unannotated-mutex", "hygiene-guard",
         "hygiene-using-namespace", "hygiene-new-delete",
         "graph-include-cycle", "graph-unused-include", "lock-order",
-        "lint-unknown-rule", "obs-raw-clock"}) {
+        "lint-unknown-rule", "obs-raw-clock", "net-raw-syscall"}) {
     EXPECT_NE(run.output.find(rule), std::string::npos) << rule;
   }
 }

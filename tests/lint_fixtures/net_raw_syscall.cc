@@ -1,0 +1,23 @@
+// Fixture: exactly one net-raw-syscall diagnostic — the global-qualified
+// ::connect call below. Everything else is a negative the rule must
+// ignore: member functions and name-qualified calls that merely share a
+// syscall's name, and syscall tokens without a call.
+
+namespace impl {
+int bind(int value) { return value; }
+}  // namespace impl
+
+struct Channel {
+  int fd = 0;
+  int send(int) { return 0; }
+  int poll() { return 0; }
+};
+
+int Use(Channel channel) {
+  int rc = ::connect(channel.fd, nullptr, 0);
+  rc += channel.send(rc);   // member call, not a syscall
+  rc += channel.poll();     // member call, not a syscall
+  rc += impl::bind(rc);     // name-qualified, not the global namespace
+  int listen = rc;          // bare token, no call
+  return rc + listen;
+}

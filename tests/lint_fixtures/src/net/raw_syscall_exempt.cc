@@ -1,0 +1,10 @@
+// Under its real path scope this file is clean: src/net/ is the one
+// layer allowed to touch sockets, so the rule skips it in scoped mode.
+// --all-rules bypasses every path scope and the call below resurfaces
+// as net-raw-syscall.
+
+namespace fab::net {
+
+int OpenListener() { return ::socket(2, 1, 0); }
+
+}  // namespace fab::net

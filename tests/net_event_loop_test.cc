@@ -1,0 +1,123 @@
+#include "net/event_loop.h"
+
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <memory>
+#include <vector>
+
+namespace fab::net {
+namespace {
+
+// Both backends run the same behavioral suite; pipes stand in for
+// sockets (readiness semantics are identical and no network is needed).
+class EventLoopTest : public ::testing::TestWithParam<EventLoop::Backend> {
+ protected:
+  void SetUp() override {
+    Result<std::unique_ptr<EventLoop>> loop = EventLoop::Create(GetParam());
+    ASSERT_TRUE(loop.ok()) << loop.status().ToString();
+    loop_ = std::move(*loop);
+    ASSERT_EQ(::pipe(fds_), 0);
+  }
+
+  void TearDown() override {
+    ::close(fds_[0]);
+    ::close(fds_[1]);
+  }
+
+  std::unique_ptr<EventLoop> loop_;
+  int fds_[2] = {-1, -1};  // [0]=read end, [1]=write end
+};
+
+TEST_P(EventLoopTest, TimesOutWithNoEvents) {
+  ASSERT_TRUE(loop_->Add(fds_[0], /*want_read=*/true, false).ok());
+  std::vector<IoEvent> events;
+  ASSERT_TRUE(loop_->Wait(/*timeout_ms=*/10, &events).ok());
+  EXPECT_TRUE(events.empty());
+}
+
+TEST_P(EventLoopTest, ReportsReadableAfterWrite) {
+  ASSERT_TRUE(loop_->Add(fds_[0], true, false).ok());
+  ASSERT_EQ(::write(fds_[1], "x", 1), 1);
+  std::vector<IoEvent> events;
+  ASSERT_TRUE(loop_->Wait(1000, &events).ok());
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].fd, fds_[0]);
+  EXPECT_TRUE(events[0].readable);
+  EXPECT_FALSE(events[0].writable);
+}
+
+TEST_P(EventLoopTest, ReportsWritableOnEmptyPipe) {
+  ASSERT_TRUE(loop_->Add(fds_[1], false, /*want_write=*/true).ok());
+  std::vector<IoEvent> events;
+  ASSERT_TRUE(loop_->Wait(1000, &events).ok());
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].fd, fds_[1]);
+  EXPECT_TRUE(events[0].writable);
+}
+
+TEST_P(EventLoopTest, ModSwitchesInterest) {
+  ASSERT_TRUE(loop_->Add(fds_[0], true, false).ok());
+  ASSERT_EQ(::write(fds_[1], "x", 1), 1);
+  // Interest off: the pending byte must not surface.
+  ASSERT_TRUE(loop_->Mod(fds_[0], false, false).ok());
+  std::vector<IoEvent> events;
+  ASSERT_TRUE(loop_->Wait(10, &events).ok());
+  EXPECT_TRUE(events.empty());
+  // Interest back on: now it does.
+  ASSERT_TRUE(loop_->Mod(fds_[0], true, false).ok());
+  ASSERT_TRUE(loop_->Wait(1000, &events).ok());
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_TRUE(events[0].readable);
+}
+
+TEST_P(EventLoopTest, DelStopsNotifications) {
+  ASSERT_TRUE(loop_->Add(fds_[0], true, false).ok());
+  EXPECT_EQ(loop_->watched_count(), 1u);
+  ASSERT_TRUE(loop_->Del(fds_[0]).ok());
+  EXPECT_EQ(loop_->watched_count(), 0u);
+  ASSERT_EQ(::write(fds_[1], "x", 1), 1);
+  std::vector<IoEvent> events;
+  ASSERT_TRUE(loop_->Wait(10, &events).ok());
+  EXPECT_TRUE(events.empty());
+}
+
+TEST_P(EventLoopTest, RegistrationErrors) {
+  ASSERT_TRUE(loop_->Add(fds_[0], true, false).ok());
+  EXPECT_EQ(loop_->Add(fds_[0], true, false).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(loop_->Mod(fds_[1], true, false).code(), StatusCode::kNotFound);
+  EXPECT_EQ(loop_->Del(fds_[1]).code(), StatusCode::kNotFound);
+}
+
+TEST_P(EventLoopTest, ClosedPeerReportsReadableOrError) {
+  ASSERT_TRUE(loop_->Add(fds_[0], true, false).ok());
+  ::close(fds_[1]);
+  fds_[1] = ::open("/dev/null", 0);  // keep TearDown's close harmless
+  std::vector<IoEvent> events;
+  ASSERT_TRUE(loop_->Wait(1000, &events).ok());
+  ASSERT_EQ(events.size(), 1u);
+  // EOF surfaces as readable (read returns 0) and/or hangup.
+  EXPECT_TRUE(events[0].readable || events[0].error);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, EventLoopTest,
+    ::testing::Values(
+#ifdef __linux__
+        EventLoop::Backend::kEpoll,
+#endif
+        EventLoop::Backend::kPoll),
+    [](const ::testing::TestParamInfo<EventLoop::Backend>& info) {
+      return info.param == EventLoop::Backend::kEpoll ? "Epoll" : "Poll";
+    });
+
+TEST(EventLoopCreateTest, DefaultBackendCreates) {
+  Result<std::unique_ptr<EventLoop>> loop = EventLoop::Create();
+  ASSERT_TRUE(loop.ok());
+  EXPECT_EQ((*loop)->backend(), EventLoop::DefaultBackend());
+}
+
+}  // namespace
+}  // namespace fab::net

@@ -1,0 +1,175 @@
+#include "net/http.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace fab::net {
+namespace {
+
+Status FeedAll(HttpParser& parser, const std::string& wire) {
+  return parser.Consume(wire.data(), wire.size());
+}
+
+TEST(NetHttpTest, ParsesPostRequestInOneShot) {
+  HttpParser parser(HttpParser::Mode::kRequest);
+  const std::string wire =
+      "POST /predict HTTP/1.1\r\n"
+      "Host: localhost\r\n"
+      "Content-Type: application/json\r\n"
+      "Content-Length: 11\r\n"
+      "\r\n"
+      "{\"rows\":[]}";
+  ASSERT_TRUE(FeedAll(parser, wire).ok());
+  ASSERT_TRUE(parser.done());
+  const HttpRequest& request = parser.request();
+  EXPECT_EQ(request.method, "POST");
+  EXPECT_EQ(request.target, "/predict");
+  EXPECT_EQ(request.version, "HTTP/1.1");
+  EXPECT_EQ(request.body, "{\"rows\":[]}");
+  ASSERT_NE(request.Header("content-type"), nullptr);  // case-insensitive
+  EXPECT_EQ(*request.Header("CONTENT-TYPE"), "application/json");
+  EXPECT_TRUE(request.KeepAlive());
+}
+
+TEST(NetHttpTest, ParsesByteByByte) {
+  HttpParser parser(HttpParser::Mode::kRequest);
+  const std::string wire =
+      "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n";
+  for (char c : wire) {
+    ASSERT_TRUE(parser.Consume(&c, 1).ok());
+  }
+  ASSERT_TRUE(parser.done());
+  EXPECT_EQ(parser.request().method, "GET");
+  EXPECT_EQ(parser.request().target, "/healthz");
+  EXPECT_TRUE(parser.request().body.empty());
+}
+
+TEST(NetHttpTest, KeepAliveSemantics) {
+  HttpRequest request;
+  request.version = "HTTP/1.1";
+  EXPECT_TRUE(request.KeepAlive());
+  request.headers.emplace_back("Connection", "close");
+  EXPECT_FALSE(request.KeepAlive());
+
+  HttpRequest old;
+  old.version = "HTTP/1.0";
+  EXPECT_FALSE(old.KeepAlive());
+  old.headers.emplace_back("connection", "Keep-Alive");
+  EXPECT_TRUE(old.KeepAlive());
+}
+
+TEST(NetHttpTest, PipelinedSurplusSurvivesReset) {
+  HttpParser parser(HttpParser::Mode::kRequest);
+  const std::string two =
+      "GET /a HTTP/1.1\r\n\r\n"
+      "GET /b HTTP/1.1\r\n\r\n";
+  ASSERT_TRUE(FeedAll(parser, two).ok());
+  ASSERT_TRUE(parser.done());
+  EXPECT_EQ(parser.request().target, "/a");
+  ASSERT_TRUE(parser.Reset().ok());
+  ASSERT_TRUE(parser.done());  // second message parsed from surplus
+  EXPECT_EQ(parser.request().target, "/b");
+  ASSERT_TRUE(parser.Reset().ok());
+  EXPECT_FALSE(parser.done());  // buffer drained
+}
+
+TEST(NetHttpTest, ResetBeforeDoneIsFailedPrecondition) {
+  HttpParser parser(HttpParser::Mode::kRequest);
+  EXPECT_EQ(parser.Reset().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(NetHttpTest, RejectsMalformedRequests) {
+  for (const char* wire :
+       {"BROKEN\r\n\r\n",                           // no spaces
+        "GET /\r\n\r\n",                            // missing version
+        "GET / FTP/1.1\r\n\r\n",                    // wrong protocol
+        "GET / HTTP/1.1\r\n folded\r\n\r\n",        // obsolete folding
+        "GET / HTTP/1.1\r\nNoColonHere\r\n\r\n",    // malformed header
+        "GET / HTTP/1.1\r\nContent-Length: x\r\n\r\n",
+        "GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"}) {
+    HttpParser parser(HttpParser::Mode::kRequest);
+    Status status = FeedAll(parser, wire);
+    EXPECT_FALSE(status.ok()) << wire;
+    EXPECT_TRUE(parser.error()) << wire;
+  }
+}
+
+TEST(NetHttpTest, EnforcesHeadAndBodyLimits) {
+  HttpParser::Limits limits;
+  limits.max_head_bytes = 64;
+  limits.max_body_bytes = 8;
+
+  HttpParser head_parser(HttpParser::Mode::kRequest, limits);
+  const std::string big_head =
+      "GET / HTTP/1.1\r\nX-Pad: " + std::string(128, 'a');
+  EXPECT_FALSE(FeedAll(head_parser, big_head).ok());
+
+  HttpParser body_parser(HttpParser::Mode::kRequest, limits);
+  Status status = FeedAll(
+      body_parser, "POST / HTTP/1.1\r\nContent-Length: 9999\r\n\r\n");
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("limit"), std::string::npos);
+}
+
+TEST(NetHttpTest, ParsesResponseMode) {
+  HttpParser parser(HttpParser::Mode::kResponse);
+  const std::string wire =
+      "HTTP/1.1 429 Too Many Requests\r\n"
+      "Retry-After: 2\r\n"
+      "Content-Length: 2\r\n"
+      "\r\n"
+      "{}";
+  ASSERT_TRUE(FeedAll(parser, wire).ok());
+  ASSERT_TRUE(parser.done());
+  const HttpResponse& response = parser.response();
+  EXPECT_EQ(response.status_code, 429);
+  EXPECT_EQ(response.reason, "Too Many Requests");
+  ASSERT_NE(response.Header("retry-after"), nullptr);
+  EXPECT_EQ(*response.Header("retry-after"), "2");
+  EXPECT_EQ(response.body, "{}");
+}
+
+TEST(NetHttpTest, RejectsMalformedStatusLine) {
+  for (const char* wire : {"HTTP/1.1 banana OK\r\n\r\n",
+                           "HTTP/1.1 42 Low\r\n\r\n",
+                           "NOTHTTP 200 OK\r\n\r\n"}) {
+    HttpParser parser(HttpParser::Mode::kResponse);
+    EXPECT_FALSE(FeedAll(parser, wire).ok()) << wire;
+  }
+}
+
+TEST(NetHttpTest, SerializeRoundTripsThroughParser) {
+  HttpResponse out = HttpResponse::Json(200, "{\"status\":\"ok\"}");
+  out.headers.emplace_back("Retry-After", "1");
+  const std::string wire = out.Serialize(/*keep_alive=*/true);
+
+  HttpParser parser(HttpParser::Mode::kResponse);
+  ASSERT_TRUE(FeedAll(parser, wire).ok());
+  ASSERT_TRUE(parser.done());
+  const HttpResponse& in = parser.response();
+  EXPECT_EQ(in.status_code, 200);
+  EXPECT_EQ(in.body, "{\"status\":\"ok\"}");
+  EXPECT_EQ(*in.Header("Content-Type"), "application/json");
+  EXPECT_EQ(*in.Header("Content-Length"), "15");
+  EXPECT_EQ(*in.Header("Connection"), "keep-alive");
+  EXPECT_EQ(*in.Header("Retry-After"), "1");
+}
+
+TEST(NetHttpTest, SerializeCloseConnection) {
+  HttpResponse out = HttpResponse::Json(503, "{}");
+  const std::string wire = out.Serialize(/*keep_alive=*/false);
+  EXPECT_NE(wire.find("HTTP/1.1 503 Service Unavailable\r\n"),
+            std::string::npos);
+  EXPECT_NE(wire.find("Connection: close\r\n"), std::string::npos);
+}
+
+TEST(NetHttpTest, ConsumeAfterErrorIsFailedPrecondition) {
+  HttpParser parser(HttpParser::Mode::kRequest);
+  ASSERT_FALSE(FeedAll(parser, "BROKEN\r\n\r\n").ok());
+  EXPECT_EQ(FeedAll(parser, "GET / HTTP/1.1\r\n\r\n").code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace fab::net

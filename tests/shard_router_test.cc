@@ -1,0 +1,302 @@
+#include "net/shard_router.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/json.h"
+#include "serve/registry.h"
+
+namespace fab::net {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fixed-delay, fixed-value regressor: holds a shard's single worker
+/// busy so queue-bound admission paths actually trigger.
+class SlowRegressor : public ml::Regressor {
+ public:
+  explicit SlowRegressor(int delay_ms, double value)
+      : delay_ms_(delay_ms), value_(value) {}
+
+  Status Fit(const ml::ColMatrix&, const std::vector<double>&) override {
+    return Status::OK();
+  }
+  double PredictOne(const ml::ColMatrix&, size_t) const override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms_));
+    return value_;
+  }
+  std::vector<double> Predict(const ml::ColMatrix& x) const override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms_));
+    return std::vector<double>(x.rows(), value_);
+  }
+  Status SetParam(const std::string&, double) override { return Status::OK(); }
+  std::unique_ptr<ml::Regressor> CloneUnfitted() const override {
+    return std::make_unique<SlowRegressor>(delay_ms_, value_);
+  }
+  std::vector<double> FeatureImportances() const override { return {}; }
+  std::string name() const override { return "slow"; }
+
+ private:
+  int delay_ms_;
+  double value_;
+};
+
+class ShardRouterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = (fs::temp_directory_path() /
+             ("fab_shard_router_" +
+              std::to_string(::testing::UnitTest::GetInstance()
+                                 ->random_seed()) +
+              "_" + ::testing::UnitTest::GetInstance()
+                        ->current_test_info()
+                        ->name()))
+                .string();
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+    registry_ = std::make_unique<serve::ModelRegistry>(root_);
+  }
+
+  void TearDown() override { fs::remove_all(root_); }
+
+  std::string root_;
+  std::unique_ptr<serve::ModelRegistry> registry_;
+};
+
+TEST(ShardHashTest, GoldenValuesArePinned) {
+  // These constants ARE the routing contract: if any of them moves,
+  // persisted layouts become lies. Bump kShardHashVersion instead.
+  EXPECT_EQ(ShardHash({"2017", 7, "rf"}), 253020410545320144ULL);
+  EXPECT_EQ(ShardHash({"2019", 21, "xgb"}), 12346744889219652645ULL);
+  EXPECT_EQ(ShardHash({"2017", 1, "mlp"}), 6657700723888408669ULL);
+  EXPECT_EQ(kShardHashVersion, 1);
+}
+
+TEST(ShardHashTest, ShardOfIsHashModuloShards) {
+  const serve::ModelKey key{"2019", 21, "xgb"};
+  EXPECT_EQ(ShardOf(key, 4), 12346744889219652645ULL % 4);
+  EXPECT_EQ(ShardOf(key, 7), 12346744889219652645ULL % 7);
+  EXPECT_EQ(ShardOf(key, 1), 0u);
+}
+
+TEST_F(ShardRouterTest, SameKeySameShardAcrossRestarts) {
+  const std::vector<serve::ModelKey> keys = {
+      {"2017", 1, "rf"},  {"2017", 7, "xgb"}, {"2017", 14, "mlp"},
+      {"2019", 21, "rf"}, {"2019", 30, "xgb"}};
+  std::vector<size_t> first_run;
+  {
+    Result<std::unique_ptr<ShardedRouter>> router =
+        ShardedRouter::Create(registry_.get(), ShardedRouterOptions{});
+    ASSERT_TRUE(router.ok()) << router.status().ToString();
+    for (const auto& key : keys) {
+      first_run.push_back((*router)->ShardFor(key));
+      EXPECT_EQ(first_run.back(), ShardOf(key, (*router)->num_shards()));
+    }
+  }
+  // "Restart": a fresh router over the same registry root.
+  Result<std::unique_ptr<ShardedRouter>> router =
+      ShardedRouter::Create(registry_.get(), ShardedRouterOptions{});
+  ASSERT_TRUE(router.ok()) << router.status().ToString();
+  for (size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ((*router)->ShardFor(keys[i]), first_run[i]);
+  }
+  EXPECT_TRUE(fs::exists(ShardedRouter::LayoutPath(root_)));
+}
+
+TEST_F(ShardRouterTest, ShardCountChangeRejectedAtLoadTime) {
+  ShardedRouterOptions options;
+  options.num_shards = 4;
+  {
+    Result<std::unique_ptr<ShardedRouter>> router =
+        ShardedRouter::Create(registry_.get(), options);
+    ASSERT_TRUE(router.ok());
+  }
+  options.num_shards = 5;
+  Result<std::unique_ptr<ShardedRouter>> rejected =
+      ShardedRouter::Create(registry_.get(), options);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(rejected.status().message().find("shard count change rejected"),
+            std::string::npos);
+
+  // Resharding is explicit: delete the layout file, then 5 shards load.
+  fs::remove(ShardedRouter::LayoutPath(root_));
+  EXPECT_TRUE(ShardedRouter::Create(registry_.get(), options).ok());
+}
+
+TEST_F(ShardRouterTest, HashVersionMismatchRejected) {
+  std::ofstream out(ShardedRouter::LayoutPath(root_));
+  out << "fab-shard-layout v1\nnum_shards 4\nhash_version 99\n";
+  out.close();
+  Result<std::unique_ptr<ShardedRouter>> router =
+      ShardedRouter::Create(registry_.get(), ShardedRouterOptions{});
+  ASSERT_FALSE(router.ok());
+  EXPECT_EQ(router.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ShardRouterTest, MalformedLayoutIsIoError) {
+  std::ofstream out(ShardedRouter::LayoutPath(root_));
+  out << "not a layout file at all\n";
+  out.close();
+  Result<std::unique_ptr<ShardedRouter>> router =
+      ShardedRouter::Create(registry_.get(), ShardedRouterOptions{});
+  ASSERT_FALSE(router.ok());
+  EXPECT_EQ(router.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(ShardRouterTest, UnknownKeyIsNotFound) {
+  Result<std::unique_ptr<ShardedRouter>> router =
+      ShardedRouter::Create(registry_.get(), ShardedRouterOptions{});
+  ASSERT_TRUE(router.ok());
+  Status status = (*router)->Submit({"2031", 7, "rf"}, {1.0},
+                                    [](Result<double>) {});
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+}
+
+TEST_F(ShardRouterTest, SaturatedShardShedsWhileOthersServe) {
+  // Under 2 shards the FNV layout puts every "rf" key on shard 0 and
+  // every "xgb" key on shard 1 — so a slow rf model saturates shard 0
+  // without touching shard 1's queue.
+  const serve::ModelKey slow_key{"2017", 7, "rf"};
+  const serve::ModelKey fast_key{"2019", 21, "xgb"};
+  ASSERT_EQ(ShardOf(slow_key, 2), 0u);
+  ASSERT_EQ(ShardOf(fast_key, 2), 1u);
+  ASSERT_TRUE(registry_
+                  ->Put(slow_key,
+                        std::make_unique<SlowRegressor>(100, 7.0))
+                  .ok());
+  ASSERT_TRUE(registry_
+                  ->Put(fast_key, std::make_unique<SlowRegressor>(0, 3.5))
+                  .ok());
+
+  ShardedRouterOptions options;
+  options.num_shards = 2;
+  options.threads_per_shard = 1;
+  options.max_batch = 1;
+  options.max_shard_queue = 2;
+  options.slo_queue_wait_us = 0.0;  // isolate the queue-full path
+  Result<std::unique_ptr<ShardedRouter>> created =
+      ShardedRouter::Create(registry_.get(), options);
+  ASSERT_TRUE(created.ok());
+  ShardedRouter& router = **created;
+
+  std::atomic<int> slow_done{0};
+  int admitted = 0;
+  int shed_full = 0;
+  for (int i = 0; i < 12; ++i) {
+    Admission admission = Admission::kAdmitted;
+    Status status = router.Submit(
+        slow_key, {1.0},
+        [&slow_done](Result<double>) { slow_done.fetch_add(1); },
+        &admission);
+    if (status.ok()) {
+      EXPECT_EQ(admission, Admission::kAdmitted);
+      ++admitted;
+    } else {
+      EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+      EXPECT_EQ(admission, Admission::kShedQueueFull);
+      ++shed_full;
+    }
+  }
+  EXPECT_GE(admitted, 1);
+  EXPECT_GE(shed_full, 1) << "12 instant submits of 100ms work into a "
+                             "2-slot queue must shed";
+  EXPECT_GE(router.RetryAfterSeconds(0), 1);
+
+  // Shard 1 is unaffected: every fast submit admits and serves.
+  for (int i = 0; i < 4; ++i) {
+    std::promise<Result<double>> promise;
+    std::future<Result<double>> future = promise.get_future();
+    Admission admission = Admission::kShedQueueFull;
+    ASSERT_TRUE(router
+                    .Submit(fast_key, {1.0},
+                            [&promise](Result<double> r) {
+                              promise.set_value(std::move(r));
+                            },
+                            &admission)
+                    .ok());
+    EXPECT_EQ(admission, Admission::kAdmitted);
+    Result<double> result = future.get();
+    ASSERT_TRUE(result.ok());
+    EXPECT_DOUBLE_EQ(*result, 3.5);
+  }
+
+  // Statsz is valid JSON and reflects the shed counters.
+  Result<JsonValue> statsz = ParseJson(router.StatszJson());
+  ASSERT_TRUE(statsz.ok()) << statsz.status().ToString();
+  EXPECT_DOUBLE_EQ(*statsz->GetNumber("num_shards"), 2.0);
+  const JsonValue* shards = statsz->Find("shards");
+  ASSERT_NE(shards, nullptr);
+  ASSERT_EQ(shards->array().size(), 2u);
+  EXPECT_GE(*shards->array()[0].GetNumber("shed_queue_full"),
+            static_cast<double>(shed_full));
+  EXPECT_GE(*shards->array()[1].GetNumber("admitted"), 4.0);
+
+  router.Shutdown();  // drains the slow queue under its deadline
+  EXPECT_EQ(slow_done.load(), admitted);  // every admitted callback fired
+}
+
+TEST_F(ShardRouterTest, QueueWaitSloShedsBeforeQueueFills) {
+  const serve::ModelKey slow_key{"2017", 7, "rf"};
+  ASSERT_TRUE(registry_
+                  ->Put(slow_key,
+                        std::make_unique<SlowRegressor>(100, 7.0))
+                  .ok());
+
+  ShardedRouterOptions options;
+  options.num_shards = 2;
+  options.threads_per_shard = 1;
+  options.max_batch = 1;
+  options.max_shard_queue = 1000;  // far from full: only the SLO can shed
+  options.slo_queue_wait_us = 1.0;
+  Result<std::unique_ptr<ShardedRouter>> created =
+      ShardedRouter::Create(registry_.get(), options);
+  ASSERT_TRUE(created.ok());
+  ShardedRouter& router = **created;
+
+  // Seed the shard's service-time EMA with one completed 100ms row.
+  std::promise<Result<double>> first;
+  std::future<Result<double>> first_done = first.get_future();
+  ASSERT_TRUE(router
+                  .Submit(slow_key, {1.0},
+                          [&first](Result<double> r) {
+                            first.set_value(std::move(r));
+                          })
+                  .ok());
+  ASSERT_TRUE(first_done.get().ok());
+
+  // With ~100000us per row on one thread, any queued request pushes the
+  // predicted wait far over the 1us SLO — a burst must shed.
+  std::atomic<int> done{0};
+  int admitted = 0;
+  int shed_slo = 0;
+  for (int i = 0; i < 12; ++i) {
+    Admission admission = Admission::kAdmitted;
+    Status status = router.Submit(
+        slow_key, {1.0},
+        [&done](Result<double>) { done.fetch_add(1); }, &admission);
+    if (status.ok()) {
+      ++admitted;
+    } else {
+      EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+      EXPECT_EQ(admission, Admission::kShedSlo);
+      ++shed_slo;
+    }
+  }
+  EXPECT_GE(admitted, 1);
+  EXPECT_GE(shed_slo, 1);
+  router.Shutdown();
+  EXPECT_EQ(done.load(), admitted);
+}
+
+}  // namespace
+}  // namespace fab::net

@@ -647,7 +647,8 @@ void CheckUnannotatedMutexes(const std::vector<FileNode>& nodes,
                              bool all_rules, std::vector<Violation>& out) {
   for (const FileNode& node : nodes) {
     if (!all_rules && !StartsWith(node.rel, "src/util/") &&
-        !StartsWith(node.rel, "src/serve/")) {
+        !StartsWith(node.rel, "src/serve/") &&
+        !StartsWith(node.rel, "src/net/")) {
       continue;
     }
     const std::vector<Tok>& toks = node.toks;

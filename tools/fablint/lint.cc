@@ -364,6 +364,41 @@ void CheckRawClock(Ctx& ctx) {
   }
 }
 
+// --- Network rules. ---------------------------------------------------------
+
+/// Byte-level network plumbing is confined to src/net/: the serving
+/// front-end's correctness argument rests on ONE IO thread owning every
+/// socket, and its telemetry on every accept/parse/respond passing
+/// through the instrumented server. A raw syscall anywhere else opens a
+/// side door past both. Matches the explicit global-namespace call form
+/// (`::socket(...)`) the codebase uses for libc calls; tests, benches
+/// and examples go through net::HttpClient / net::HttpServer instead.
+void CheckRawSyscalls(Ctx& ctx) {
+  if (!ctx.all_rules && StartsWith(ctx.rel, "src/net/")) return;
+  const std::string& text = ctx.masked;
+  for (const char* call :
+       {"socket", "bind", "listen", "accept", "accept4", "connect",
+        "epoll_create", "epoll_create1", "epoll_ctl", "epoll_wait", "poll",
+        "recv", "send", "recvfrom", "sendto", "setsockopt", "getsockopt",
+        "getsockname"}) {
+    ForEachToken(text, call, [&](size_t pos) {
+      // Only the global-qualified form `::call(` — a plain identifier is
+      // far more often a member function or local (send, bind, poll...).
+      if (pos < 2 || text[pos - 1] != ':' || text[pos - 2] != ':') return;
+      if (pos >= 3 &&
+          (IsWordChar(text[pos - 3]) || text[pos - 3] == ':')) {
+        return;  // name-qualified (foo::bind), not the global namespace
+      }
+      const size_t after = SkipWs(text, pos + std::string(call).size());
+      if (after >= text.size() || text[after] != '(') return;
+      Add(ctx, pos, "net-raw-syscall",
+          std::string("::") + call +
+              "() outside src/net/: raw socket syscalls are confined to "
+              "the fab::net layer (use net::HttpClient / net::HttpServer)");
+    });
+  }
+}
+
 // --- Lint-the-linter rules. -------------------------------------------------
 
 /// A typo'd id in an allow list suppresses nothing and silently rots: a
@@ -411,7 +446,7 @@ const std::vector<RuleInfo>& AllRules() {
       {"hygiene-new-delete", "no raw new/delete outside justified sites"},
       {"safety-unannotated-mutex",
        "mutex members must guard something via FAB_GUARDED_BY "
-       "(src/util, src/serve)"},
+       "(src/util, src/serve, src/net)"},
       {"graph-include-cycle", "no cycles in the quoted-include graph"},
       {"graph-unused-include",
        "quoted includes must export something the includer references "
@@ -423,6 +458,9 @@ const std::vector<RuleInfo>& AllRules() {
       {"obs-raw-clock",
        "raw *_clock::now() banned outside src/util/obs/ and bench/; "
        "use obs::Clock"},
+      {"net-raw-syscall",
+       "raw ::socket/::bind/::epoll_*/... banned outside src/net/; "
+       "use net::HttpClient / net::HttpServer"},
   };
   return kRules;
 }
@@ -627,6 +665,7 @@ std::vector<Violation> LintSource(const std::string& rel_path,
   CheckSafety(ctx);
   CheckHygiene(ctx);
   CheckRawClock(ctx);
+  CheckRawSyscalls(ctx);
   CheckUnknownRules(ctx);
 
   std::sort(ctx.out.begin(), ctx.out.end(),
