@@ -122,6 +122,12 @@ Status HttpParser::TryParse() {
       }
       return Status::OK();  // need more bytes
     }
+    // The bound must also hold when the terminator arrived in the same
+    // Consume call that blew the limit — not only mid-accumulation.
+    if (head_end > limits_.max_head_bytes) {
+      return Fail("header section exceeds " +
+                  std::to_string(limits_.max_head_bytes) + " bytes");
+    }
     FAB_RETURN_IF_ERROR(ParseHead(buffer_.substr(0, head_end)));
     buffer_.erase(0, head_end + 4);
     phase_ = Phase::kBody;

@@ -1,6 +1,7 @@
 #include "net/http_server.h"
 
 #include <cerrno>
+#include <csignal>
 #include <cstring>
 #include <deque>
 #include <vector>
@@ -26,6 +27,7 @@ struct ServerCore {
   struct Pending {
     int fd = -1;
     uint64_t conn_id = 0;
+    uint64_t exchange = 0;
     HttpResponse response;
   };
 
@@ -62,6 +64,20 @@ std::string PathOf(const std::string& target) {
   return q == std::string::npos ? target : target.substr(0, q);
 }
 
+/// A client that resets its connection while a response is flushing (or
+/// a wakeup-pipe write racing shutdown's close of the read end) must
+/// surface as EPIPE, not kill the process. Socket writes also pass
+/// MSG_NOSIGNAL, but that cannot cover pipes, so the signal disposition
+/// is the backstop. Process-wide, set once, never restored: a serving
+/// binary has no use for the default terminate-on-SIGPIPE.
+void IgnoreSigpipeOnce() {
+  static const bool ignored = [] {
+    (void)std::signal(SIGPIPE, SIG_IGN);
+    return true;
+  }();
+  (void)ignored;
+}
+
 }  // namespace
 
 void Responder::Send(HttpResponse response) const {
@@ -75,6 +91,7 @@ void Responder::Send(HttpResponse response) const {
     internal::ServerCore::Pending pending;
     pending.fd = fd_;
     pending.conn_id = conn_id_;
+    pending.exchange = exchange_;
     pending.response = std::move(response);
     core->queue.push_back(std::move(pending));
   }
@@ -99,6 +116,31 @@ Status HttpServer::Start() {
     return Status::FailedPrecondition("server already started");
   }
   stopping_.store(false);
+  const Status started = DoStart();
+  if (!started.ok()) {
+    // Unwind partial setup so a failed Start neither leaks descriptors
+    // nor poisons a retry. On success the IO thread owns teardown.
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    if (wakeup_read_fd_ >= 0) {
+      ::close(wakeup_read_fd_);
+      wakeup_read_fd_ = -1;
+    }
+    if (spare_fd_ >= 0) {
+      ::close(spare_fd_);
+      spare_fd_ = -1;
+    }
+    core_.reset();  // ~ServerCore closes the pipe's write end
+    port_.store(0);
+  }
+  return started;
+}
+
+Status HttpServer::DoStart() {
+  IgnoreSigpipeOnce();
+  spare_fd_ = ::open("/dev/null", O_RDONLY);
 
   // Wakeup pipe: handler threads write, the IO loop reads.
   int pipe_fds[2];
@@ -209,14 +251,39 @@ void HttpServer::IoLoop(EventLoop* loop) {
   ::close(wakeup_read_fd_);
   listen_fd_ = -1;
   wakeup_read_fd_ = -1;
+  if (spare_fd_ >= 0) {
+    ::close(spare_fd_);
+    spare_fd_ = -1;
+  }
 }
 
 void HttpServer::AcceptNew(EventLoop* loop) {
   while (true) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
-      // EAGAIN: accepted everything pending. Anything else: leave the
-      // listener armed and try again on the next readiness event.
+      if (errno == EINTR) continue;
+      // EAGAIN: accepted everything pending.
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      // The peer aborted between backlog and accept; next, please.
+      if (errno == ECONNABORTED || errno == EPROTO) continue;
+      if (errno == EMFILE || errno == ENFILE) {
+        // fd table exhausted. A level-triggered listener stays readable
+        // until the backlog entry is consumed, so returning here would
+        // spin the IO loop at 100% CPU. Burn the reserved spare fd to
+        // accept-and-close: the client gets a clean RST-ish shed and
+        // the loop goes back to sleep.
+        if (spare_fd_ >= 0) {
+          ::close(spare_fd_);
+          spare_fd_ = -1;
+          const int shed = ::accept(listen_fd_, nullptr, nullptr);
+          if (shed >= 0) ::close(shed);
+          spare_fd_ = ::open("/dev/null", O_RDONLY);
+          overloaded_.Increment();
+          continue;
+        }
+      }
+      // Anything else: leave the listener armed and retry on the next
+      // readiness event.
       return;
     }
     FAB_TRACE_SCOPE("net/accept", {{"fd", fd}});
@@ -289,6 +356,8 @@ void HttpServer::DispatchIfReady(EventLoop* loop, int fd) {
   HttpRequest request = conn.parser.request();  // copy: parser re-arms later
   conn.keep_alive = request.KeepAlive();
   conn.handling = true;
+  ++conn.exchange;
+  conn.responded = false;
   // One-in-one-out: no reads while the handler owns the exchange.
   (void)loop->Mod(fd, /*want_read=*/false, /*want_write=*/false);
 
@@ -300,7 +369,7 @@ void HttpServer::DispatchIfReady(EventLoop* loop, int fd) {
       if (key.second == path) path_exists = true;
     }
     const int code = path_exists ? 405 : 404;
-    QueueResponse(loop, fd, conn.conn_id,
+    QueueResponse(loop, fd, conn.conn_id, conn.exchange,
                   HttpResponse::Json(
                       code, std::string("{\"error\":\"") +
                                 (path_exists ? "method not allowed"
@@ -308,7 +377,7 @@ void HttpServer::DispatchIfReady(EventLoop* loop, int fd) {
                                 "\"}"));
     return;
   }
-  Responder responder(core_, fd, conn.conn_id);
+  Responder responder(core_, fd, conn.conn_id, conn.exchange);
   const Handler handler = route->second;  // copy: stable across threads
   (void)workers_->Submit(
       [handler, request = std::move(request), responder]() {
@@ -318,13 +387,20 @@ void HttpServer::DispatchIfReady(EventLoop* loop, int fd) {
 }
 
 void HttpServer::QueueResponse(EventLoop* loop, int fd, uint64_t conn_id,
-                               HttpResponse response) {
+                               uint64_t exchange, HttpResponse response) {
   auto it = connections_.find(fd);
   if (it == connections_.end() || it->second.conn_id != conn_id) {
     return;  // connection since closed (and fd possibly recycled)
   }
-  FAB_TRACE_SCOPE("net/respond", {{"status", response.status_code}});
   Connection& conn = it->second;
+  if (!conn.handling || conn.exchange != exchange || conn.responded) {
+    // Duplicate Send on the current exchange, or a straggler from a
+    // finished one: appending a second response would corrupt the
+    // keep-alive framing for the next request, so drop it.
+    return;
+  }
+  conn.responded = true;
+  FAB_TRACE_SCOPE("net/respond", {{"status", response.status_code}});
   const bool keep_alive = conn.keep_alive && !stopping_.load();
   conn.write_buffer += response.Serialize(keep_alive);
   if (!keep_alive) conn.close_after_write = true;
@@ -338,8 +414,10 @@ void HttpServer::HandleWritable(EventLoop* loop, int fd) {
   if (it == connections_.end()) return;
   Connection& conn = it->second;
   while (!conn.write_buffer.empty()) {
-    const ssize_t n =
-        ::write(fd, conn.write_buffer.data(), conn.write_buffer.size());
+    // MSG_NOSIGNAL: a peer that reset mid-flush yields EPIPE (handled
+    // below as a close), not a process-killing SIGPIPE.
+    const ssize_t n = ::send(fd, conn.write_buffer.data(),
+                             conn.write_buffer.size(), MSG_NOSIGNAL);
     if (n > 0) {
       conn.write_buffer.erase(0, static_cast<size_t>(n));
       continue;
@@ -388,7 +466,7 @@ void HttpServer::DrainControlQueue(EventLoop* loop) {
     pending.swap(core_->queue);
   }
   for (internal::ServerCore::Pending& p : pending) {
-    QueueResponse(loop, p.fd, p.conn_id, std::move(p.response));
+    QueueResponse(loop, p.fd, p.conn_id, p.exchange, std::move(p.response));
   }
 }
 

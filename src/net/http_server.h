@@ -49,10 +49,11 @@ struct HttpServerOptions {
 /// Copyable and cheap; Send may be called from any thread exactly once
 /// per exchange (later calls are dropped). The response is posted to the
 /// IO thread — which owns every socket — through the server's control
-/// queue and wakeup pipe; a {connection-generation} tag makes a late
-/// Send against a since-recycled fd a no-op instead of a cross-talk
-/// bug. Outliving the server is safe: the core is held weakly and a
-/// Send after Shutdown simply vanishes.
+/// queue and wakeup pipe; a {connection-generation, exchange-generation}
+/// tag makes a late Send against a since-recycled fd, a finished
+/// exchange, or an already-answered exchange a no-op instead of a
+/// cross-talk or keep-alive-framing bug. Outliving the server is safe:
+/// the core is held weakly and a Send after Shutdown simply vanishes.
 class Responder {
  public:
   void Send(HttpResponse response) const;
@@ -61,12 +62,16 @@ class Responder {
   friend class HttpServer;
 
   Responder(std::weak_ptr<internal::ServerCore> core, int fd,
-            uint64_t conn_id)
-      : core_(std::move(core)), fd_(fd), conn_id_(conn_id) {}
+            uint64_t conn_id, uint64_t exchange)
+      : core_(std::move(core)),
+        fd_(fd),
+        conn_id_(conn_id),
+        exchange_(exchange) {}
 
   std::weak_ptr<internal::ServerCore> core_;
   int fd_ = -1;
   uint64_t conn_id_ = 0;
+  uint64_t exchange_ = 0;
 };
 
 /// Minimal non-blocking HTTP/1.1 server.
@@ -120,6 +125,12 @@ class HttpServer {
     bool keep_alive = true;
     /// A request is with the handler pool; read interest is off.
     bool handling = false;
+    /// Bumped at each dispatch; Responders carry the value so a Send
+    /// against a previous exchange on this connection is dropped.
+    uint64_t exchange = 0;
+    /// The current exchange already produced a response; duplicate
+    /// Sends must not append a second one (keep-alive framing).
+    bool responded = false;
     /// Close once write_buffer flushes.
     bool close_after_write = false;
 
@@ -127,13 +138,16 @@ class HttpServer {
         : conn_id(id), parser(HttpParser::Mode::kRequest, limits) {}
   };
 
+  /// Start() body; on failure Start() unwinds any partially-created
+  /// descriptors so a retry starts clean.
+  Status DoStart() FAB_REQUIRES(lifecycle_mu_);
   void IoLoop(EventLoop* loop);
   void AcceptNew(EventLoop* loop);
   void HandleReadable(EventLoop* loop, int fd);
   void HandleWritable(EventLoop* loop, int fd);
   void DispatchIfReady(EventLoop* loop, int fd);
   void QueueResponse(EventLoop* loop, int fd, uint64_t conn_id,
-                     HttpResponse response);
+                     uint64_t exchange, HttpResponse response);
   void CloseConnection(EventLoop* loop, int fd);
   void DrainControlQueue(EventLoop* loop);
 
@@ -150,6 +164,9 @@ class HttpServer {
   uint64_t next_conn_id_ = 1;
   int listen_fd_ = -1;
   int wakeup_read_fd_ = -1;
+  /// Reserved descriptor burned to accept-and-close under EMFILE/ENFILE
+  /// so a level-triggered listener sheds load instead of spinning.
+  int spare_fd_ = -1;
 
   std::unique_ptr<util::ThreadPool> workers_;
 

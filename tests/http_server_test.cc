@@ -301,5 +301,96 @@ TEST_F(HttpServerTest, SaturatedShardReturns429WithRetryAfter) {
   EXPECT_EQ(fast_ok, 10) << "the unsaturated shard must keep serving";
 }
 
+/// Bare server with hand-registered routes — no registry/router stack —
+/// for exercising HttpServer's own lifecycle and framing invariants.
+TEST(HttpServerLifecycleTest, SecondSendOnSameExchangeIsDropped) {
+  HttpServer server{HttpServerOptions{}};
+  server.Handle("GET", "/double",
+                [](const HttpRequest&, Responder responder) {
+                  responder.Send(HttpResponse::Json(200, "{\"n\":1}"));
+                  // The doc promises later calls are dropped; were this
+                  // appended, the next keep-alive request on the same
+                  // connection would read it as its response.
+                  responder.Send(HttpResponse::Json(500, "{\"n\":2}"));
+                });
+  ASSERT_TRUE(server.Start().ok());
+  HttpClient client("127.0.0.1", server.port());
+  for (int i = 0; i < 3; ++i) {
+    Result<HttpResponse> response = client.Get("/double");
+    ASSERT_TRUE(response.ok())
+        << "request " << i << ": " << response.status().ToString();
+    EXPECT_EQ(response->status_code, 200) << "request " << i;
+    EXPECT_EQ(response->body, "{\"n\":1}") << "request " << i;
+  }
+  server.Shutdown();
+}
+
+TEST(HttpServerLifecycleTest, FailedStartCleansUpAndAllowsRetry) {
+  HttpServer holder{HttpServerOptions{}};
+  ASSERT_TRUE(holder.Start().ok());
+
+  HttpServerOptions colliding;
+  colliding.port = holder.port();
+  HttpServer server(colliding);
+  server.Handle("GET", "/healthz",
+                [](const HttpRequest&, Responder responder) {
+                  responder.Send(HttpResponse::Json(200, "{}"));
+                });
+  // Each failed bind must release every descriptor it created (pipe,
+  // listener, spare) — repeated failures would otherwise exhaust the
+  // fd table — and must not poison a later successful Start.
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_FALSE(server.Start().ok());
+  }
+  holder.Shutdown();
+  ASSERT_TRUE(server.Start().ok());
+  HttpClient client("127.0.0.1", server.port());
+  Result<HttpResponse> response = client.Get("/healthz");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status_code, 200);
+  server.Shutdown();
+
+  HttpServer bad_address{[] {
+    HttpServerOptions options;
+    options.bind_address = "not-an-ip";
+    return options;
+  }()};
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_FALSE(bad_address.Start().ok());
+  }
+}
+
+TEST(HttpServerLifecycleTest, ClientResetDuringResponseFlushIsSurvived) {
+  HttpServer server{HttpServerOptions{}};
+  // Big enough to outsize socket buffers (several flush rounds), slow
+  // enough that an impatient client has hung up before the first byte.
+  const std::string pad(1 << 20, 'x');
+  server.Handle("GET", "/slow_big",
+                [&pad](const HttpRequest&, Responder responder) {
+                  std::this_thread::sleep_for(
+                      std::chrono::milliseconds(60));
+                  responder.Send(
+                      HttpResponse::Json(200, "{\"pad\":\"" + pad + "\"}"));
+                });
+  ASSERT_TRUE(server.Start().ok());
+
+  // Each impatient client times out mid-exchange and closes its socket
+  // (HttpClient disconnects on a recv timeout); the server then flushes
+  // 1MB into a reset connection. Without MSG_NOSIGNAL/SIG_IGN that
+  // raises SIGPIPE and kills this whole process.
+  for (int i = 0; i < 4; ++i) {
+    HttpClient impatient("127.0.0.1", server.port(), /*timeout_ms=*/10);
+    EXPECT_FALSE(impatient.Get("/slow_big").ok());
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+
+  // Server (and process) still alive and serving.
+  HttpClient patient("127.0.0.1", server.port());
+  Result<HttpResponse> response = patient.Get("/slow_big");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status_code, 200);
+  server.Shutdown();
+}
+
 }  // namespace
 }  // namespace fab::net

@@ -105,6 +105,16 @@ TEST(NetHttpTest, EnforcesHeadAndBodyLimits) {
       "GET / HTTP/1.1\r\nX-Pad: " + std::string(128, 'a');
   EXPECT_FALSE(FeedAll(head_parser, big_head).ok());
 
+  // The limit must hold even when the complete, terminated header
+  // section lands in a single Consume call (no mid-accumulation check
+  // ever fires on that path).
+  HttpParser one_shot_parser(HttpParser::Mode::kRequest, limits);
+  const std::string big_complete_head =
+      "GET / HTTP/1.1\r\nX-Pad: " + std::string(128, 'a') + "\r\n\r\n";
+  Status one_shot = FeedAll(one_shot_parser, big_complete_head);
+  EXPECT_FALSE(one_shot.ok());
+  EXPECT_NE(one_shot.message().find("exceeds"), std::string::npos);
+
   HttpParser body_parser(HttpParser::Mode::kRequest, limits);
   Status status = FeedAll(
       body_parser, "POST / HTTP/1.1\r\nContent-Length: 9999\r\n\r\n");
