@@ -89,8 +89,11 @@ Experiments::Experiments(ExperimentConfig config)
     : config_(std::move(config)) {
   // Size the shared analysis pool once, up front: every downstream stage
   // (FRA fits, PFI, SHAP, CV folds, scenario fan-out) draws from it, and
-  // thread count never changes results — only wall-clock.
-  util::SetSharedPoolThreads(config_.num_threads);
+  // thread count never changes results — only wall-clock. Callers that
+  // construct Experiments from inside pool workers opt out.
+  if (config_.manage_shared_pool) {
+    util::SetSharedPoolThreads(config_.num_threads);
+  }
 }
 
 std::string Experiments::ScenarioTag(StudyPeriod period, int window) const {
@@ -99,7 +102,9 @@ std::string Experiments::ScenarioTag(StudyPeriod period, int window) const {
 
 std::string Experiments::CachePath(const std::string& name) const {
   return config_.cache_dir + "/seed" + std::to_string(config_.seed) +
-         (config_.fast ? "_fast" : "_full") + "/" + name;
+         (config_.fast ? "_fast" : "_full") +
+         (config_.cache_tag.empty() ? "" : "_" + config_.cache_tag) + "/" +
+         name;
 }
 
 Status Experiments::EnsureCacheDir() const {
@@ -113,6 +118,7 @@ Result<const sim::SimulatedMarket*> Experiments::Market() {
   if (market_ == nullptr) {
     sim::MarketSimConfig sim_config;
     sim_config.seed = config_.seed;
+    sim_config.stress = config_.stress;
     FAB_ASSIGN_OR_RETURN(sim::SimulatedMarket market,
                          sim::SimulateMarket(sim_config));
     market_ = std::make_unique<sim::SimulatedMarket>(std::move(market));

@@ -31,6 +31,18 @@ struct ExperimentConfig {
   /// Width of the shared analysis pool (util::ResolveThreads convention,
   /// 0 = hardware concurrency). Applied by the Experiments constructor.
   int num_threads = 0;
+  /// When false the constructor leaves the shared pool's width alone —
+  /// set by callers that build many Experiments concurrently (the sweep
+  /// harness runs one per grid cell inside pool workers; resizing the
+  /// pool from there would be a lifecycle hazard).
+  bool manage_shared_pool = true;
+  /// Extra tag appended to the cache directory name. Stress regimes
+  /// change every artifact, so sweep cells tag their caches per regime
+  /// rather than poisoning the baseline `seed<seed>_<fast|full>` dirs.
+  std::string cache_tag;
+  /// Adversarial regime injectors forwarded to the simulator
+  /// (sim/stress.h). Default-off: the baseline pipeline is unchanged.
+  sim::StressConfig stress;
 
   /// Model settings used by the respective pipeline stages.
   FraOptions fra;

@@ -1,0 +1,140 @@
+#ifndef FAB_CORE_SWEEP_H_
+#define FAB_CORE_SWEEP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/dataset_builder.h"
+#include "sim/stress.h"
+#include "util/status.h"
+
+namespace fab::core {
+
+/// Property-based seed×regime sweep over the full experiment pipeline.
+///
+/// The paper evaluates its claims on exactly two study periods × five
+/// horizon windows of one simulated market. The sweep turns that grid
+/// into a robustness study: it fans `Experiments::PrecomputeAll` across
+/// a seeds × stress-regimes grid on the shared pool and checks
+/// machine-checkable *shape* properties of the results — not exact
+/// values, which differ per seed, but the claims the paper actually
+/// makes (features stay finite, FRA keeps on-chain signal, diversity
+/// helps at long horizons, importance ranks are seed-stable). Every
+/// violation is reported with the exact seed/regime/scenario that
+/// reproduces it.
+
+/// A named stress configuration (one grid axis value).
+struct RegimeSpec {
+  std::string name;
+  sim::StressConfig stress;
+};
+
+/// The standard regime axis: baseline plus each injector alone plus
+/// composed storms. Names are stable — CI, BENCH baselines and repro
+/// commands reference them.
+const std::vector<RegimeSpec>& StandardRegimes();
+
+/// Looks up a standard regime by name.
+Result<RegimeSpec> RegimeByName(const std::string& name);
+
+/// Sweep grid and property thresholds.
+struct SweepOptions {
+  /// Grid axes. Cells = seeds × regimes; each cell evaluates every
+  /// period × window scenario.
+  std::vector<uint64_t> seeds;
+  std::vector<RegimeSpec> regimes;
+  std::vector<StudyPeriod> periods = {StudyPeriod::k2019};
+  std::vector<int> windows = {1, 30};
+
+  /// Cache root for per-cell artifacts (tagged per regime inside).
+  std::string cache_dir = ".fab_cache/sweep";
+
+  /// The first `improvement_seeds` seeds of every regime also run the
+  /// (expensive) improvement CV experiment for the longest window at or
+  /// above `horizon_threshold`.
+  int improvement_seeds = 2;
+  int horizon_threshold = 30;
+
+  /// diverse_beats_single_long passes when the mean per-category
+  /// improvement of the diverse model is at least this (percent).
+  double min_mean_improvement_pct = 0.0;
+
+  /// rank_stability passes when the mean pairwise Jaccard overlap of
+  /// the per-seed top-`rank_top_k` importance *category* sets within a
+  /// regime is at least this. Individual feature names are legitimately
+  /// seed-specific (each seed is a different market realization); which
+  /// data-source categories dominate the importance ranking is the
+  /// paper's actual claim, and is what must stay stable.
+  double rank_stability_min_jaccard = 0.30;
+  size_t rank_top_k = 10;
+
+  /// Shrinks every model far below the standard fast profile — unit
+  /// tests only; property results under tiny models are not meaningful.
+  bool tiny_models = false;
+};
+
+/// One failed property check, with everything needed to reproduce it.
+struct PropertyViolation {
+  std::string property;
+  std::string regime;
+  uint64_t seed = 0;
+  /// "2019_30"-style scenario tag, or "-" for regime-level properties.
+  std::string scenario;
+  std::string detail;
+};
+
+/// Pass counts for one property.
+struct PropertyStat {
+  std::string property;
+  size_t checked = 0;
+  size_t passed = 0;
+};
+
+/// Per-regime rollup.
+struct RegimeReport {
+  std::string regime;
+  size_t cells = 0;
+  size_t cell_errors = 0;
+  size_t checks = 0;
+  size_t passed = 0;
+  std::vector<PropertyStat> properties;
+};
+
+/// The full sweep outcome.
+struct SweepReport {
+  size_t cells = 0;
+  size_t cell_errors = 0;
+  size_t checks = 0;
+  size_t violation_count = 0;
+  std::vector<PropertyStat> properties;
+  std::vector<RegimeReport> regimes;
+  std::vector<PropertyViolation> violations;
+  /// First per-cell pipeline error (diagnostics; errors are counted,
+  /// not fatal).
+  std::string first_error;
+
+  double pass_rate() const {
+    return checks == 0
+               ? 1.0
+               : static_cast<double>(checks - violation_count) /
+                     static_cast<double>(checks);
+  }
+
+  /// BENCH_sweep.json-shaped document (deterministic: no timestamps).
+  /// The scalar `results` block is what tools/perf_gate gates on;
+  /// property/regime tables and the violation list (with repro
+  /// commands) ride along for humans.
+  std::string ToJson() const;
+};
+
+/// Runs the sweep. Cells are fanned over the shared pool; each cell's
+/// pipeline errors are recorded (counted in `cell_errors`), not fatal,
+/// mirroring how a robustness study must survive individual blowups.
+/// Fails only on an empty/invalid grid.
+Result<SweepReport> RunSweep(const SweepOptions& options);
+
+}  // namespace fab::core
+
+#endif  // FAB_CORE_SWEEP_H_

@@ -69,11 +69,17 @@ std::vector<double> AssetPanel::BtcMcap() const {
   return out;
 }
 
-Result<AssetPanel> GenerateAssetPanel(const LatentState& latent,
-                                      const AssetUniverseConfig& config) {
+Result<AssetPanel> GenerateAssetPanel(
+    const LatentState& latent, const AssetUniverseConfig& config,
+    const std::vector<double>* weight_sigma_mult) {
   if (config.num_alts < 100) {
     return Status::InvalidArgument(
         "asset universe needs at least 100 alts to fill a top-100 index");
+  }
+  if (weight_sigma_mult != nullptr &&
+      weight_sigma_mult->size() != latent.num_days()) {
+    return Status::InvalidArgument(
+        "weight_sigma_mult must hold one multiplier per latent day");
   }
   const size_t n = latent.num_days();
   const size_t na = static_cast<size_t>(config.num_alts);
@@ -122,9 +128,12 @@ Result<AssetPanel> GenerateAssetPanel(const LatentState& latent,
     const double alt_total = btc_cap * (1.0 - dom) / dom;
 
     // Evolve alt weights and renormalize over launched assets.
+    const double walk_sigma =
+        config.weight_walk_sigma *
+        (weight_sigma_mult != nullptr ? (*weight_sigma_mult)[t] : 1.0);
     double wsum = 0.0;
     for (size_t i = 0; i < na; ++i) {
-      log_w[i] += config.weight_walk_sigma * rng.Normal() -
+      log_w[i] += walk_sigma * rng.Normal() -
                   0.001 * log_w[i];  // slight pull to the Zipf anchor
       if (latent.dates[t] >= panel.launch[i + 1]) {
         wsum += std::exp(log_w[i]);

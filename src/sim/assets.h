@@ -57,8 +57,15 @@ struct AssetPanel {
 double BtcSupplyOn(Date d);
 
 /// Builds the asset panel on top of a latent state.
-Result<AssetPanel> GenerateAssetPanel(const LatentState& latent,
-                                      const AssetUniverseConfig& config);
+///
+/// `weight_sigma_mult`, when non-null, scales the per-day weight-walk
+/// sigma (one multiplier per latent day) — the rank-churn stress regime
+/// passes boosted multipliers around rebalance boundaries. The draw
+/// count is unchanged, so a vector of all 1s reproduces the unstressed
+/// panel bitwise.
+Result<AssetPanel> GenerateAssetPanel(
+    const LatentState& latent, const AssetUniverseConfig& config,
+    const std::vector<double>* weight_sigma_mult = nullptr);
 
 }  // namespace fab::sim
 

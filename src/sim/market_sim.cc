@@ -1,6 +1,8 @@
 #include "sim/market_sim.h"
 
+#include <string>
 #include <utility>
+#include <vector>
 
 #include "sim/macro.h"
 #include "sim/onchain_btc.h"
@@ -17,10 +19,27 @@ Result<SimulatedMarket> SimulateMarket(const MarketSimConfig& config) {
   AssetUniverseConfig asset_cfg = config.assets;
   asset_cfg.seed = config.seed ^ 0xA55E75ull;
 
+  // All stress randomness hangs off one derived master; the injectors
+  // split it further per regime (sim/stress.cc salts).
+  const uint64_t stress_seed = config.seed ^ 0x57e55ull;
+
   SimulatedMarket market;
   FAB_ASSIGN_OR_RETURN(market.latent, GenerateLatentState(latent_cfg));
+  // Latent-path injectors run before every derived generator so crash
+  // and outage shocks propagate into the panel, on-chain activity and
+  // sentiment exactly like organic price moves would.
+  FAB_RETURN_IF_ERROR(
+      ApplyLatentStress(config.stress, stress_seed, &market.latent));
+
+  std::vector<double> churn_mult;
+  const std::vector<double>* churn_ptr = nullptr;
+  if (config.stress.rank_churn.enabled) {
+    churn_mult = RankChurnSigmaMultipliers(config.stress.rank_churn,
+                                           market.latent.dates);
+    churn_ptr = &churn_mult;
+  }
   FAB_ASSIGN_OR_RETURN(market.panel,
-                       GenerateAssetPanel(market.latent, asset_cfg));
+                       GenerateAssetPanel(market.latent, asset_cfg, churn_ptr));
 
   FAB_ASSIGN_OR_RETURN(market.metrics,
                        table::Table::Create(market.latent.dates));
@@ -58,10 +77,17 @@ Result<SimulatedMarket> SimulateMarket(const MarketSimConfig& config) {
     for (size_t t = 0; t < total_mcap.size(); ++t) {
       total_mcap[t] = market.panel.TotalSum(t);
     }
+    std::vector<double> peg_dev;
+    const std::vector<double>* peg_ptr = nullptr;
+    if (config.stress.depeg.enabled) {
+      peg_dev =
+          UsdcPegDeviation(config.stress.depeg, stress_seed, market.latent);
+      peg_ptr = &peg_dev;
+    }
     FAB_RETURN_IF_ERROR(AddUsdcOnChainMetrics(market.latent, total_mcap,
                                               config.seed ^ 0x0C05dull,
                                               &market.metrics,
-                                              &market.catalog));
+                                              &market.catalog, peg_ptr));
   }
   if (config.include_eth) {
     FAB_RETURN_IF_ERROR(AddEthOnChainMetrics(market.latent,
@@ -76,6 +102,22 @@ Result<SimulatedMarket> SimulateMarket(const MarketSimConfig& config) {
                                        &market.metrics, &market.catalog));
   FAB_RETURN_IF_ERROR(AddMacroMetrics(market.latent, config.seed ^ 0x3ac60ull,
                                       &market.metrics, &market.catalog));
+
+  // Exchange outage, observable side: the sentiment feeds go dark over
+  // the same windows the OHLCV feed was frozen (the null cells then run
+  // the cleaning/interpolation gauntlet in DatasetBuilder).
+  if (config.stress.outage.enabled) {
+    const auto windows = OutageWindows(config.stress.outage, stress_seed,
+                                       market.latent.num_days());
+    for (const std::string& name :
+         market.catalog.NamesInCategory(DataCategory::kSentiment)) {
+      FAB_ASSIGN_OR_RETURN(table::Column * col,
+                           market.metrics.GetMutableColumn(name));
+      for (const auto& [start, end] : windows) {
+        for (size_t t = start; t < end; ++t) col->SetNull(t);
+      }
+    }
+  }
 
   const size_t n = market.latent.num_days();
   market.top100_mcap_sum.resize(n);

@@ -7,6 +7,7 @@
 #include "sim/assets.h"
 #include "sim/catalog.h"
 #include "sim/latent.h"
+#include "sim/stress.h"
 #include "table/table.h"
 #include "util/status.h"
 
@@ -22,6 +23,9 @@ struct MarketSimConfig {
   /// Off by default so the headline reproduction matches the paper's
   /// BTC+USDC setup.
   bool include_eth = false;
+  /// Adversarial regime injectors (sim/stress.h). All off by default;
+  /// a default config reproduces the unstressed market bitwise.
+  StressConfig stress;
 };
 
 /// The complete simulated market: the raw-metric table every experiment

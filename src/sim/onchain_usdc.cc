@@ -48,10 +48,15 @@ struct UsdcSink {
 Status AddUsdcOnChainMetrics(const LatentState& latent,
                              const std::vector<double>& total_mcap,
                              uint64_t seed, table::Table* out,
-                             MetricCatalog* catalog) {
+                             MetricCatalog* catalog,
+                             const std::vector<double>* peg_deviation) {
   const size_t n = latent.num_days();
   if (out->num_rows() != n || total_mcap.size() != n) {
     return Status::InvalidArgument("output table must share the latent index");
+  }
+  if (peg_deviation != nullptr && peg_deviation->size() != n) {
+    return Status::InvalidArgument(
+        "peg_deviation must hold one value per latent day");
   }
   const int launch_row = latent.FindDay(UsdcLaunchDate());
   if (launch_row < 0) {
@@ -89,7 +94,13 @@ Status AddUsdcOnChainMetrics(const LatentState& latent,
     // flows on top; scale chosen so supply peaks in the tens of billions
     // like the real USDC.
     const double demand = 0.045 * total_mcap[t];
-    const double net = 0.012 * (demand - s) + latent.flows[t] * 1.6e6;
+    double net = 0.012 * (demand - s) + latent.flows[t] * 1.6e6;
+    if (peg_deviation != nullptr) {
+      // A broken peg triggers a redemption run proportional to how far
+      // below $1 the coin trades (zero deviation leaves `net` bitwise
+      // unchanged: x - 0.0 == x).
+      net -= (*peg_deviation)[t] * s * 0.10;
+    }
     issuance[t] = net;
     s = std::max(2.0e7, s + net);
     supply[t] = noisy(s, 0.002);
@@ -106,8 +117,10 @@ Status AddUsdcOnChainMetrics(const LatentState& latent,
                          ? turnover[t]
                          : turn_smooth[t - 1] +
                                (turnover[t] - turn_smooth[t - 1]) / 30.0;
-    // Peg wobble of a few basis points.
+    // Peg wobble of a few basis points; under depeg stress the price
+    // additionally trades below $1 by the injected deviation.
     price[t] = 1.0 + 0.0015 * obs.Normal();
+    if (peg_deviation != nullptr) price[t] -= (*peg_deviation)[t];
   }
 
   UsdcSink sink{out, catalog, first};
@@ -261,6 +274,20 @@ Status AddUsdcOnChainMetrics(const LatentState& latent,
     sink.Add("usdc_TxCnt", tx_cnt, "daily USDC transaction count");
     sink.Add("usdc_TxTfrValAdjUSD", tfr_val, "USDC adjusted transfer value");
     sink.Add("usdc_TxTfrValMeanUSD", tfr_mean, "mean USDC transfer value");
+  }
+
+  // ---- Peg columns (depeg stress regime only). -------------------------------
+  // Emitted only when a peg-deviation path was injected, so the baseline
+  // candidate feature set — and every golden derived from it — never
+  // changes shape.
+  if (peg_deviation != nullptr) {
+    std::vector<double> peg_bps(n, 0.0);
+    for (size_t t = first; t < n; ++t) {
+      peg_bps[t] = 1e4 * (1.0 - price[t]);
+    }
+    sink.Add("usdc_PriceUSD", price, "USDC market price (USD)");
+    sink.Add("usdc_PegDevBps", peg_bps,
+             "USDC peg deviation (basis points below $1)");
   }
 
   return sink.status;

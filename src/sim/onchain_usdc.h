@@ -29,10 +29,20 @@ Date UsdcLaunchDate();
 /// signal — the paper's explanation for why USDC metrics encapsulate
 /// "macro changes of the crypto market ... moving funds in and out".
 /// `total_mcap` is the daily total crypto market capitalization.
+///
+/// `peg_deviation`, when non-null, holds one dollars-below-$1 value per
+/// day (the depeg stress regime, see sim/stress.h): the internal USDC
+/// price drops by it, redemptions shrink supply while it lasts, and two
+/// extra columns — `usdc_PriceUSD` and `usdc_PegDevBps` — are emitted.
+/// The columns exist ONLY under depeg stress so the baseline candidate
+/// feature set (and the goldens built from it) is untouched; an all-zero
+/// vector reproduces the unstressed metrics bitwise, minus those two
+/// columns.
 Status AddUsdcOnChainMetrics(const LatentState& latent,
                              const std::vector<double>& total_mcap,
                              uint64_t seed, table::Table* out,
-                             MetricCatalog* catalog);
+                             MetricCatalog* catalog,
+                             const std::vector<double>* peg_deviation = nullptr);
 
 }  // namespace fab::sim
 

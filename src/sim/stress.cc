@@ -1,0 +1,208 @@
+#include "sim/stress.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/onchain_usdc.h"
+#include "util/random.h"
+
+namespace fab::sim {
+
+namespace {
+
+// Per-injector seed salts: each injector owns an independent stream
+// derived from the stress master seed, so enabling one regime never
+// shifts another's event placement.
+constexpr uint64_t kFlashCrashSalt = 0xF1A5Cull;
+constexpr uint64_t kOutageSalt = 0x0007A6Eull;
+constexpr uint64_t kDepegSalt = 0xDE9E6ull;
+
+// Keep events out of the warm-up year (so indicator windows exist) and
+// away from the very end (so recoveries and prediction targets fit).
+constexpr size_t kEventLeadInDays = 400;
+constexpr size_t kEventTailMarginDays = 60;
+
+}  // namespace
+
+std::vector<std::pair<size_t, size_t>> StressEventWindows(uint64_t seed,
+                                                          int count,
+                                                          size_t duration,
+                                                          size_t lo,
+                                                          size_t hi) {
+  std::vector<std::pair<size_t, size_t>> windows;
+  if (count <= 0 || duration == 0 || hi <= lo) return windows;
+  const size_t span = hi - lo;
+  const size_t segment = span / static_cast<size_t>(count);
+  if (segment < duration) return windows;
+  Rng rng(seed);
+  windows.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const size_t seg_lo = lo + static_cast<size_t>(i) * segment;
+    const size_t slack = segment - duration;
+    const size_t start =
+        seg_lo + (slack > 0 ? static_cast<size_t>(rng.UniformInt(slack)) : 0);
+    windows.emplace_back(start, start + duration);
+  }
+  return windows;
+}
+
+std::vector<std::pair<size_t, size_t>> OutageWindows(const OutageStress& outage,
+                                                     uint64_t seed, size_t n) {
+  if (!outage.enabled || n <= kEventLeadInDays + kEventTailMarginDays) {
+    return {};
+  }
+  return StressEventWindows(seed ^ kOutageSalt, outage.events,
+                            static_cast<size_t>(std::max(1, outage.duration_days)),
+                            kEventLeadInDays, n - kEventTailMarginDays);
+}
+
+std::vector<size_t> FlashCrashDays(const FlashCrashStress& crash,
+                                   uint64_t seed, size_t n) {
+  std::vector<size_t> days;
+  const size_t tail =
+      kEventTailMarginDays + static_cast<size_t>(std::max(0, crash.recovery_days));
+  if (!crash.enabled || n <= kEventLeadInDays + tail) return days;
+  const auto windows = StressEventWindows(seed ^ kFlashCrashSalt, crash.events,
+                                          1, kEventLeadInDays, n - tail);
+  days.reserve(windows.size());
+  for (const auto& w : windows) days.push_back(w.first);
+  return days;
+}
+
+Status ApplyLatentStress(const StressConfig& stress, uint64_t seed,
+                         LatentState* latent) {
+  if (latent == nullptr) {
+    return Status::InvalidArgument("ApplyLatentStress: null latent state");
+  }
+  const size_t n = latent->num_days();
+
+  if (stress.flash_crash.enabled) {
+    const FlashCrashStress& crash = stress.flash_crash;
+    if (!(crash.magnitude > 0.0) || crash.recovery_days < 0 ||
+        !(crash.volume_mult >= 1.0)) {
+      return Status::InvalidArgument("flash crash: magnitude must be > 0, "
+                                     "recovery_days >= 0, volume_mult >= 1");
+    }
+    const std::vector<size_t> days = FlashCrashDays(crash, seed, n);
+    // Depth draws come after window placement on the same salted stream
+    // family; a dedicated Rng keeps them independent of the placement.
+    Rng rng(seed ^ kFlashCrashSalt ^ 0xDEE9ull);
+    // Cumulative log-price adjustment: the crash knocks the whole
+    // subsequent path down by `depth`, then `recovery_fraction` of it is
+    // retraced linearly over `recovery_days`.
+    std::vector<double> adj(n, 0.0);
+    for (const size_t c : days) {
+      const double depth = crash.magnitude * (0.75 + 0.5 * rng.Uniform());
+      const double rec_per_day =
+          crash.recovery_days > 0
+              ? crash.recovery_fraction * depth / crash.recovery_days
+              : 0.0;
+      for (size_t t = c; t < n; ++t) {
+        const double elapsed = static_cast<double>(t - c);
+        adj[t] += -depth + rec_per_day *
+                               std::min(elapsed,
+                                        static_cast<double>(crash.recovery_days));
+      }
+      // Panic volume and realized volatility, decaying over the recovery.
+      for (size_t t = c; t < n && t < c + static_cast<size_t>(
+                                              crash.recovery_days + 1);
+           ++t) {
+        const double k = static_cast<double>(t - c);
+        latent->btc_volume_usd[t] *=
+            1.0 + (crash.volume_mult - 1.0) * std::exp(-k / 3.0);
+        latent->btc_sigma[t] *= 1.0 + 2.0 * std::exp(-k / 5.0);
+      }
+      // Crash-day wick: the low overshoots the close.
+      latent->btc_low[c] *= std::exp(-0.2 * depth);
+    }
+    for (size_t t = 0; t < n; ++t) {
+      const double prev_adj = t > 0 ? adj[t - 1] : 0.0;
+      if (adj[t] == 0.0 && prev_adj == 0.0) continue;
+      const double f = std::exp(adj[t]);
+      // The open connects to the previous close, so it carries the
+      // previous day's adjustment; high/low bracket both.
+      const double fo = std::exp(prev_adj);
+      latent->btc_open[t] *= fo;
+      latent->btc_close[t] *= f;
+      latent->btc_high[t] *= std::max(f, fo);
+      latent->btc_low[t] *= std::min(f, fo);
+      latent->btc_high[t] = std::max(
+          {latent->btc_high[t], latent->btc_open[t], latent->btc_close[t]});
+      latent->btc_low[t] = std::min(
+          {latent->btc_low[t], latent->btc_open[t], latent->btc_close[t]});
+    }
+  }
+
+  if (stress.outage.enabled) {
+    if (stress.outage.duration_days < 1) {
+      return Status::InvalidArgument("outage: duration_days must be >= 1");
+    }
+    for (const auto& [start, end] : OutageWindows(stress.outage, seed, n)) {
+      // kEventLeadInDays > 0 guarantees start > 0: there is always a
+      // last trade to freeze at.
+      const double last_trade = latent->btc_close[start - 1];
+      for (size_t t = start; t < end && t < n; ++t) {
+        latent->btc_open[t] = last_trade;
+        latent->btc_high[t] = last_trade;
+        latent->btc_low[t] = last_trade;
+        latent->btc_close[t] = last_trade;
+        latent->btc_volume_usd[t] = 0.0;
+      }
+    }
+  }
+
+  return Status::OK();
+}
+
+std::vector<double> UsdcPegDeviation(const DepegStress& depeg, uint64_t seed,
+                                     const LatentState& latent) {
+  const size_t n = latent.num_days();
+  std::vector<double> dev(n, 0.0);
+  if (!depeg.enabled || depeg.depth <= 0.0 || depeg.duration_days < 1) {
+    return dev;
+  }
+  const int launch_row = latent.FindDay(UsdcLaunchDate());
+  if (launch_row < 0) return dev;
+  // Events start well after launch so every depeg lands on recorded
+  // usdc_ data with an established supply base.
+  const size_t lo = static_cast<size_t>(launch_row) + 120;
+  if (n <= lo + kEventTailMarginDays) return dev;
+  const auto windows = StressEventWindows(
+      seed ^ kDepegSalt, depeg.events,
+      static_cast<size_t>(depeg.duration_days), lo, n - kEventTailMarginDays);
+  Rng rng(seed ^ kDepegSalt ^ 0xD009ull);
+  for (const auto& [start, end] : windows) {
+    const double depth = depeg.depth * (0.8 + 0.4 * rng.Uniform());
+    const double tau = std::max(1.0, depeg.duration_days / 3.0);
+    for (size_t t = start; t < end && t < n; ++t) {
+      const size_t k = t - start;
+      // Day 0 breaks most of the way, day 1 is the bottom, then the peg
+      // restores exponentially.
+      const double shape =
+          k == 0 ? 0.6 : std::exp(-static_cast<double>(k - 1) / tau);
+      dev[t] = std::max(dev[t], depth * shape);
+    }
+  }
+  return dev;
+}
+
+std::vector<double> RankChurnSigmaMultipliers(const RankChurnStress& churn,
+                                              const std::vector<Date>& dates) {
+  std::vector<double> mult(dates.size(), 1.0);
+  if (!churn.enabled || churn.sigma_mult == 1.0) return mult;
+  for (size_t t = 0; t < dates.size(); ++t) {
+    const Date d = dates[t];
+    const int64_t since_boundary = d.day() - 1;
+    const Date next_boundary = d.month() == 12
+                                   ? Date(d.year() + 1, 1, 1)
+                                   : Date(d.year(), d.month() + 1, 1);
+    const int64_t until_boundary = next_boundary - d;
+    if (std::min(since_boundary, until_boundary) <=
+        static_cast<int64_t>(churn.half_width_days)) {
+      mult[t] = churn.sigma_mult;
+    }
+  }
+  return mult;
+}
+
+}  // namespace fab::sim

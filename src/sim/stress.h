@@ -1,0 +1,142 @@
+#ifndef FAB_SIM_STRESS_H_
+#define FAB_SIM_STRESS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/latent.h"
+#include "util/date.h"
+#include "util/status.h"
+
+namespace fab::sim {
+
+/// Adversarial market regimes layered on top of the single causal
+/// structure in `latent.cc`/`assets.cc` — the market-structure shocks the
+/// CRIX/CCI30 index papers document (depegs, flash crashes, venue
+/// outages, rebalance-boundary rank churn) that the baseline simulation
+/// never produces on its own.
+///
+/// Every injector is OFF by default and consumes no randomness from the
+/// baseline generators' streams: with a default StressConfig the
+/// simulated market is bitwise identical to one built before this layer
+/// existed (the hexfloat goldens pin this). Enabled injectors are
+/// deterministic in the master seed — the same (seed, StressConfig)
+/// reproduces the same shocked market exactly, which is what lets the
+/// sweep harness log per-violation repro seeds.
+
+/// A multi-sigma single-day down-move with a volume spike and a partial,
+/// drawn-out recovery — the 2020-03-12 / 2021-05-19 cascade shape.
+/// Bypasses the latent generator's per-day shock clamp on purpose.
+struct FlashCrashStress {
+  bool enabled = false;
+  /// Number of crash events, spread across the simulation interior.
+  int events = 2;
+  /// Mean crash depth in log points (0.30 ≈ a 26% daily close-to-close
+  /// drop); per-event depth varies ±25% around this.
+  double magnitude = 0.30;
+  /// Crash-day volume multiplier (decays back to 1 over the recovery).
+  double volume_mult = 6.0;
+  /// Days over which `recovery_fraction` of the drop is retraced.
+  int recovery_days = 15;
+  double recovery_fraction = 0.5;
+};
+
+/// A stablecoin depeg: USDC trades below $1 for a stretch (sharp drop,
+/// exponential re-peg) while redemptions shrink its supply — the
+/// USDC-March-2023 / UST-May-2022 shape. Only this regime emits the
+/// `usdc_PriceUSD` / `usdc_PegDevBps` columns, so the baseline candidate
+/// feature set (and the goldens derived from it) stays unchanged.
+struct DepegStress {
+  bool enabled = false;
+  int events = 1;
+  /// Peak deviation below the peg ($0.90 at the default 0.10).
+  double depth = 0.10;
+  /// Days from the initial break until the peg is effectively restored.
+  int duration_days = 10;
+};
+
+/// An exchange outage: for each event window the OHLCV feed goes flat
+/// (candles frozen at the last trade, volume zero) and the sentiment
+/// feeds go dark (null cells). Downstream, DatasetBuilder must digest
+/// the flat/gapped inputs without NaN-poisoning derived indicators —
+/// the regime exists to prove that it does.
+struct OutageStress {
+  bool enabled = false;
+  int events = 2;
+  int duration_days = 5;
+};
+
+/// A rank-churn storm: the alt-weight random walk runs hot around every
+/// month boundary (the Crypto100 rebalance grid), so top-100 membership
+/// churns violently exactly where the index recomposes.
+struct RankChurnStress {
+  bool enabled = false;
+  /// Multiplier on `AssetUniverseConfig::weight_walk_sigma` near
+  /// boundaries (1 elsewhere).
+  double sigma_mult = 6.0;
+  /// A day is "near" a boundary when within this many days of the
+  /// first of a month.
+  int half_width_days = 3;
+};
+
+/// Composable regime configuration carried by `MarketSimConfig`.
+struct StressConfig {
+  FlashCrashStress flash_crash;
+  DepegStress depeg;
+  OutageStress outage;
+  RankChurnStress rank_churn;
+
+  bool any_enabled() const {
+    return flash_crash.enabled || depeg.enabled || outage.enabled ||
+           rank_churn.enabled;
+  }
+};
+
+/// `count` disjoint event windows of `duration` rows each inside
+/// [lo, hi), deterministic in `seed`: the eligible span is cut into
+/// `count` equal segments and each window lands uniformly inside its
+/// segment, so events are spread across the simulation rather than
+/// clumped. Returns [start, end) row pairs; empty when the span cannot
+/// hold any window.
+std::vector<std::pair<size_t, size_t>> StressEventWindows(uint64_t seed,
+                                                          int count,
+                                                          size_t duration,
+                                                          size_t lo, size_t hi);
+
+/// The outage windows implied by (`outage`, `seed`) over an `n`-day
+/// index. Exposed so `SimulateMarket` can null sentiment cells over the
+/// exact windows `ApplyLatentStress` froze, and so tests can locate the
+/// injected shock.
+std::vector<std::pair<size_t, size_t>> OutageWindows(const OutageStress& outage,
+                                                     uint64_t seed, size_t n);
+
+/// The flash-crash days implied by (`crash`, `seed`) over an `n`-day
+/// index. Exposed for tests.
+std::vector<size_t> FlashCrashDays(const FlashCrashStress& crash,
+                                   uint64_t seed, size_t n);
+
+/// Applies the latent-path injectors (flash crash, exchange outage) to
+/// `latent` in place, after GenerateLatentState and before every derived
+/// generator, so the shocks propagate into prices, the asset panel,
+/// on-chain activity and sentiment alike. Draws only from Rngs derived
+/// from `seed`; a fully disabled config is a byte-for-byte no-op.
+Status ApplyLatentStress(const StressConfig& stress, uint64_t seed,
+                         LatentState* latent);
+
+/// Per-day USDC peg deviation (dollars below $1, >= 0) implied by the
+/// depeg regime; all zeros when disabled. Events are placed after the
+/// USDC launch so the deviation always lands on recorded data.
+std::vector<double> UsdcPegDeviation(const DepegStress& depeg, uint64_t seed,
+                                     const LatentState& latent);
+
+/// Per-day multiplier on the alt weight-walk sigma for the rank-churn
+/// regime: `sigma_mult` within `half_width_days` of a month's first day,
+/// 1 elsewhere (and 1 everywhere when disabled).
+std::vector<double> RankChurnSigmaMultipliers(const RankChurnStress& churn,
+                                              const std::vector<Date>& dates);
+
+}  // namespace fab::sim
+
+#endif  // FAB_SIM_STRESS_H_

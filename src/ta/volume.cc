@@ -69,7 +69,10 @@ table::Column RollingVwap(const std::vector<double>& high,
       num += tp * volume[j];
       den += volume[j];
     }
-    out.Set(i, den > 0.0 ? num / den : 0.0);
+    // A window with no traded volume has no volume-weighted price; leave
+    // the cell null (a 0.0 sentinel would be a price-scale discontinuity
+    // during exchange outages) and let downstream cleaning drop the row.
+    if (den > 0.0) out.Set(i, num / den);
   }
   return out;
 }

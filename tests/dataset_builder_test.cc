@@ -2,10 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <memory>
 #include <set>
+#include <string>
+#include <vector>
 
 #include "core/crypto100.h"
+#include "ta/ta.h"
 
 namespace fab::core {
 namespace {
@@ -139,6 +143,99 @@ TEST_F(DatasetBuilderTest, CategoryHelpersConsistent) {
     total += positions.size();
   }
   EXPECT_EQ(total, scenario->data.num_features());
+}
+
+/// Every valid cell of `col` must hold a finite value (nulls are fine —
+/// cleaning drops them; NaN/Inf in a *valid* cell would poison models).
+void ExpectFiniteOrNull(const table::Column& col, const std::string& label) {
+  for (size_t i = 0; i < col.size(); ++i) {
+    if (col.is_valid(i)) {
+      EXPECT_TRUE(std::isfinite(col.value(i)))
+          << label << " at row " << i << " = " << col.value(i);
+    }
+  }
+}
+
+TEST_F(DatasetBuilderTest, IndicatorKernelsSurviveDegenerateSeries) {
+  // The exchange-outage stress regime produces exactly this shape: a
+  // frozen price with zero traded volume. Every kernel the builder
+  // registers must yield finite-or-null, never NaN/Inf, on it.
+  const size_t n = 250;
+  const std::vector<double> close(n, 25000.0);
+  const std::vector<double> high(n, 25000.0);
+  const std::vector<double> low(n, 25000.0);
+  const std::vector<double> volume(n, 0.0);
+
+  ExpectFiniteOrNull(ta::Sma(close, 20), "SMA flat");
+  ExpectFiniteOrNull(ta::Ema(close, 20), "EMA flat");
+  ExpectFiniteOrNull(ta::Rsi(close, 14), "RSI flat");
+  {
+    const ta::MacdResult macd = ta::Macd(close);
+    ExpectFiniteOrNull(macd.line, "MACD line flat");
+    ExpectFiniteOrNull(macd.signal, "MACD signal flat");
+    ExpectFiniteOrNull(macd.histogram, "MACD hist flat");
+  }
+  {
+    const ta::BollingerResult boll = ta::Bollinger(close, 20);
+    ExpectFiniteOrNull(boll.bandwidth, "BB bandwidth flat");
+    // Zero-width bands carry no %B; the cell must be null, not 0/0.
+    ExpectFiniteOrNull(boll.percent_b, "BB %B flat");
+    EXPECT_TRUE(boll.percent_b.is_null(100));
+  }
+  ExpectFiniteOrNull(ta::Atr(high, low, close, 14), "ATR flat");
+  ExpectFiniteOrNull(ta::Roc(close, 7), "ROC flat");
+  ExpectFiniteOrNull(ta::Stochastic(high, low, close, 14, 3).percent_k,
+                     "STOCH flat");
+  ExpectFiniteOrNull(ta::WilliamsR(high, low, close, 14), "WILLR flat");
+  ExpectFiniteOrNull(ta::Cci(high, low, close, 20), "CCI flat");
+  ExpectFiniteOrNull(ta::Obv(close, volume), "OBV zero-volume");
+  ExpectFiniteOrNull(ta::ChaikinMoneyFlow(high, low, close, volume, 20),
+                     "CMF zero-volume");
+  ExpectFiniteOrNull(ta::RealizedVolatility(close, 30), "RVOL flat");
+  ExpectFiniteOrNull(ta::Drawdown(close), "DRAWDOWN flat");
+
+  // A series that touches zero must not divide through it.
+  std::vector<double> zeroed(n, 10.0);
+  zeroed[50] = 0.0;
+  ExpectFiniteOrNull(ta::Roc(zeroed, 7), "ROC through zero");
+  ExpectFiniteOrNull(ta::RealizedVolatility(zeroed, 30), "RVOL through zero");
+  ExpectFiniteOrNull(ta::Drawdown(zeroed), "DRAWDOWN through zero");
+}
+
+TEST_F(DatasetBuilderTest, VwapWithZeroVolumeWindowIsNullNotSentinel) {
+  const size_t n = 60;
+  std::vector<double> price(n, 100.0);
+  std::vector<double> volume(n, 50.0);
+  for (size_t i = 20; i < 40; ++i) volume[i] = 0.0;  // exchange outage
+  const table::Column vwap = ta::RollingVwap(price, price, price, volume, 10);
+  ExpectFiniteOrNull(vwap, "VWAP outage");
+  // Windows fully inside the outage have no traded volume: null, not a
+  // price of $0.
+  EXPECT_TRUE(vwap.is_null(35));
+  EXPECT_DOUBLE_EQ(vwap.value(15), 100.0);
+  EXPECT_DOUBLE_EQ(vwap.value(55), 100.0);
+}
+
+TEST_F(DatasetBuilderTest, OutageStressedMarketBuildsFiniteDataset) {
+  sim::MarketSimConfig config;
+  config.seed = 99;
+  config.stress.outage.enabled = true;
+  config.stress.outage.duration_days = 7;
+  auto stressed = sim::SimulateMarket(config);
+  ASSERT_TRUE(stressed.ok());
+  ASSERT_TRUE(AddTechnicalIndicators(&*stressed).ok());
+  ScenarioOptions options;
+  const auto scenario =
+      BuildScenarioDataset(*stressed, StudyPeriod::k2019, 7, options);
+  ASSERT_TRUE(scenario.ok()) << scenario.status().ToString();
+  for (size_t c = 0; c < scenario->data.num_features(); ++c) {
+    const std::vector<double>& col = scenario->data.x.column(c);
+    for (size_t r = 0; r < col.size(); ++r) {
+      ASSERT_TRUE(std::isfinite(col[r]))
+          << scenario->data.feature_names[c] << " row " << r;
+    }
+  }
+  for (double y : scenario->data.y) ASSERT_TRUE(std::isfinite(y));
 }
 
 TEST_F(DatasetBuilderTest, DatesStrictlyIncreasing) {

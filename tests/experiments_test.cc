@@ -186,6 +186,25 @@ TEST_F(ExperimentsTest, ExportModelWritesServableSnapshot) {
   EXPECT_EQ((*servable)->num_features(), fvec->features.size());
 }
 
+TEST_F(ExperimentsTest, PrecomputeAllPropagatesFirstPipelineError) {
+  // Poison the model config so every scenario's FRA fails inside the
+  // ParallelFor fan-out. The call must return the underlying error —
+  // not hang, not crash, not swallow it into an OK.
+  ExperimentConfig config = TinyConfig(cache_dir_);
+  config.fra.rf.n_trees = 0;
+  Experiments poisoned(config);
+  const Status status =
+      poisoned.PrecomputeAll({StudyPeriod::k2019}, {1, 7});
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("n_trees"), std::string::npos)
+      << status.ToString();
+
+  // The failed run must not have cached anything that blinds a healthy
+  // retry: the same cache dir with a valid config completes.
+  Experiments healthy(TinyConfig(cache_dir_));
+  EXPECT_TRUE(healthy.PrecomputeAll({StudyPeriod::k2019}, {1}).ok());
+}
+
 TEST_F(ExperimentsTest, GroupMergesScoredVectors) {
   Experiments ex(TinyConfig(cache_dir_));
   const auto group = ex.Group(StudyPeriod::k2019, {30});

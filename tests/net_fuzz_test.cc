@@ -1,0 +1,273 @@
+// Deterministic mini-fuzz for the two byte-level parsers the serving
+// front-end exposes to untrusted input: net::ParseJson and the HTTP/1.1
+// HttpParser. Every case is Rng-driven from fixed seeds — a failure
+// reproduces exactly — and iteration counts are bounded so the test
+// stays in the quick tier. The asan/tsan twins run the same cases under
+// sanitizers, which is where memory bugs would actually surface.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "net/http.h"
+#include "net/json.h"
+#include "util/random.h"
+
+namespace fab::net {
+namespace {
+
+using fab::Rng;
+
+// ---------------------------------------------------------------------------
+// JSON
+
+const std::vector<std::string>& JsonCorpus() {
+  static const std::vector<std::string> kCorpus = {
+      R"({"model": "rf", "horizon": 30, "features": [1.5, -2e3, 0.0]})",
+      R"({"a": {"b": {"c": [true, false, null, "x\"y\\z\n"]}}})",
+      R"([[], {}, [{}], {"": []}, 1e-9, -0.5, 123456789])",
+      R"({"unicode": "Aé", "empty": "", "n": null})",
+      R"(   {"ws": 1}   )",
+      R"(3.141592653589793)",
+      R"("just a string")",
+  };
+  return kCorpus;
+}
+
+/// Touches every node of a parsed document (exercises accessors on
+/// whatever shape the fuzzer produced).
+size_t CountNodes(const JsonValue& v) {
+  size_t n = 1;
+  if (v.is_array()) {
+    for (const auto& e : v.array()) n += CountNodes(e);
+  } else if (v.is_object()) {
+    for (const auto& [key, val] : v.object()) n += key.empty() + CountNodes(val);
+  } else if (v.is_string()) {
+    n += v.str().size() > 0 ? 0 : 0;
+  }
+  return n;
+}
+
+std::string Mutate(const std::string& base, Rng* rng) {
+  std::string s = base;
+  const int edits = 1 + static_cast<int>(rng->UniformInt(4));
+  for (int e = 0; e < edits && !s.empty(); ++e) {
+    const size_t pos = rng->UniformInt(s.size());
+    switch (rng->UniformInt(4)) {
+      case 0:  // flip a byte
+        s[pos] = static_cast<char>(rng->UniformInt(256));
+        break;
+      case 1:  // delete a byte
+        s.erase(pos, 1);
+        break;
+      case 2:  // insert a structural byte
+        s.insert(pos, 1, "{}[],:\"\\0123eE.-+"[rng->UniformInt(17)]);
+        break;
+      default:  // truncate
+        s.resize(pos);
+        break;
+    }
+  }
+  return s;
+}
+
+TEST(NetFuzzTest, JsonCorpusParsesAndWalks) {
+  for (const std::string& doc : JsonCorpus()) {
+    auto parsed = ParseJson(doc);
+    ASSERT_TRUE(parsed.ok()) << doc << ": " << parsed.status().ToString();
+    EXPECT_GE(CountNodes(*parsed), 1u);
+  }
+}
+
+TEST(NetFuzzTest, JsonMutationsNeverCrashAndVerdictIsDeterministic) {
+  Rng rng(0xF022u);
+  for (int iter = 0; iter < 600; ++iter) {
+    const std::string& base = JsonCorpus()[rng.UniformInt(JsonCorpus().size())];
+    const std::string mutated = Mutate(base, &rng);
+    auto first = ParseJson(mutated);
+    if (first.ok()) CountNodes(*first);
+    // Same bytes, same verdict: the parser holds no hidden state.
+    auto second = ParseJson(mutated);
+    EXPECT_EQ(first.ok(), second.ok()) << mutated;
+  }
+}
+
+TEST(NetFuzzTest, JsonRandomGarbageNeverCrashes) {
+  Rng rng(0xBADF00Du);
+  for (int iter = 0; iter < 400; ++iter) {
+    std::string garbage(rng.UniformInt(200), '\0');
+    for (char& c : garbage) c = static_cast<char>(rng.UniformInt(256));
+    auto parsed = ParseJson(garbage);
+    if (parsed.ok()) CountNodes(*parsed);
+  }
+}
+
+TEST(NetFuzzTest, JsonDepthBombIsRejectedNotOverflowed) {
+  // 20k-deep nesting must come back as a clean error well before the
+  // call stack is in danger.
+  const std::string array_bomb(20000, '[');
+  EXPECT_FALSE(ParseJson(array_bomb).ok());
+  std::string object_bomb;
+  for (int i = 0; i < 20000; ++i) object_bomb += "{\"a\":";
+  EXPECT_FALSE(ParseJson(object_bomb).ok());
+
+  // The bound is exact: ParseValue rejects depth > max_depth, and the
+  // outermost value sits at depth 0, so max_depth+1 brackets parse and
+  // max_depth+2 do not.
+  auto nested = [](int depth) {
+    return std::string(depth, '[') + std::string(depth, ']');
+  };
+  EXPECT_TRUE(ParseJson(nested(9), 8).ok());
+  EXPECT_FALSE(ParseJson(nested(10), 8).ok());
+}
+
+TEST(NetFuzzTest, JsonTruncationsOfValidDocsFailCleanly) {
+  for (const std::string& doc : JsonCorpus()) {
+    for (size_t cut = 0; cut < doc.size(); ++cut) {
+      auto parsed = ParseJson(doc.substr(0, cut));
+      if (parsed.ok()) CountNodes(*parsed);  // e.g. "3.14" cut to "3"
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// HTTP/1.1
+
+std::string CanonicalRequest() {
+  return "POST /predict?window=30 HTTP/1.1\r\n"
+         "Host: localhost:8080\r\n"
+         "Content-Type: application/json\r\n"
+         "X-Request-Id: fuzz-0001\r\n"
+         "Content-Length: 27\r\n"
+         "\r\n"
+         R"({"features": [1.0, 2.0, 3]})";
+}
+
+void ExpectCanonical(const HttpParser& parser) {
+  ASSERT_TRUE(parser.done());
+  const HttpRequest& req = parser.request();
+  EXPECT_EQ(req.method, "POST");
+  EXPECT_EQ(req.target, "/predict?window=30");
+  EXPECT_EQ(req.version, "HTTP/1.1");
+  ASSERT_EQ(req.headers.size(), 4u);
+  ASSERT_NE(req.Header("Content-Length"), nullptr);
+  EXPECT_EQ(req.body, R"({"features": [1.0, 2.0, 3]})");
+}
+
+TEST(NetFuzzTest, HttpSplitAtEveryByteParsesIdentically) {
+  const std::string wire = CanonicalRequest();
+  for (size_t split = 0; split <= wire.size(); ++split) {
+    HttpParser parser(HttpParser::Mode::kRequest);
+    ASSERT_TRUE(parser.Consume(wire.data(), split).ok()) << "split " << split;
+    ASSERT_TRUE(parser.Consume(wire.data() + split, wire.size() - split).ok())
+        << "split " << split;
+    ExpectCanonical(parser);
+  }
+}
+
+TEST(NetFuzzTest, HttpRandomChunkingParsesIdentically) {
+  const std::string wire = CanonicalRequest();
+  Rng rng(0xC4A11u);
+  for (int iter = 0; iter < 200; ++iter) {
+    HttpParser parser(HttpParser::Mode::kRequest);
+    size_t off = 0;
+    while (off < wire.size()) {
+      const size_t n =
+          std::min(wire.size() - off, 1 + rng.UniformInt(17));
+      ASSERT_TRUE(parser.Consume(wire.data() + off, n).ok());
+      off += n;
+    }
+    ExpectCanonical(parser);
+  }
+}
+
+TEST(NetFuzzTest, HttpTruncationIsIncompleteNotAnError) {
+  const std::string wire = CanonicalRequest();
+  for (size_t cut = 0; cut < wire.size(); ++cut) {
+    HttpParser parser(HttpParser::Mode::kRequest);
+    ASSERT_TRUE(parser.Consume(wire.data(), cut).ok()) << "cut " << cut;
+    EXPECT_FALSE(parser.done()) << "cut " << cut;
+    EXPECT_FALSE(parser.error()) << "cut " << cut;
+  }
+}
+
+TEST(NetFuzzTest, HttpByteFlipsNeverCrashAndErrorsStayTerminal) {
+  const std::string wire = CanonicalRequest();
+  Rng rng(0x5EED5u);
+  for (int iter = 0; iter < 400; ++iter) {
+    std::string mutated = wire;
+    const int flips = 1 + static_cast<int>(rng.UniformInt(3));
+    for (int f = 0; f < flips; ++f) {
+      mutated[rng.UniformInt(mutated.size())] =
+          static_cast<char>(rng.UniformInt(256));
+    }
+    HttpParser parser(HttpParser::Mode::kRequest);
+    (void)parser.Consume(mutated.data(), mutated.size());
+    if (parser.done()) {
+      // Whatever parsed must be internally coherent.
+      const HttpRequest& req = parser.request();
+      const std::string* len = req.Header("Content-Length");
+      if (len != nullptr && *len == "27") {
+        EXPECT_EQ(req.body.size(), 27u);
+      }
+    } else if (parser.error()) {
+      // Terminal: more bytes never resurrect the parse or crash.
+      (void)parser.Consume(mutated.data(), mutated.size());
+      EXPECT_TRUE(parser.error());
+      EXPECT_FALSE(parser.done());
+    }
+  }
+}
+
+TEST(NetFuzzTest, HttpHostileContentLengthsAreRejected) {
+  for (const char* bad : {"abc", "-1", "1e3", "27x", "0x1b",
+                          "99999999999999999999", "4294967296000"}) {
+    HttpParser parser(HttpParser::Mode::kRequest);
+    const std::string wire = std::string("POST / HTTP/1.1\r\nContent-Length: ") +
+                             bad + "\r\n\r\nbody";
+    (void)parser.Consume(wire.data(), wire.size());
+    EXPECT_FALSE(parser.done()) << bad;
+    EXPECT_TRUE(parser.error()) << bad;
+  }
+}
+
+TEST(NetFuzzTest, HttpHeaderFloodHitsTheHeadLimit) {
+  HttpParser parser(HttpParser::Mode::kRequest);
+  std::string wire = "GET / HTTP/1.1\r\n";
+  for (int i = 0; i < 4000; ++i) {
+    wire += "X-Flood-" + std::to_string(i) + ": aaaaaaaaaaaaaaaa\r\n";
+  }
+  wire += "\r\n";
+  (void)parser.Consume(wire.data(), wire.size());
+  EXPECT_TRUE(parser.error());
+  EXPECT_FALSE(parser.done());
+}
+
+TEST(NetFuzzTest, HttpPipelinedRequestsSurviveRandomChunking) {
+  const std::string wire = CanonicalRequest() + CanonicalRequest();
+  Rng rng(0x9199u);
+  for (int iter = 0; iter < 100; ++iter) {
+    HttpParser parser(HttpParser::Mode::kRequest);
+    size_t off = 0;
+    int completed = 0;
+    while (off < wire.size() || parser.done()) {
+      if (parser.done()) {
+        ExpectCanonical(parser);
+        ++completed;
+        if (completed == 2) break;
+        ASSERT_TRUE(parser.Reset().ok());
+        continue;
+      }
+      const size_t n = std::min(wire.size() - off, 1 + rng.UniformInt(31));
+      ASSERT_TRUE(parser.Consume(wire.data() + off, n).ok());
+      off += n;
+    }
+    EXPECT_EQ(completed, 2);
+  }
+}
+
+}  // namespace
+}  // namespace fab::net

@@ -1,0 +1,296 @@
+#include "sim/stress.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "sim/market_sim.h"
+
+namespace fab::sim {
+namespace {
+
+MarketSimConfig SmallConfig(uint64_t seed = 42) {
+  MarketSimConfig config;
+  config.latent.start = Date(2017, 6, 1);
+  config.latent.end = Date(2019, 12, 31);
+  config.seed = seed;
+  return config;
+}
+
+/// Every metric column of `a` must equal `b`'s bitwise (values and
+/// masks). Returns the first differing column name, or "".
+std::string FirstMetricsDifference(const SimulatedMarket& a,
+                                   const SimulatedMarket& b) {
+  if (a.metrics.column_names() != b.metrics.column_names()) {
+    return "<column sets differ>";
+  }
+  for (const auto& name : a.metrics.column_names()) {
+    const table::Column& ca = **a.metrics.GetColumn(name);
+    const table::Column& cb = **b.metrics.GetColumn(name);
+    if (!ca.EqualsExactly(cb)) return name;
+  }
+  return "";
+}
+
+/// Indices of the top-100 assets by market cap on day `t`.
+std::set<size_t> Top100(const AssetPanel& panel, size_t t) {
+  std::vector<size_t> order(panel.num_assets());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::partial_sort(order.begin(), order.begin() + 100, order.end(),
+                    [&](size_t x, size_t y) {
+                      return panel.mcap[t][x] > panel.mcap[t][y];
+                    });
+  return {order.begin(), order.begin() + 100};
+}
+
+/// Symmetric-difference size of consecutive top-100 memberships.
+size_t MembershipChurn(const AssetPanel& panel, size_t t) {
+  const std::set<size_t> prev = Top100(panel, t - 1);
+  const std::set<size_t> cur = Top100(panel, t);
+  size_t moved = 0;
+  for (size_t i : cur) moved += prev.count(i) == 0 ? 1 : 0;
+  return moved;
+}
+
+TEST(StressTest, DisabledStressIsBitwiseIdentical) {
+  const auto plain = SimulateMarket(SmallConfig());
+  ASSERT_TRUE(plain.ok());
+  MarketSimConfig config = SmallConfig();
+  // A present-but-disabled StressConfig must not consume randomness or
+  // perturb any arithmetic: this is what keeps the hexfloat goldens
+  // bitwise identical.
+  config.stress = StressConfig{};
+  ASSERT_FALSE(config.stress.any_enabled());
+  const auto stressed = SimulateMarket(config);
+  ASSERT_TRUE(stressed.ok());
+  EXPECT_EQ(FirstMetricsDifference(*plain, *stressed), "");
+  EXPECT_EQ(plain->latent.btc_close, stressed->latent.btc_close);
+  EXPECT_EQ(plain->panel.mcap, stressed->panel.mcap);
+  EXPECT_EQ(plain->top100_mcap_sum, stressed->top100_mcap_sum);
+}
+
+TEST(StressTest, EventWindowsAreDeterministicDisjointAndInRange) {
+  const auto a = StressEventWindows(99, 4, 7, 400, 900);
+  const auto b = StressEventWindows(99, 4, 7, 400, 900);
+  EXPECT_EQ(a, b);
+  ASSERT_EQ(a.size(), 4u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].second - a[i].first, 7u);
+    EXPECT_GE(a[i].first, 400u);
+    EXPECT_LE(a[i].second, 900u);
+    if (i > 0) {
+      EXPECT_GE(a[i].first, a[i - 1].second);
+    }
+  }
+  // A different seed moves the windows.
+  const auto c = StressEventWindows(100, 4, 7, 400, 900);
+  EXPECT_NE(a, c);
+  // Degenerate spans yield no windows rather than clamped garbage.
+  EXPECT_TRUE(StressEventWindows(99, 4, 200, 400, 900).empty());
+  EXPECT_TRUE(StressEventWindows(99, 0, 7, 400, 900).empty());
+  EXPECT_TRUE(StressEventWindows(99, 4, 7, 900, 400).empty());
+}
+
+TEST(StressTest, FlashCrashInjectsMultiSigmaDownMoveWithVolumeSpike) {
+  const auto baseline = SimulateMarket(SmallConfig());
+  ASSERT_TRUE(baseline.ok());
+  MarketSimConfig config = SmallConfig();
+  config.stress.flash_crash.enabled = true;
+  const auto crashed = SimulateMarket(config);
+  ASSERT_TRUE(crashed.ok());
+
+  const auto days =
+      FlashCrashDays(config.stress.flash_crash, config.seed ^ 0x57e55ull,
+                     crashed->latent.num_days());
+  ASSERT_FALSE(days.empty());
+  for (const size_t c : days) {
+    const double stressed_ret = std::log(crashed->latent.btc_close[c] /
+                                         crashed->latent.btc_close[c - 1]);
+    const double base_ret = std::log(baseline->latent.btc_close[c] /
+                                     baseline->latent.btc_close[c - 1]);
+    // The injected shock is the difference to the organic return; at
+    // the default magnitude it is at least a ~20% extra down-move.
+    EXPECT_LT(stressed_ret - base_ret, -0.20) << "crash day " << c;
+    EXPECT_GT(crashed->latent.btc_volume_usd[c],
+              2.0 * baseline->latent.btc_volume_usd[c]);
+    // Candle stays coherent through the shock.
+    EXPECT_GE(crashed->latent.btc_high[c], crashed->latent.btc_close[c]);
+    EXPECT_LE(crashed->latent.btc_low[c], crashed->latent.btc_close[c]);
+    EXPECT_GT(crashed->latent.btc_low[c], 0.0);
+  }
+  // The shock reaches the observable metric table.
+  const table::Column& close = **crashed->metrics.GetColumn(kBtcCloseColumn);
+  EXPECT_EQ(close.value(days[0]), crashed->latent.btc_close[days[0]]);
+}
+
+TEST(StressTest, OutageFreezesOhlcvAndDarkensSentiment) {
+  const auto baseline = SimulateMarket(SmallConfig());
+  ASSERT_TRUE(baseline.ok());
+  MarketSimConfig config = SmallConfig();
+  config.stress.outage.enabled = true;
+  const auto stressed = SimulateMarket(config);
+  ASSERT_TRUE(stressed.ok());
+
+  const auto windows =
+      OutageWindows(config.stress.outage, config.seed ^ 0x57e55ull,
+                    stressed->latent.num_days());
+  ASSERT_FALSE(windows.empty());
+  const auto sentiment_names =
+      stressed->catalog.NamesInCategory(DataCategory::kSentiment);
+  ASSERT_FALSE(sentiment_names.empty());
+  for (const auto& [start, end] : windows) {
+    const double last_trade = stressed->latent.btc_close[start - 1];
+    for (size_t t = start; t < end; ++t) {
+      EXPECT_EQ(stressed->latent.btc_open[t], last_trade);
+      EXPECT_EQ(stressed->latent.btc_high[t], last_trade);
+      EXPECT_EQ(stressed->latent.btc_low[t], last_trade);
+      EXPECT_EQ(stressed->latent.btc_close[t], last_trade);
+      EXPECT_EQ(stressed->latent.btc_volume_usd[t], 0.0);
+      for (const auto& name : sentiment_names) {
+        EXPECT_TRUE((*stressed->metrics.GetColumn(name))->is_null(t))
+            << name << " at row " << t;
+      }
+    }
+    // The baseline market records sentiment over the same rows (the
+    // windows land after every sentiment feed has started).
+    size_t baseline_valid = 0;
+    for (const auto& name : sentiment_names) {
+      for (size_t t = start; t < end; ++t) {
+        baseline_valid +=
+            (*baseline->metrics.GetColumn(name))->is_valid(t) ? 1 : 0;
+      }
+    }
+    EXPECT_GT(baseline_valid, 0u);
+  }
+}
+
+TEST(StressTest, DepegEmitsPegColumnsAndRedemptionRun) {
+  const auto baseline = SimulateMarket(SmallConfig());
+  ASSERT_TRUE(baseline.ok());
+  EXPECT_FALSE(baseline->metrics.HasColumn("usdc_PriceUSD"));
+  EXPECT_FALSE(baseline->metrics.HasColumn("usdc_PegDevBps"));
+
+  MarketSimConfig config = SmallConfig();
+  config.stress.depeg.enabled = true;
+  const auto stressed = SimulateMarket(config);
+  ASSERT_TRUE(stressed.ok());
+  ASSERT_TRUE(stressed->metrics.HasColumn("usdc_PriceUSD"));
+  ASSERT_TRUE(stressed->metrics.HasColumn("usdc_PegDevBps"));
+  EXPECT_TRUE(stressed->catalog.Has("usdc_PriceUSD"));
+
+  const table::Column& price = **stressed->metrics.GetColumn("usdc_PriceUSD");
+  const table::Column& dev = **stressed->metrics.GetColumn("usdc_PegDevBps");
+  double min_price = 2.0;
+  size_t trough = 0;
+  for (size_t t = 0; t < price.size(); ++t) {
+    if (price.is_valid(t) && price.value(t) < min_price) {
+      min_price = price.value(t);
+      trough = t;
+    }
+  }
+  // Default depth 0.10 with a [0.8, 1.2] event multiplier: the trough
+  // trades at least 4% under the peg.
+  EXPECT_LT(min_price, 0.96);
+  EXPECT_GT(dev.value(trough), 0.0);
+  // Redemption run: the depeg shrinks supply relative to the baseline
+  // path (the peg term subtracts deterministically; observation noise
+  // draws are unchanged).
+  const table::Column& base_supply = **baseline->metrics.GetColumn("usdc_SplyCur");
+  const table::Column& depeg_supply =
+      **stressed->metrics.GetColumn("usdc_SplyCur");
+  ASSERT_TRUE(depeg_supply.is_valid(trough + 3));
+  EXPECT_LT(depeg_supply.value(trough + 3), base_supply.value(trough + 3));
+}
+
+TEST(StressTest, RankChurnMultipliersMarkRebalanceBoundaries) {
+  RankChurnStress churn;
+  churn.enabled = true;
+  churn.sigma_mult = 5.0;
+  churn.half_width_days = 2;
+  const std::vector<Date> dates = DailyRange(Date(2020, 1, 1), Date(2020, 3, 15));
+  const auto mult = RankChurnSigmaMultipliers(churn, dates);
+  ASSERT_EQ(mult.size(), dates.size());
+  for (size_t t = 0; t < dates.size(); ++t) {
+    const int day = dates[t].day();
+    const bool near_boundary =
+        day <= 3 || (dates[t].month() == 1 && day >= 30) ||
+        (dates[t].month() == 2 && day >= 28);
+    EXPECT_EQ(mult[t], near_boundary ? 5.0 : 1.0) << dates[t].ToString();
+  }
+  churn.enabled = false;
+  for (double m : RankChurnSigmaMultipliers(churn, dates)) EXPECT_EQ(m, 1.0);
+}
+
+TEST(StressTest, RankChurnStormsTop100AtBoundaries) {
+  const auto baseline = SimulateMarket(SmallConfig());
+  ASSERT_TRUE(baseline.ok());
+  MarketSimConfig config = SmallConfig();
+  config.stress.rank_churn.enabled = true;
+  const auto stressed = SimulateMarket(config);
+  ASSERT_TRUE(stressed.ok());
+
+  // Compare membership churn on rebalance-boundary days vs mid-month,
+  // after a warm-up year so the alt universe is populated.
+  double boundary_stressed = 0.0, boundary_base = 0.0, interior_stressed = 0.0;
+  size_t boundary_days = 0, interior_days = 0;
+  const auto& dates = stressed->latent.dates;
+  for (size_t t = 366; t < dates.size(); ++t) {
+    const int day = dates[t].day();
+    if (day <= 1 + config.stress.rank_churn.half_width_days) {
+      boundary_stressed += static_cast<double>(MembershipChurn(stressed->panel, t));
+      boundary_base += static_cast<double>(MembershipChurn(baseline->panel, t));
+      ++boundary_days;
+    } else if (day >= 12 && day <= 18) {
+      interior_stressed += static_cast<double>(MembershipChurn(stressed->panel, t));
+      ++interior_days;
+    }
+  }
+  ASSERT_GT(boundary_days, 0u);
+  ASSERT_GT(interior_days, 0u);
+  // The storm at least doubles boundary churn relative to the organic
+  // level and clearly exceeds the stressed market's own mid-month rate.
+  EXPECT_GT(boundary_stressed, 2.0 * boundary_base);
+  EXPECT_GT(boundary_stressed / static_cast<double>(boundary_days),
+            1.5 * interior_stressed / static_cast<double>(interior_days));
+}
+
+TEST(StressTest, EveryInjectorIsBitwiseSeedDeterministic) {
+  for (int which = 0; which < 4; ++which) {
+    MarketSimConfig config = SmallConfig(7);
+    switch (which) {
+      case 0: config.stress.flash_crash.enabled = true; break;
+      case 1: config.stress.depeg.enabled = true; break;
+      case 2: config.stress.outage.enabled = true; break;
+      default: config.stress.rank_churn.enabled = true; break;
+    }
+    const auto a = SimulateMarket(config);
+    const auto b = SimulateMarket(config);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(FirstMetricsDifference(*a, *b), "") << "injector " << which;
+    EXPECT_EQ(a->latent.btc_close, b->latent.btc_close) << "injector " << which;
+    EXPECT_EQ(a->panel.mcap, b->panel.mcap) << "injector " << which;
+    // ... and differs from the unstressed market (the injector did
+    // something).
+    const auto plain = SimulateMarket(SmallConfig(7));
+    const bool metrics_differ = FirstMetricsDifference(*plain, *a) != "";
+    const bool panel_differs = plain->panel.mcap != a->panel.mcap;
+    EXPECT_TRUE(metrics_differ || panel_differs) << "injector " << which;
+  }
+}
+
+TEST(StressTest, InvalidStressParametersAreRejected) {
+  MarketSimConfig config = SmallConfig();
+  config.stress.flash_crash.enabled = true;
+  config.stress.flash_crash.magnitude = 0.0;
+  EXPECT_FALSE(SimulateMarket(config).ok());
+  config = SmallConfig();
+  config.stress.outage.enabled = true;
+  config.stress.outage.duration_days = 0;
+  EXPECT_FALSE(SimulateMarket(config).ok());
+}
+
+}  // namespace
+}  // namespace fab::sim

@@ -77,6 +77,18 @@ GATES = {
         "overload_shed429": ("floor", 1.0),
         "overload_ok": ("floor", 1.0),
     },
+    "sweep": {
+        # The seed x regime property sweep (tools/sweep) is pass/fail
+        # science, not timing: every metric is hardware-portable, so the
+        # gates are behavioral floors / exact matches. The floors track
+        # the CI grid in .github/workflows/ci.yml (sweep-smoke job:
+        # 4 seeds x 6 regimes x 2 scenarios = 24 cells, 108 checks).
+        "cells": ("floor", 24.0),
+        "checks": ("floor", 100.0),
+        "cell_errors": ("exact", None),
+        "property_violations": ("exact", None),
+        "pass_rate": ("floor", 1.0),
+    },
 }
 
 
@@ -194,6 +206,31 @@ def self_test():
             raise SystemExit(
                 "perf_gate self-test FAILED: determinism break must fail")
         cases_ran += 1
+
+    # The sweep gate: a single property violation or a shrunken grid
+    # must fail even though every metric is "small".
+    with tempfile.TemporaryDirectory() as tmp:
+        base_dir = os.path.join(tmp, "base")
+        cur_dir = os.path.join(tmp, "cur")
+        os.mkdir(base_dir)
+        os.mkdir(cur_dir)
+        clean = {"cells": 24.0, "checks": 108.0, "cell_errors": 0.0,
+                 "property_violations": 0.0, "pass_rate": 1.0}
+        write(base_dir, "sweep", clean)
+        write(cur_dir, "sweep",
+              {**clean, "property_violations": 1.0, "pass_rate": 0.990741})
+        if not gate_bench("sweep", base_dir, cur_dir):
+            raise SystemExit(
+                "perf_gate self-test FAILED: property violation must fail")
+        write(cur_dir, "sweep", {**clean, "cells": 12.0, "checks": 54.0})
+        if not gate_bench("sweep", base_dir, cur_dir):
+            raise SystemExit(
+                "perf_gate self-test FAILED: shrunken grid must fail")
+        write(cur_dir, "sweep", dict(clean))
+        if gate_bench("sweep", base_dir, cur_dir):
+            raise SystemExit(
+                "perf_gate self-test FAILED: clean sweep must pass")
+        cases_ran += 3
 
     print(f"perf_gate self-test: {cases_ran} cases passed")
     return 0

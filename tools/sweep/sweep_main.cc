@@ -1,0 +1,216 @@
+// fab_sweep — property-based seed×regime robustness sweep.
+//
+// Fans Experiments::PrecomputeAll across a seeds × stress-regimes grid
+// (src/core/sweep.h) and writes BENCH_sweep.json. Exit codes: 0 = every
+// property passed on every cell, 1 = violations or cell errors (each is
+// reported with its exact repro seed), 2 = bad flags.
+//
+// Default grid: 25 seeds × all 8 standard regimes = 200 cells. CI runs
+// the reduced grid documented in .github/workflows/ci.yml (sweep-smoke).
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/sweep.h"
+#include "util/string_util.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using fab::core::RegimeByName;
+using fab::core::RegimeSpec;
+using fab::core::RunSweep;
+using fab::core::StandardRegimes;
+using fab::core::StudyPeriod;
+using fab::core::SweepOptions;
+using fab::core::SweepReport;
+
+void PrintUsage() {
+  std::printf(
+      "usage: fab_sweep [options]\n"
+      "  --seeds N              number of seeds (default 25)\n"
+      "  --seed0 S              first seed (default 1000)\n"
+      "  --regimes a,b,c        regime names (default: all standard)\n"
+      "  --periods 2017,2019    study periods (default 2019)\n"
+      "  --windows 1,30         prediction windows (default 1,30)\n"
+      "  --improvement-seeds N  seeds per regime that run the improvement\n"
+      "                         CV property (default 2)\n"
+      "  --cache DIR            artifact cache root (default .fab_cache/sweep)\n"
+      "  --out DIR              BENCH_sweep.json directory (default\n"
+      "                         $FAB_BENCH_DIR or .)\n"
+      "  --threads N            shared pool width (default hardware)\n"
+      "  --list-regimes         print regime names and exit\n");
+}
+
+bool ParseU64(const std::string& s, uint64_t* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t num_seeds = 25;
+  uint64_t seed0 = 1000;
+  int threads = 0;
+  std::string regimes_csv;
+  std::string periods_csv = "2019";
+  std::string windows_csv = "1,30";
+  std::string out_dir;
+  SweepOptions options;
+
+  const char* bench_dir = std::getenv("FAB_BENCH_DIR");
+  out_dir = (bench_dir != nullptr && *bench_dir != '\0') ? bench_dir : ".";
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return 0;
+    }
+    if (arg == "--list-regimes") {
+      for (const RegimeSpec& spec : StandardRegimes()) {
+        std::printf("%s\n", spec.name.c_str());
+      }
+      return 0;
+    }
+    const char* value = nullptr;
+    if (arg == "--seeds" && (value = next()) != nullptr) {
+      if (!ParseU64(value, &num_seeds) || num_seeds == 0) {
+        std::fprintf(stderr, "fab_sweep: bad --seeds %s\n", value);
+        return 2;
+      }
+    } else if (arg == "--seed0" && (value = next()) != nullptr) {
+      if (!ParseU64(value, &seed0)) {
+        std::fprintf(stderr, "fab_sweep: bad --seed0 %s\n", value);
+        return 2;
+      }
+    } else if (arg == "--regimes" && (value = next()) != nullptr) {
+      regimes_csv = value;
+    } else if (arg == "--periods" && (value = next()) != nullptr) {
+      periods_csv = value;
+    } else if (arg == "--windows" && (value = next()) != nullptr) {
+      windows_csv = value;
+    } else if (arg == "--improvement-seeds" && (value = next()) != nullptr) {
+      uint64_t v = 0;
+      if (!ParseU64(value, &v)) {
+        std::fprintf(stderr, "fab_sweep: bad --improvement-seeds %s\n", value);
+        return 2;
+      }
+      options.improvement_seeds = static_cast<int>(v);
+    } else if (arg == "--cache" && (value = next()) != nullptr) {
+      options.cache_dir = value;
+    } else if (arg == "--out" && (value = next()) != nullptr) {
+      out_dir = value;
+    } else if (arg == "--threads" && (value = next()) != nullptr) {
+      uint64_t v = 0;
+      if (!ParseU64(value, &v)) {
+        std::fprintf(stderr, "fab_sweep: bad --threads %s\n", value);
+        return 2;
+      }
+      threads = static_cast<int>(v);
+    } else {
+      std::fprintf(stderr, "fab_sweep: unknown or incomplete flag: %s\n",
+                   arg.c_str());
+      PrintUsage();
+      return 2;
+    }
+  }
+
+  for (uint64_t i = 0; i < num_seeds; ++i) options.seeds.push_back(seed0 + i);
+
+  if (regimes_csv.empty()) {
+    options.regimes = StandardRegimes();
+  } else {
+    for (const std::string& name : fab::Split(regimes_csv, ',')) {
+      auto spec = RegimeByName(name);
+      if (!spec.ok()) {
+        std::fprintf(stderr, "fab_sweep: %s\n",
+                     spec.status().ToString().c_str());
+        return 2;
+      }
+      options.regimes.push_back(*spec);
+    }
+  }
+
+  options.periods.clear();
+  for (const std::string& p : fab::Split(periods_csv, ',')) {
+    if (p == "2017") {
+      options.periods.push_back(StudyPeriod::k2017);
+    } else if (p == "2019") {
+      options.periods.push_back(StudyPeriod::k2019);
+    } else {
+      std::fprintf(stderr, "fab_sweep: unknown period %s (use 2017/2019)\n",
+                   p.c_str());
+      return 2;
+    }
+  }
+
+  options.windows.clear();
+  for (const std::string& w : fab::Split(windows_csv, ',')) {
+    uint64_t v = 0;
+    if (!ParseU64(w, &v) || v == 0) {
+      std::fprintf(stderr, "fab_sweep: bad window %s\n", w.c_str());
+      return 2;
+    }
+    options.windows.push_back(static_cast<int>(v));
+  }
+
+  fab::util::SetSharedPoolThreads(threads);
+
+  std::printf("fab_sweep: %zu seeds x %zu regimes = %zu cells (%zu scenarios "
+              "each)\n",
+              options.seeds.size(), options.regimes.size(),
+              options.seeds.size() * options.regimes.size(),
+              options.periods.size() * options.windows.size());
+
+  auto report = RunSweep(options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "fab_sweep: %s\n",
+                 report.status().ToString().c_str());
+    return 2;
+  }
+
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  const std::string path = out_dir + "/BENCH_sweep.json";
+  {
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "fab_sweep: cannot write %s\n", path.c_str());
+      return 2;
+    }
+    out << report->ToJson();
+  }
+
+  std::printf("fab_sweep: %zu cells, %zu cell errors, %zu checks, %zu "
+              "violations (pass rate %.4f) -> %s\n",
+              report->cells, report->cell_errors, report->checks,
+              report->violation_count, report->pass_rate(), path.c_str());
+  for (const auto& p : report->properties) {
+    std::printf("  %-28s %zu/%zu\n", p.property.c_str(), p.passed, p.checked);
+  }
+  for (const auto& v : report->violations) {
+    std::printf("  VIOLATION %s regime=%s seed=%llu scenario=%s: %s\n",
+                v.property.c_str(), v.regime.c_str(),
+                static_cast<unsigned long long>(v.seed), v.scenario.c_str(),
+                v.detail.c_str());
+  }
+  if (!report->first_error.empty()) {
+    std::printf("  first cell error: %s\n", report->first_error.c_str());
+  }
+
+  return (report->violation_count == 0 && report->cell_errors == 0) ? 0 : 1;
+}
