@@ -37,7 +37,7 @@ struct WalkForwardResult {
 /// Runs an expanding-window walk-forward: at each evaluation row the model
 /// has only been fitted on strictly earlier rows. The prototype supplies
 /// the hyperparameters; it is cloned on every refit.
-Result<WalkForwardResult> WalkForwardEvaluate(const ml::Regressor& prototype,
+[[nodiscard]] Result<WalkForwardResult> WalkForwardEvaluate(const ml::Regressor& prototype,
                                               const ml::Dataset& data,
                                               const WalkForwardOptions& options);
 
@@ -54,7 +54,7 @@ struct BacktestResult {
 /// Evaluates "long when the predicted return is positive, flat otherwise"
 /// over aligned (predicted, realized) per-period log returns.
 /// `periods_per_year` annualizes the Sharpe ratio (52 for weekly periods).
-Result<BacktestResult> RunLongFlatBacktest(
+[[nodiscard]] Result<BacktestResult> RunLongFlatBacktest(
     const std::vector<double>& predicted_returns,
     const std::vector<double>& realized_returns, double periods_per_year);
 

@@ -23,7 +23,7 @@ struct CategoryContribution {
 /// Per-category contribution factors of one scenario's final vector.
 /// Categories with zero candidates (e.g. USDC in the 2017 set) are
 /// omitted.
-Result<std::vector<CategoryContribution>> ComputeContributions(
+[[nodiscard]] Result<std::vector<CategoryContribution>> ComputeContributions(
     const ScenarioDataset& scenario,
     const std::vector<std::string>& final_features);
 

@@ -18,18 +18,18 @@ namespace fab::core {
 inline constexpr double kCrypto100DefaultPower = 7.0;
 
 /// Index value for one day. Requires sum_mcap > 1 (log10 must be > 0).
-Result<double> Crypto100Value(double sum_mcap,
+[[nodiscard]] Result<double> Crypto100Value(double sum_mcap,
                               double power = kCrypto100DefaultPower);
 
 /// Index series from a daily top-100 market-cap-sum series.
-Result<std::vector<double>> Crypto100Series(
+[[nodiscard]] Result<std::vector<double>> Crypto100Series(
     const std::vector<double>& sum_mcap,
     double power = kCrypto100DefaultPower);
 
 /// Mean absolute log10 distance between two positive price series — the
 /// scale-comparability criterion used to tune the power (0 = identical
 /// scale; 1 = off by 10x on average).
-Result<double> LogScaleDistance(const std::vector<double>& index_series,
+[[nodiscard]] Result<double> LogScaleDistance(const std::vector<double>& index_series,
                                 const std::vector<double>& reference_series);
 
 }  // namespace fab::core

@@ -30,7 +30,7 @@ const std::vector<int>& PredictionWindows();
 /// EMA/SMA sweeps over close/market-cap/volume, RSI, MACD, Bollinger,
 /// ATR, ROC, momentum, stochastic, Williams %R, CCI, OBV, CMF, realized
 /// volatility and drawdown. Idempotent per column name (fails on rerun).
-Status AddTechnicalIndicators(sim::SimulatedMarket* market);
+[[nodiscard]] Status AddTechnicalIndicators(sim::SimulatedMarket* market);
 
 /// A fully prepared supervised scenario (one period × one window).
 struct ScenarioDataset {
@@ -65,7 +65,7 @@ struct ScenarioOptions {
 ///  4. attach the target: Crypto100 price `window` days ahead,
 ///  5. drop rows with remaining nulls (indicator warm-up) or no target.
 /// Requires AddTechnicalIndicators to have run on `market`.
-Result<ScenarioDataset> BuildScenarioDataset(const sim::SimulatedMarket& market,
+[[nodiscard]] Result<ScenarioDataset> BuildScenarioDataset(const sim::SimulatedMarket& market,
                                              StudyPeriod period, int window,
                                              const ScenarioOptions& options);
 

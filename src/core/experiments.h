@@ -67,38 +67,38 @@ class Experiments {
   const ExperimentConfig& config() const { return config_; }
 
   /// The simulated market with technical indicators attached (memoized).
-  Result<const sim::SimulatedMarket*> Market();
+  [[nodiscard]] Result<const sim::SimulatedMarket*> Market();
 
   /// One scenario's prepared dataset (memoized in RAM).
-  Result<const ScenarioDataset*> Scenario(StudyPeriod period, int window);
+  [[nodiscard]] Result<const ScenarioDataset*> Scenario(StudyPeriod period, int window);
 
   /// Scenario-level fan-out: materializes the market and every scenario
   /// dataset serially (they mutate the memo maps), then computes all
   /// periods × windows final feature vectors (FRA + SHAP) concurrently on
   /// the shared pool. Artifacts are bitwise identical to computing each
   /// scenario serially, at any thread count.
-  Status PrecomputeAll(const std::vector<StudyPeriod>& periods,
+  [[nodiscard]] Status PrecomputeAll(const std::vector<StudyPeriod>& periods,
                        const std::vector<int>& windows);
 
   /// FRA output for a scenario (disk-cached).
-  Result<FraResult> Fra(StudyPeriod period, int window);
+  [[nodiscard]] Result<FraResult> Fra(StudyPeriod period, int window);
 
   /// Final feature vector = FRA ∪ SHAP top-75 (disk-cached).
-  Result<FinalFeatureVector> FinalVector(StudyPeriod period, int window);
+  [[nodiscard]] Result<FinalFeatureVector> FinalVector(StudyPeriod period, int window);
 
   /// Final vector with fine-tuned-RF importances (disk-cached).
-  Result<ScoredFeatureVector> ScoredVector(StudyPeriod period, int window);
+  [[nodiscard]] Result<ScoredFeatureVector> ScoredVector(StudyPeriod period, int window);
 
   /// Diverse-vs-single-category improvements (disk-cached).
-  Result<ImprovementResult> Improvement(StudyPeriod period, int window,
+  [[nodiscard]] Result<ImprovementResult> Improvement(StudyPeriod period, int window,
                                         ModelKind model);
 
   /// Contribution factors of a scenario's final vector (cheap; derived).
-  Result<std::vector<CategoryContribution>> Contributions(StudyPeriod period,
+  [[nodiscard]] Result<std::vector<CategoryContribution>> Contributions(StudyPeriod period,
                                                           int window);
 
   /// Merged horizon group over `windows` (e.g. {1, 7} = short-term).
-  Result<HorizonGroup> Group(StudyPeriod period,
+  [[nodiscard]] Result<HorizonGroup> Group(StudyPeriod period,
                              const std::vector<int>& windows);
 
   /// Directory the serving layer loads snapshots from:
@@ -110,17 +110,17 @@ class Experiments {
   /// on its final feature vector and exports it as a serve snapshot under
   /// ModelDir(). Memoized on disk: a valid existing snapshot short-circuits
   /// retraining. Returns the snapshot path.
-  Result<std::string> ExportModel(StudyPeriod period, int window,
+  [[nodiscard]] Result<std::string> ExportModel(StudyPeriod period, int window,
                                   const std::string& model);
 
   /// Exports all three model kinds for a scenario; returns their paths.
-  Result<std::vector<std::string>> ExportModels(StudyPeriod period,
+  [[nodiscard]] Result<std::vector<std::string>> ExportModels(StudyPeriod period,
                                                 int window);
 
  private:
   std::string ScenarioTag(StudyPeriod period, int window) const;
   std::string CachePath(const std::string& name) const;
-  Status EnsureCacheDir() const;
+  [[nodiscard]] Status EnsureCacheDir() const;
 
   ExperimentConfig config_;
   std::unique_ptr<sim::SimulatedMarket> market_;

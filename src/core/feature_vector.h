@@ -36,12 +36,12 @@ struct FinalFeatureVector {
 
 /// Computes mean-|SHAP| scores for every candidate feature using a random
 /// forest fitted on the full scenario (rows subsampled for tractability).
-Result<std::vector<double>> ShapScores(const ml::Dataset& data,
+[[nodiscard]] Result<std::vector<double>> ShapScores(const ml::Dataset& data,
                                        const FeatureVectorOptions& options);
 
 /// Builds the final feature vector: union of FRA's top features and the
 /// SHAP top features.
-Result<FinalFeatureVector> BuildFinalFeatureVector(
+[[nodiscard]] Result<FinalFeatureVector> BuildFinalFeatureVector(
     const ml::Dataset& data, const FraResult& fra,
     const FeatureVectorOptions& options);
 

@@ -56,7 +56,7 @@ struct FraResult {
 /// importance methods (RF/XGB × MDI/PFI) whose |Pearson| correlation with
 /// the target is below a threshold that tightens by `corr_threshold_step`
 /// each iteration, until at most `target_size` features remain.
-Result<FraResult> RunFra(const ml::Dataset& data, const FraOptions& options);
+[[nodiscard]] Result<FraResult> RunFra(const ml::Dataset& data, const FraOptions& options);
 
 }  // namespace fab::core
 

@@ -28,7 +28,7 @@ struct HorizonGroup {
 /// Merges the final vectors of several windows into one group: a feature
 /// appearing in multiple vectors gets the mean of its importances.
 /// Result is ranked by importance, descending.
-Result<HorizonGroup> MergeGroup(const std::vector<ScoredFeatureVector>& vectors);
+[[nodiscard]] Result<HorizonGroup> MergeGroup(const std::vector<ScoredFeatureVector>& vectors);
 
 /// Top-k features of a group (Table 3 rows with k = 5).
 std::vector<std::string> GroupTopK(const HorizonGroup& group, size_t k);

@@ -49,7 +49,7 @@ struct ImprovementResult {
 /// (b) each category's full candidate set, and reports the MSE decrease
 /// the diverse vector delivers (cross-validated). Mirrors the paper's
 /// "performance improvement" definition.
-Result<ImprovementResult> RunImprovementExperiment(
+[[nodiscard]] Result<ImprovementResult> RunImprovementExperiment(
     const ScenarioDataset& scenario,
     const std::vector<std::string>& final_features, ModelKind model,
     const ImprovementOptions& options);

@@ -37,7 +37,7 @@ struct RegimeSpec {
 const std::vector<RegimeSpec>& StandardRegimes();
 
 /// Looks up a standard regime by name.
-Result<RegimeSpec> RegimeByName(const std::string& name);
+[[nodiscard]] Result<RegimeSpec> RegimeByName(const std::string& name);
 
 /// Sweep grid and property thresholds.
 struct SweepOptions {
@@ -133,7 +133,7 @@ struct SweepReport {
 /// pipeline errors are recorded (counted in `cell_errors`), not fatal,
 /// mirroring how a robustness study must survive individual blowups.
 /// Fails only on an empty/invalid grid.
-Result<SweepReport> RunSweep(const SweepOptions& options);
+[[nodiscard]] Result<SweepReport> RunSweep(const SweepOptions& options);
 
 }  // namespace fab::core
 

@@ -25,7 +25,7 @@ struct PermutationOptions {
 /// the effect on actual predictive performance, which the paper uses to
 /// offset training-bias in impurity importances. Returns one value per
 /// feature (larger = more important; ≈0 or negative = irrelevant).
-Result<std::vector<double>> PermutationImportance(
+[[nodiscard]] Result<std::vector<double>> PermutationImportance(
     const ml::Regressor& model, const ml::Dataset& data,
     const PermutationOptions& options);
 

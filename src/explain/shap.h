@@ -16,25 +16,25 @@ namespace fab::explain {
 /// expectations are taken under the tree's own cover weights (the
 /// "tree_path_dependent" feature perturbation). `phi` has one entry per
 /// feature and satisfies sum(phi) = prediction - E[prediction].
-Result<std::vector<double>> TreeShapOne(const ml::RegressionTree& tree,
+[[nodiscard]] Result<std::vector<double>> TreeShapOne(const ml::RegressionTree& tree,
                                         const ml::ColMatrix& x, size_t row,
                                         double scale = 1.0);
 
 /// Mean |SHAP| per feature over all rows of `x` for a random forest
 /// (tree contributions averaged) — the global importance ranking the
 /// paper combines with FRA.
-Result<std::vector<double>> MeanAbsShapForest(
+[[nodiscard]] Result<std::vector<double>> MeanAbsShapForest(
     const ml::RandomForestRegressor& model, const ml::ColMatrix& x);
 
 /// Mean |SHAP| per feature for a GBDT (tree contributions scaled by the
 /// learning rate and summed).
-Result<std::vector<double>> MeanAbsShapGbdt(const ml::GbdtRegressor& model,
+[[nodiscard]] Result<std::vector<double>> MeanAbsShapGbdt(const ml::GbdtRegressor& model,
                                             const ml::ColMatrix& x);
 
 /// Exact Shapley values for one sample by brute-force subset enumeration
 /// (O(2^features × leaves)); validation oracle for TreeShapOne, usable
 /// only for small feature counts (<= ~16).
-Result<std::vector<double>> ExactTreeShapley(const ml::RegressionTree& tree,
+[[nodiscard]] Result<std::vector<double>> ExactTreeShapley(const ml::RegressionTree& tree,
                                              const ml::ColMatrix& x,
                                              size_t row);
 

@@ -20,7 +20,7 @@ namespace fab::ml {
 class BinnedMatrix {
  public:
   /// Bins every column of `x`. max_bins in [2, 256].
-  static Result<BinnedMatrix> Build(const ColMatrix& x, int max_bins = 256);
+  [[nodiscard]] static Result<BinnedMatrix> Build(const ColMatrix& x, int max_bins = 256);
 
   size_t rows() const { return rows_; }
   size_t cols() const { return codes_.size(); }

@@ -17,7 +17,7 @@ class Regressor {
   virtual ~Regressor() = default;
 
   /// Trains on `x` (rows = samples) against `y`.
-  virtual Status Fit(const ColMatrix& x, const std::vector<double>& y) = 0;
+  [[nodiscard]] virtual Status Fit(const ColMatrix& x, const std::vector<double>& y) = 0;
 
   /// Prediction for one row of `x`. Requires a successful Fit.
   virtual double PredictOne(const ColMatrix& x, size_t row) const = 0;
@@ -26,7 +26,7 @@ class Regressor {
   virtual std::vector<double> Predict(const ColMatrix& x) const;
 
   /// Sets a named hyperparameter (used by grid search). Unknown names fail.
-  virtual Status SetParam(const std::string& name, double value) = 0;
+  [[nodiscard]] virtual Status SetParam(const std::string& name, double value) = 0;
 
   /// Fresh unfitted copy carrying the same hyperparameters.
   virtual std::unique_ptr<Regressor> CloneUnfitted() const = 0;

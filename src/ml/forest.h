@@ -38,13 +38,13 @@ class RandomForestRegressor : public Regressor {
   explicit RandomForestRegressor(const ForestParams& params)
       : params_(params) {}
 
-  Status Fit(const ColMatrix& x, const std::vector<double>& y) override;
+  [[nodiscard]] Status Fit(const ColMatrix& x, const std::vector<double>& y) override;
   double PredictOne(const ColMatrix& x, size_t row) const override;
   /// Batch fast-path: iterates trees outer / rows inner so each tree's
   /// node list stays cache-hot across the whole batch, instead of the
   /// per-row default that re-walks all trees for every row.
   std::vector<double> Predict(const ColMatrix& x) const override;
-  Status SetParam(const std::string& name, double value) override;
+  [[nodiscard]] Status SetParam(const std::string& name, double value) override;
   std::unique_ptr<Regressor> CloneUnfitted() const override;
   std::vector<double> FeatureImportances() const override;
   std::string name() const override { return "rf"; }

@@ -39,11 +39,11 @@ class GbdtRegressor : public Regressor {
   GbdtRegressor() = default;
   explicit GbdtRegressor(const GbdtParams& params) : params_(params) {}
 
-  Status Fit(const ColMatrix& x, const std::vector<double>& y) override;
+  [[nodiscard]] Status Fit(const ColMatrix& x, const std::vector<double>& y) override;
   double PredictOne(const ColMatrix& x, size_t row) const override;
   /// Batch fast-path: trees outer / rows inner (see RandomForestRegressor).
   std::vector<double> Predict(const ColMatrix& x) const override;
-  Status SetParam(const std::string& name, double value) override;
+  [[nodiscard]] Status SetParam(const std::string& name, double value) override;
   std::unique_ptr<Regressor> CloneUnfitted() const override;
   std::vector<double> FeatureImportances() const override;
   std::string name() const override { return "xgb"; }

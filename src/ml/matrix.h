@@ -27,7 +27,7 @@ class ColMatrix {
       : rows_(rows), cols_(cols), data_(cols, std::vector<double>(rows, 0.0)) {}
 
   /// Builds from column vectors (all must share a length).
-  static Result<ColMatrix> FromColumns(std::vector<std::vector<double>> cols);
+  [[nodiscard]] static Result<ColMatrix> FromColumns(std::vector<std::vector<double>> cols);
 
   size_t rows() const { return rows_; }
   size_t cols() const { return cols_; }
@@ -91,10 +91,10 @@ struct Dataset {
   Dataset TakeRows(const std::vector<int>& rows) const;
 
   /// Subset of feature columns by position.
-  Result<Dataset> SelectFeatures(const std::vector<int>& cols) const;
+  [[nodiscard]] Result<Dataset> SelectFeatures(const std::vector<int>& cols) const;
 
   /// Positions of the named features. Fails on a missing name.
-  Result<std::vector<int>> FeaturePositions(
+  [[nodiscard]] Result<std::vector<int>> FeaturePositions(
       const std::vector<std::string>& names) const;
 };
 

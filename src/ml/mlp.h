@@ -42,9 +42,9 @@ class MlpRegressor : public Regressor {
   MlpRegressor() = default;
   explicit MlpRegressor(const MlpParams& params) : params_(params) {}
 
-  Status Fit(const ColMatrix& x, const std::vector<double>& y) override;
+  [[nodiscard]] Status Fit(const ColMatrix& x, const std::vector<double>& y) override;
   double PredictOne(const ColMatrix& x, size_t row) const override;
-  Status SetParam(const std::string& name, double value) override;
+  [[nodiscard]] Status SetParam(const std::string& name, double value) override;
   std::unique_ptr<Regressor> CloneUnfitted() const override;
   /// MLPs have no split gains; returns |first-layer weight| column sums
   /// (a standard saliency proxy), normalized.

@@ -21,7 +21,7 @@ struct Fold {
 /// K-fold splits of `n` rows. With `shuffle`, rows are permuted with
 /// `seed` first; otherwise folds are contiguous blocks. Every row appears
 /// in exactly one validation set.
-Result<std::vector<Fold>> KFold(size_t n, int k, bool shuffle, uint64_t seed);
+[[nodiscard]] Result<std::vector<Fold>> KFold(size_t n, int k, bool shuffle, uint64_t seed);
 
 /// A point in hyperparameter space.
 using ParamPoint = std::map<std::string, double>;
@@ -31,7 +31,7 @@ std::vector<ParamPoint> ExpandGrid(
     const std::map<std::string, std::vector<double>>& grid);
 
 /// Mean validation MSE of `prototype` (cloned per fold) across `folds`.
-Result<double> CrossValMse(const Regressor& prototype, const Dataset& data,
+[[nodiscard]] Result<double> CrossValMse(const Regressor& prototype, const Dataset& data,
                            const std::vector<Fold>& folds);
 
 /// Result of a grid search.
@@ -46,7 +46,7 @@ struct GridSearchResult {
 /// paper's fine-tuning procedure (5-fold CV grid search, Section 3.2).
 /// `prototype` supplies the fixed parameters; each grid point is applied
 /// on top via SetParam.
-Result<GridSearchResult> GridSearchCV(const Regressor& prototype,
+[[nodiscard]] Result<GridSearchResult> GridSearchCV(const Regressor& prototype,
                                       const Dataset& data,
                                       const std::vector<ParamPoint>& grid,
                                       int k_folds, uint64_t seed);

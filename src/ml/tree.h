@@ -56,7 +56,7 @@ class RegressionTree {
   /// ignored (bootstrap out-of-bag / subsample drops). `rng` drives
   /// per-node column subsampling and must be non-null when
   /// colsample_per_node < 1.
-  Status Fit(const BinnedMatrix& x, const std::vector<double>& g,
+  [[nodiscard]] Status Fit(const BinnedMatrix& x, const std::vector<double>& g,
              const std::vector<double>& h, const TreeParams& params, Rng* rng);
 
   /// Prediction for row `row` of a raw (unbinned) matrix with the same

@@ -40,7 +40,7 @@ class EventLoop {
   static Backend DefaultBackend();
 
   /// Builds a loop, acquiring the epoll instance when applicable.
-  static Result<std::unique_ptr<EventLoop>> Create(
+  [[nodiscard]] static Result<std::unique_ptr<EventLoop>> Create(
       Backend backend = DefaultBackend());
 
   ~EventLoop();
@@ -50,17 +50,17 @@ class EventLoop {
 
   /// Registers `fd` for readiness notifications. Errors/hangups are
   /// always reported regardless of the flags.
-  Status Add(int fd, bool want_read, bool want_write);
+  [[nodiscard]] Status Add(int fd, bool want_read, bool want_write);
 
   /// Updates an already-registered fd's interest set.
-  Status Mod(int fd, bool want_read, bool want_write);
+  [[nodiscard]] Status Mod(int fd, bool want_read, bool want_write);
 
   /// Deregisters `fd` (the caller still owns and closes it).
-  Status Del(int fd);
+  [[nodiscard]] Status Del(int fd);
 
   /// Blocks up to `timeout_ms` (-1 = indefinitely) and appends ready
   /// events to `out` (cleared first). Zero events on timeout is OK.
-  Status Wait(int timeout_ms, std::vector<IoEvent>* out);
+  [[nodiscard]] Status Wait(int timeout_ms, std::vector<IoEvent>* out);
 
   Backend backend() const { return backend_; }
   size_t watched_count() const { return interest_.size(); }

@@ -104,6 +104,8 @@ Status HttpParser::Fail(const std::string& what) {
   return Status::InvalidArgument("http parse: " + what);
 }
 
+// fablint:hot — per-read ingest on the IO thread; one amortized append,
+// no other allocation.
 Status HttpParser::Consume(const char* data, size_t n) {
   if (phase_ == Phase::kError) {
     return Status::FailedPrecondition("http parser in error state");
@@ -111,6 +113,7 @@ Status HttpParser::Consume(const char* data, size_t n) {
   buffer_.append(data, n);
   return TryParse();
 }
+// fablint:endhot
 
 Status HttpParser::TryParse() {
   if (phase_ == Phase::kHead) {

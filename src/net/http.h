@@ -78,7 +78,7 @@ class HttpParser {
 
   /// Appends `n` bytes and advances the parse. Returns a non-OK status
   /// exactly once, at the transition into the error state.
-  Status Consume(const char* data, size_t n);
+  [[nodiscard]] Status Consume(const char* data, size_t n);
 
   /// True once one complete message has been parsed.
   bool done() const { return phase_ == Phase::kDone; }
@@ -90,14 +90,14 @@ class HttpParser {
 
   /// Discards the parsed message and starts parsing the next one from
   /// any already-buffered surplus bytes (keep-alive reuse).
-  Status Reset();
+  [[nodiscard]] Status Reset();
 
  private:
   enum class Phase { kHead, kBody, kDone, kError };
 
-  Status Fail(const std::string& what);
-  Status TryParse();
-  Status ParseHead(const std::string& head);
+  [[nodiscard]] Status Fail(const std::string& what);
+  [[nodiscard]] Status TryParse();
+  [[nodiscard]] Status ParseHead(const std::string& head);
 
   const Mode mode_;
   const Limits limits_;

@@ -33,11 +33,11 @@ class HttpClient {
 
   /// One round trip: sends `request` (Content-Length and Host are
   /// filled in), blocks for the full response.
-  Result<HttpResponse> RoundTrip(const HttpRequest& request);
+  [[nodiscard]] Result<HttpResponse> RoundTrip(const HttpRequest& request);
 
   /// Convenience wrappers.
-  Result<HttpResponse> Get(const std::string& target);
-  Result<HttpResponse> Post(const std::string& target, std::string body,
+  [[nodiscard]] Result<HttpResponse> Get(const std::string& target);
+  [[nodiscard]] Result<HttpResponse> Post(const std::string& target, std::string body,
                             const std::string& content_type =
                                 "application/json");
 
@@ -45,8 +45,8 @@ class HttpClient {
   void Disconnect();
 
  private:
-  Status EnsureConnected();
-  Status SendAll(const std::string& bytes);
+  [[nodiscard]] Status EnsureConnected();
+  [[nodiscard]] Status SendAll(const std::string& bytes);
 
   const std::string host_;
   const uint16_t port_;

@@ -106,7 +106,7 @@ class HttpServer {
   void Handle(std::string method, std::string path, Handler handler);
 
   /// Binds, listens and spawns the IO thread + worker pool.
-  Status Start() FAB_EXCLUDES(lifecycle_mu_);
+  [[nodiscard]] Status Start() FAB_EXCLUDES(lifecycle_mu_);
 
   /// Closes the listener and every connection, joins the IO thread,
   /// drains the worker pool. Responses still in flight are dropped (the
@@ -140,7 +140,7 @@ class HttpServer {
 
   /// Start() body; on failure Start() unwinds any partially-created
   /// descriptors so a retry starts clean.
-  Status DoStart() FAB_REQUIRES(lifecycle_mu_);
+  [[nodiscard]] Status DoStart() FAB_REQUIRES(lifecycle_mu_);
   void IoLoop(EventLoop* loop);
   void AcceptNew(EventLoop* loop);
   void HandleReadable(EventLoop* loop, int fd);

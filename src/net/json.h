@@ -43,8 +43,8 @@ class JsonValue {
 
   /// Typed member accessors for the common "required field" pattern:
   /// fail with InvalidArgument naming the key when absent or mistyped.
-  Result<std::string> GetString(const std::string& key) const;
-  Result<double> GetNumber(const std::string& key) const;
+  [[nodiscard]] Result<std::string> GetString(const std::string& key) const;
+  [[nodiscard]] Result<double> GetNumber(const std::string& key) const;
 
  private:
   friend class JsonParser;
@@ -60,7 +60,7 @@ class JsonValue {
 /// Parses one complete JSON document (trailing whitespace allowed,
 /// trailing garbage rejected). `max_depth` bounds nesting; input size is
 /// bounded by the HTTP layer's body limit before it ever reaches here.
-Result<JsonValue> ParseJson(const std::string& text, int max_depth = 64);
+[[nodiscard]] Result<JsonValue> ParseJson(const std::string& text, int max_depth = 64);
 
 /// Renders `s` as a double-quoted JSON string literal (with escapes).
 std::string EscapeJson(const std::string& s);

@@ -73,7 +73,7 @@ class ShardedRouter {
  public:
   /// Builds the shard set over `registry` (not owned; must outlive the
   /// router). Fails if a persisted layout disagrees with `options`.
-  static Result<std::unique_ptr<ShardedRouter>> Create(
+  [[nodiscard]] static Result<std::unique_ptr<ShardedRouter>> Create(
       serve::ModelRegistry* registry, const ShardedRouterOptions& options);
 
   ~ShardedRouter();
@@ -86,7 +86,7 @@ class ShardedRouter {
   /// onto the shard's BatchServer. The callback fires exactly once on
   /// admitted requests. `admission` (optional) reports the verdict;
   /// sheds return kUnavailable, unknown keys kNotFound.
-  Status Submit(const serve::ModelKey& key, std::vector<double> features,
+  [[nodiscard]] Status Submit(const serve::ModelKey& key, std::vector<double> features,
                 serve::BatchServer::Callback done,
                 Admission* admission = nullptr);
 

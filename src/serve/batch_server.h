@@ -126,12 +126,12 @@ class BatchServer {
   /// resolves to the forecast or the asynchronous error. Fails fast
   /// (before queueing) on a feature-count mismatch, a full queue, or
   /// after Shutdown.
-  Result<std::future<Result<double>>> Submit(std::vector<double> features)
+  [[nodiscard]] Result<std::future<Result<double>>> Submit(std::vector<double> features)
       FAB_EXCLUDES(mu_);
 
   /// Keyed variant: enqueues against an explicit model (fab::net shards
   /// route many scenario keys into one BatchServer this way).
-  Result<std::future<Result<double>>> SubmitTo(
+  [[nodiscard]] Result<std::future<Result<double>>> SubmitTo(
       std::shared_ptr<const Servable> model, std::vector<double> features)
       FAB_EXCLUDES(mu_);
 
@@ -140,12 +140,12 @@ class BatchServer {
   /// error) arrives through `done`. This is what lets an HTTP front-end
   /// keep thousands of requests in flight without parking a thread per
   /// request.
-  Status SubmitWithCallback(std::shared_ptr<const Servable> model,
+  [[nodiscard]] Status SubmitWithCallback(std::shared_ptr<const Servable> model,
                             std::vector<double> features, Callback done)
       FAB_EXCLUDES(mu_);
 
   /// Blocking convenience wrapper around Submit.
-  Result<double> Forecast(std::vector<double> features);
+  [[nodiscard]] Result<double> Forecast(std::vector<double> features);
 
   /// Atomically replaces the served model (e.g. after a registry Reload).
   void UpdateModel(std::shared_ptr<const Servable> model) FAB_EXCLUDES(mu_);
@@ -197,7 +197,7 @@ class BatchServer {
   static void Complete(Request request, Result<double> result);
 
   /// Shared admission + enqueue path behind every Submit flavour.
-  Status Enqueue(Request request) FAB_EXCLUDES(mu_);
+  [[nodiscard]] Status Enqueue(Request request) FAB_EXCLUDES(mu_);
 
   void WorkerLoop() FAB_EXCLUDES(mu_);
   void RunBatch(std::vector<Request> batch,

@@ -99,6 +99,8 @@ void FlatForest::PredictRange(const ml::ColMatrix& x, size_t row_begin,
   const double* threshold = threshold_.data();
   const int32_t* left = left_.data();
 
+  // fablint:hot — the serving inner loop; every request prediction runs
+  // through here, so it must stay allocation-free.
   for (const int32_t root : roots_) {
     for (size_t i = 0; i < n; ++i) {
       const size_t row = row_begin + i;
@@ -113,6 +115,7 @@ void FlatForest::PredictRange(const ml::ColMatrix& x, size_t row_begin,
       out[i] += threshold[id];
     }
   }
+  // fablint:endhot
   if (mean_) {
     const double n_trees = static_cast<double>(roots_.size());
     for (size_t i = 0; i < n; ++i) out[i] /= n_trees;

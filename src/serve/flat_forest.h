@@ -38,7 +38,7 @@ class FlatForest {
   /// Flattens a fitted tree-ensemble regressor (RandomForestRegressor or
   /// GbdtRegressor). Other model kinds get InvalidArgument — serve them
   /// through Regressor::Predict instead.
-  static Result<FlatForest> FromRegressor(const ml::Regressor& model);
+  [[nodiscard]] static Result<FlatForest> FromRegressor(const ml::Regressor& model);
 
   /// Flattens raw trees with an explicit output transform
   /// `base + scale * sum` (or `sum / n_trees` when `mean` is set).

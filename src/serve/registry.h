@@ -37,7 +37,7 @@ struct ModelKey {
 std::string SnapshotFileName(const ModelKey& key);
 
 /// Inverse of SnapshotFileName; fails on names it did not produce.
-Result<ModelKey> ParseSnapshotFileName(const std::string& filename);
+[[nodiscard]] Result<ModelKey> ParseSnapshotFileName(const std::string& filename);
 
 /// Thread-safe catalogue of servable models backed by a snapshot
 /// directory (typically `<FAB_CACHE_DIR>/seed<seed>_<mode>/models/`).
@@ -58,16 +58,16 @@ class ModelRegistry {
   explicit ModelRegistry(std::string root_dir) : root_(std::move(root_dir)) {}
 
   /// The servable for `key`, loading it from disk on first access.
-  Result<std::shared_ptr<const Servable>> Get(const ModelKey& key);
+  [[nodiscard]] Result<std::shared_ptr<const Servable>> Get(const ModelKey& key);
 
   /// Re-reads `key`'s snapshot from disk and hot-swaps the cached entry.
-  Status Reload(const ModelKey& key);
+  [[nodiscard]] Status Reload(const ModelKey& key);
 
   /// Registers an already-fitted model under `key` (in memory only).
-  Status Put(const ModelKey& key, std::unique_ptr<ml::Regressor> model);
+  [[nodiscard]] Status Put(const ModelKey& key, std::unique_ptr<ml::Regressor> model);
 
   /// Saves a fitted model into the registry directory AND registers it.
-  Status Install(const ModelKey& key, std::unique_ptr<ml::Regressor> model);
+  [[nodiscard]] Status Install(const ModelKey& key, std::unique_ptr<ml::Regressor> model);
 
   /// Drops a cached entry (the snapshot file, if any, is untouched).
   void Evict(const ModelKey& key);
@@ -88,7 +88,7 @@ class ModelRegistry {
   std::string PathFor(const ModelKey& key) const;
 
  private:
-  Result<std::shared_ptr<const Servable>> LoadFromDisk(
+  [[nodiscard]] Result<std::shared_ptr<const Servable>> LoadFromDisk(
       const ModelKey& key) const;
 
   const std::string root_;

@@ -19,7 +19,7 @@ class Servable {
   /// Wraps a fitted model, pre-building the flat kernel when the model is
   /// a tree ensemble. Models the flattener does not know (e.g. the MLP)
   /// are served through the virtual Predict path.
-  static Result<std::shared_ptr<const Servable>> Wrap(
+  [[nodiscard]] static Result<std::shared_ptr<const Servable>> Wrap(
       std::unique_ptr<ml::Regressor> model);
 
   /// Batched predictions — the flat kernel when available, else the

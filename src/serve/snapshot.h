@@ -19,7 +19,7 @@ enum class ModelKind : uint32_t {
 
 /// Returns the serialization id for a fitted `model`, or InvalidArgument
 /// for regressor types the codec does not know.
-Result<ModelKind> KindOf(const ml::Regressor& model);
+[[nodiscard]] Result<ModelKind> KindOf(const ml::Regressor& model);
 
 /// "rf" / "xgb" / "mlp" — matches Regressor::name().
 const char* ModelKindName(ModelKind kind);
@@ -47,20 +47,20 @@ struct SnapshotInfo {
 class SnapshotCodec {
  public:
   /// Serializes a fitted model into a byte buffer.
-  static Result<std::string> Encode(const ml::Regressor& model);
+  [[nodiscard]] static Result<std::string> Encode(const ml::Regressor& model);
 
   /// Parses a byte buffer back into a concrete fitted model.
-  static Result<std::unique_ptr<ml::Regressor>> Decode(const std::string& bytes);
+  [[nodiscard]] static Result<std::unique_ptr<ml::Regressor>> Decode(const std::string& bytes);
 
   /// Encode + atomic write (temp file then rename), so concurrent loaders
   /// never observe a half-written snapshot.
-  static Status Save(const ml::Regressor& model, const std::string& path);
+  [[nodiscard]] static Status Save(const ml::Regressor& model, const std::string& path);
 
   /// Reads and decodes a snapshot file.
-  static Result<std::unique_ptr<ml::Regressor>> Load(const std::string& path);
+  [[nodiscard]] static Result<std::unique_ptr<ml::Regressor>> Load(const std::string& path);
 
   /// Reads just the header of a snapshot file (cheap existence/kind check).
-  static Result<SnapshotInfo> Probe(const std::string& path);
+  [[nodiscard]] static Result<SnapshotInfo> Probe(const std::string& path);
 
   static constexpr uint32_t kFormatVersion = 1;
 };

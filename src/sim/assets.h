@@ -63,7 +63,7 @@ double BtcSupplyOn(Date d);
 /// passes boosted multipliers around rebalance boundaries. The draw
 /// count is unchanged, so a vector of all 1s reproduces the unstressed
 /// panel bitwise.
-Result<AssetPanel> GenerateAssetPanel(
+[[nodiscard]] Result<AssetPanel> GenerateAssetPanel(
     const LatentState& latent, const AssetUniverseConfig& config,
     const std::vector<double>* weight_sigma_mult = nullptr);
 

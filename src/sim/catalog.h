@@ -33,7 +33,7 @@ const char* CategoryName(DataCategory c);
 const char* CategoryKey(DataCategory c);
 
 /// Parses a short key back to a category.
-Result<DataCategory> CategoryFromKey(const std::string& key);
+[[nodiscard]] Result<DataCategory> CategoryFromKey(const std::string& key);
 
 /// Metadata for one metric column.
 struct MetricInfo {
@@ -48,13 +48,13 @@ struct MetricInfo {
 class MetricCatalog {
  public:
   /// Registers a metric. Fails on duplicate names.
-  Status Add(const std::string& name, DataCategory category,
+  [[nodiscard]] Status Add(const std::string& name, DataCategory category,
              const std::string& description = "");
 
   bool Has(const std::string& name) const { return by_name_.count(name) > 0; }
 
   /// Category of a metric. Fails if unknown.
-  Result<DataCategory> CategoryOf(const std::string& name) const;
+  [[nodiscard]] Result<DataCategory> CategoryOf(const std::string& name) const;
 
   /// All registered metrics in insertion order.
   const std::vector<MetricInfo>& metrics() const { return metrics_; }

@@ -90,7 +90,7 @@ struct LatentState {
 };
 
 /// Generates the latent market state. Deterministic in `config.seed`.
-Result<LatentState> GenerateLatentState(const LatentConfig& config);
+[[nodiscard]] Result<LatentState> GenerateLatentState(const LatentConfig& config);
 
 /// The scripted era drift (log points/day) for a calendar date — the
 /// deterministic backbone that reproduces the 2017–2023 cycle shape.

@@ -18,7 +18,7 @@ namespace fab::sim {
 /// delayed views of the same macro backbone that feeds crypto drift
 /// through a ~60-day smoothing, so their predictive value only shows up
 /// at long horizons (the paper's Figure-3 pattern).
-Status AddMacroMetrics(const LatentState& latent, uint64_t seed,
+[[nodiscard]] Status AddMacroMetrics(const LatentState& latent, uint64_t seed,
                        table::Table* out, MetricCatalog* catalog);
 
 /// Scripted US policy-rate backbone (annual %, monthly granularity) —

@@ -60,7 +60,7 @@ inline constexpr const char* kBtcLowColumn = "btc_Low";
 inline constexpr const char* kBtcVolumeColumn = "btc_VolumeUSD";
 
 /// Runs the full simulation. Deterministic in `config.seed`.
-Result<SimulatedMarket> SimulateMarket(const MarketSimConfig& config);
+[[nodiscard]] Result<SimulatedMarket> SimulateMarket(const MarketSimConfig& config);
 
 }  // namespace fab::sim
 

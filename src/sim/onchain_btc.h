@@ -27,7 +27,7 @@ namespace fab::sim {
 ///
 /// `out` must already have the latent date index and no conflicting
 /// columns.
-Status AddBtcOnChainMetrics(const LatentState& latent, const AssetPanel& panel,
+[[nodiscard]] Status AddBtcOnChainMetrics(const LatentState& latent, const AssetPanel& panel,
                             uint64_t seed, table::Table* out,
                             MetricCatalog* catalog);
 

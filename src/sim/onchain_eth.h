@@ -21,7 +21,7 @@ namespace fab::sim {
 /// a fee-burn mechanism active from Aug 2021 that couples supply growth
 /// to congestion. Off by default in `MarketSimConfig` so the headline
 /// reproduction matches the paper's BTC+USDC setup.
-Status AddEthOnChainMetrics(const LatentState& latent, uint64_t seed,
+[[nodiscard]] Status AddEthOnChainMetrics(const LatentState& latent, uint64_t seed,
                             table::Table* out, MetricCatalog* catalog);
 
 }  // namespace fab::sim

@@ -38,7 +38,7 @@ Date UsdcLaunchDate();
 /// feature set (and the goldens built from it) is untouched; an all-zero
 /// vector reproduces the unstressed metrics bitwise, minus those two
 /// columns.
-Status AddUsdcOnChainMetrics(const LatentState& latent,
+[[nodiscard]] Status AddUsdcOnChainMetrics(const LatentState& latent,
                              const std::vector<double>& total_mcap,
                              uint64_t seed, table::Table* out,
                              MetricCatalog* catalog,

@@ -23,7 +23,7 @@ Date FearGreedStartDate();
 /// heavy, fast-reverting noise: informative about immediate market
 /// reactions, useless at long horizons — the paper's observed pattern.
 /// Monthly search-volume series are step functions (one value per month).
-Status AddSentimentMetrics(const LatentState& latent, uint64_t seed,
+[[nodiscard]] Status AddSentimentMetrics(const LatentState& latent, uint64_t seed,
                            table::Table* out, MetricCatalog* catalog);
 
 }  // namespace fab::sim

@@ -122,7 +122,7 @@ std::vector<size_t> FlashCrashDays(const FlashCrashStress& crash,
 /// generator, so the shocks propagate into prices, the asset panel,
 /// on-chain activity and sentiment alike. Draws only from Rngs derived
 /// from `seed`; a fully disabled config is a byte-for-byte no-op.
-Status ApplyLatentStress(const StressConfig& stress, uint64_t seed,
+[[nodiscard]] Status ApplyLatentStress(const StressConfig& stress, uint64_t seed,
                          LatentState* latent);
 
 /// Per-day USDC peg deviation (dollars below $1, >= 0) implied by the

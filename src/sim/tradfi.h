@@ -19,7 +19,7 @@ namespace fab::sim {
 /// macro factor with a ~60-day lag, these indices carry long-horizon
 /// information about the crypto market — the paper's explanation for
 /// their rising contribution at 90/180-day windows.
-Status AddTradFiMetrics(const LatentState& latent, uint64_t seed,
+[[nodiscard]] Status AddTradFiMetrics(const LatentState& latent, uint64_t seed,
                         table::Table* out, MetricCatalog* catalog);
 
 }  // namespace fab::sim

@@ -10,12 +10,12 @@ namespace fab::table {
 
 /// Writes `t` as CSV: header row `date,<col>,...`, one row per date, empty
 /// fields for nulls, full double precision (%.17g round-trips exactly).
-Status WriteCsv(const Table& t, const std::string& path);
+[[nodiscard]] Status WriteCsv(const Table& t, const std::string& path);
 
 /// Reads a CSV produced by `WriteCsv` (or any CSV whose first column is an
 /// ISO date and whose remaining columns are numeric-or-empty). Rows must be
 /// in strictly increasing date order.
-Result<Table> ReadCsv(const std::string& path);
+[[nodiscard]] Result<Table> ReadCsv(const std::string& path);
 
 }  // namespace fab::table
 

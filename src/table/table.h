@@ -23,7 +23,7 @@ class Table {
 
   /// A table with the given date index and no columns. The index must be
   /// strictly increasing.
-  static Result<Table> Create(std::vector<Date> index);
+  [[nodiscard]] static Result<Table> Create(std::vector<Date> index);
 
   size_t num_rows() const { return index_.size(); }
   size_t num_columns() const { return columns_.size(); }
@@ -37,23 +37,23 @@ class Table {
 
   /// Adds a column. Fails if the name exists or the length differs from the
   /// index length.
-  Status AddColumn(const std::string& name, Column column);
+  [[nodiscard]] Status AddColumn(const std::string& name, Column column);
 
   /// Convenience: adds a fully valid column from raw values.
-  Status AddColumn(const std::string& name, std::vector<double> values);
+  [[nodiscard]] Status AddColumn(const std::string& name, std::vector<double> values);
 
   /// Removes a column. Fails if absent.
-  Status DropColumn(const std::string& name);
+  [[nodiscard]] Status DropColumn(const std::string& name);
 
   /// Renames a column. Fails if `from` is absent or `to` exists.
-  Status RenameColumn(const std::string& from, const std::string& to);
+  [[nodiscard]] Status RenameColumn(const std::string& from, const std::string& to);
 
   /// Borrow a column by name.
-  Result<const Column*> GetColumn(const std::string& name) const;
-  Result<Column*> GetMutableColumn(const std::string& name);
+  [[nodiscard]] Result<const Column*> GetColumn(const std::string& name) const;
+  [[nodiscard]] Result<Column*> GetMutableColumn(const std::string& name);
 
   /// Replaces an existing column's data. Fails if absent or mis-sized.
-  Status SetColumn(const std::string& name, Column column);
+  [[nodiscard]] Status SetColumn(const std::string& name, Column column);
 
   /// Position of the row whose date equals `d`, or -1.
   int FindRow(Date d) const;
@@ -66,12 +66,12 @@ class Table {
 
   /// New table containing only `names`, in that order. Fails on a missing
   /// name.
-  Result<Table> SelectColumns(const std::vector<std::string>& names) const;
+  [[nodiscard]] Result<Table> SelectColumns(const std::vector<std::string>& names) const;
 
   /// Inner-joins `other` on the date index: the result holds the
   /// intersection of dates and the union of columns. Fails on duplicate
   /// column names.
-  Result<Table> InnerJoin(const Table& other) const;
+  [[nodiscard]] Result<Table> InnerJoin(const Table& other) const;
 
   /// Rows where every column is valid.
   Table DropRowsWithNulls() const;

@@ -60,7 +60,7 @@ struct CheckVoidify {
 /// Normalizes Status / Result<T> for FAB_CHECK_OK.
 inline const Status& ToStatus(const Status& s) { return s; }
 template <typename T>
-Status ToStatus(const Result<T>& r) {
+[[nodiscard]] Status ToStatus(const Result<T>& r) {
   return r.status();
 }
 
@@ -85,6 +85,11 @@ Status ToStatus(const Result<T>& r) {
 // A `for` (rather than `if`/`else`) keeps the macro immune to dangling-else
 // ambiguity in unbraced callers; the body runs at most once because the
 // fail-stream destructor aborts at the end of the statement.
+//
+// `expr` is evaluated exactly once, in the for-init-statement — never in
+// the loop condition, which only reads the materialized status. Callers
+// may therefore pass side-effecting expressions (`FAB_CHECK_OK(Pop())`)
+// safely; check_test.cc pins this with a call counter.
 #define FAB_CHECK_OK(expr)                                              \
   for (const ::fab::Status _fab_check_ok_status =                       \
            ::fab::internal::ToStatus((expr));                           \

@@ -28,7 +28,7 @@ class Date {
   static Date FromOrdinal(int64_t ordinal);
 
   /// Parses "YYYY-MM-DD".
-  static Result<Date> FromString(const std::string& iso);
+  [[nodiscard]] static Result<Date> FromString(const std::string& iso);
 
   /// True when (year, month, day) names a real calendar date.
   static bool IsValidCivil(int year, int month, int day);

@@ -123,7 +123,7 @@ Histogram& GetHistogram(const std::string& name);
 std::string ExportMetrics();
 
 /// Writes ExportMetrics() to `path` atomically (temp file + rename).
-Status WriteMetrics(const std::string& path);
+[[nodiscard]] Status WriteMetrics(const std::string& path);
 
 }  // namespace fab::obs
 

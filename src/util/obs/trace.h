@@ -70,7 +70,7 @@ void StartTracing();
 /// reader never sees a partial trace even when concurrent processes
 /// export to the same path. Callers must quiesce their own spans first;
 /// idle pool workers are safe (buffers are only appended mid-span).
-Status WriteTrace(const std::string& path);
+[[nodiscard]] Status WriteTrace(const std::string& path);
 
 /// RAII span: records a "B" event at construction and the matching "E"
 /// event at destruction, on the constructing thread's buffer. Construct
@@ -108,7 +108,7 @@ struct TraceArg {
 
 inline bool TraceEnabled() { return false; }
 inline void StartTracing() {}
-Status WriteTrace(const std::string& path);  // writes an empty valid trace
+[[nodiscard]] Status WriteTrace(const std::string& path);  // writes an empty valid trace
 
 class TraceSpan {
  public:

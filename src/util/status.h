@@ -28,7 +28,12 @@ const char* StatusCodeToString(StatusCode code);
 /// The library does not throw exceptions across API boundaries; operations
 /// that can fail return `Status` (or `Result<T>` when they also produce a
 /// value). A default-constructed `Status` is OK.
-class Status {
+///
+/// The class itself is [[nodiscard]]: any expression that produces a
+/// Status by value and drops it is a compile-time warning (-Wall), on top
+/// of fablint's status-unchecked / status-nodiscard rules. Deliberate
+/// discards spell it out with `(void)` and a comment.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -39,28 +44,28 @@ class Status {
 
   /// Factory helpers, one per error class.
   static Status OK() { return Status(); }
-  static Status InvalidArgument(std::string msg) {
+  [[nodiscard]] static Status InvalidArgument(std::string msg) {
     return Status(StatusCode::kInvalidArgument, std::move(msg));
   }
-  static Status NotFound(std::string msg) {
+  [[nodiscard]] static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
   }
-  static Status AlreadyExists(std::string msg) {
+  [[nodiscard]] static Status AlreadyExists(std::string msg) {
     return Status(StatusCode::kAlreadyExists, std::move(msg));
   }
-  static Status OutOfRange(std::string msg) {
+  [[nodiscard]] static Status OutOfRange(std::string msg) {
     return Status(StatusCode::kOutOfRange, std::move(msg));
   }
-  static Status FailedPrecondition(std::string msg) {
+  [[nodiscard]] static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
-  static Status Internal(std::string msg) {
+  [[nodiscard]] static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
-  static Status IoError(std::string msg) {
+  [[nodiscard]] static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
   }
-  static Status Unavailable(std::string msg) {
+  [[nodiscard]] static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
@@ -85,9 +90,10 @@ class Status {
 ///
 /// Either holds a `T` (when `ok()`) or a non-OK `Status`. Accessing
 /// `value()` on an error result aborts in debug builds and is undefined
-/// otherwise, so callers must check `ok()` first.
+/// otherwise, so callers must check `ok()` first. Like Status, the class
+/// is [[nodiscard]]: dropping a Result drops an unexamined error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from a value: allows `return some_t;`.
   Result(T value) : data_(std::move(value)) {}

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "util/status.h"
 
 namespace fab {
@@ -49,6 +51,31 @@ TEST(CheckDeathTest, CheckOkAbortsOnErrorResult) {
   const Result<int> result = Status::NotFound("missing feature");
   EXPECT_DEATH(FAB_CHECK_OK(result) << "while selecting",
                "NotFound: missing feature.*while selecting");
+}
+
+TEST(CheckTest, CheckOkEvaluatesExpressionExactlyOnceOnSuccess) {
+  // The expression lives in the macro's for-init-statement, so passing a
+  // side-effecting call (Pop(), Submit(), ...) is safe.
+  int calls = 0;
+  auto ok_with_side_effect = [&calls]() {
+    ++calls;
+    return Status::OK();
+  };
+  FAB_CHECK_OK(ok_with_side_effect());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(CheckDeathTest, CheckOkEvaluatesExpressionExactlyOnceOnFailure) {
+  // The status message stamps the call count: the death output reading
+  // "call #1" proves the failing expression ran exactly once before the
+  // abort (a double evaluation would render "call #2").
+  int calls = 0;
+  auto failing_with_side_effect = [&calls]() {
+    ++calls;
+    return Status::Internal("call #" + std::to_string(calls));
+  };
+  EXPECT_DEATH(FAB_CHECK_OK(failing_with_side_effect()),
+               "Internal: call #1 ");
 }
 
 TEST(CheckTest, CheckOkComposesWithPlainIf) {

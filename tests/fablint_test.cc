@@ -8,9 +8,14 @@
 #include <sys/wait.h>
 
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 namespace {
+
+namespace fs = std::filesystem;
 
 struct RunResult {
   int exit_code = -1;
@@ -34,6 +39,30 @@ RunResult RunFablint(const std::string& args) {
 
 std::string Fixture(const std::string& name) {
   return std::string(FABLINT_FIXTURES) + "/" + name;
+}
+
+/// Fresh per-test scratch dir for --fix tests (fixtures are never modified
+/// in place: each test lints a private copy).
+fs::path FixScratchDir(const std::string& test_name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / ("fablint_" + test_name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+/// Copies fixture `name` under `dir`, preserving its relative path.
+fs::path CopyFixture(const fs::path& dir, const std::string& name) {
+  const fs::path to = dir / name;
+  fs::create_directories(to.parent_path());
+  fs::copy_file(Fixture(name), to, fs::copy_options::overwrite_existing);
+  return to;
+}
+
+std::string ReadFile(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
 }
 
 size_t CountOccurrences(const std::string& haystack, const std::string& tag) {
@@ -308,6 +337,166 @@ TEST(FablintTest, SuppressedFileExitsZero) {
   EXPECT_EQ(CountOccurrences(run.output, "["), 0u) << run.output;
 }
 
+TEST(FablintTest, StatusUnchecked) {
+  // Two discards; the consumer shapes (assign, branch, argument, (void),
+  // return, fablint:allow) and the in-file declarations stay clean — in
+  // particular status-nodiscard does not apply to .cc files, so the
+  // unannotated `Status Poke();` produces no second diagnostic.
+  ExpectSingleRule("status_unchecked.cc", "status-unchecked", 2);
+}
+
+TEST(FablintTest, StatusUncheckedReportsExactLinesAndCallee) {
+  const RunResult run =
+      RunFablint("--all-rules " + Fixture("status_unchecked.cc"));
+  EXPECT_NE(run.output.find("status_unchecked.cc:20: [status-unchecked] "
+                            "return value of 'Poke'"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("status_unchecked.cc:21: [status-unchecked] "
+                            "return value of 'Fetch'"),
+            std::string::npos)
+      << run.output;
+}
+
+TEST(FablintTest, StatusUncheckedDropsCrossFileConflictedNames) {
+  // `Ping` returns Status in a.cc alone — the discard fires. Add b.cc,
+  // where `Ping` returns void, and the signature index must drop the
+  // ambiguous name entirely.
+  const RunResult alone =
+      RunFablint("--all-rules " + Fixture("status_conflict_a.cc"));
+  EXPECT_EQ(alone.exit_code, 1) << alone.output;
+  EXPECT_EQ(CountOccurrences(alone.output, "[status-unchecked]"), 1u)
+      << alone.output;
+  const RunResult both =
+      RunFablint("--all-rules " + Fixture("status_conflict_a.cc") + " " +
+                 Fixture("status_conflict_b.cc"));
+  EXPECT_EQ(both.exit_code, 0) << both.output;
+  EXPECT_EQ(CountOccurrences(both.output, "["), 0u) << both.output;
+}
+
+TEST(FablintTest, StatusNodiscard) {
+  // Not ExpectSingleRule: the diagnostic text itself contains
+  // "[[nodiscard]]", which its bracket-counting heuristic miscounts.
+  const RunResult run =
+      RunFablint("--all-rules " + Fixture("status_nodiscard.h"));
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_EQ(CountOccurrences(run.output, "[status-nodiscard]"), 1u)
+      << run.output;
+  EXPECT_NE(run.output.find("1 violation(s)"), std::string::npos)
+      << run.output;
+}
+
+TEST(FablintTest, StatusNodiscardReportsExactLine) {
+  const RunResult run =
+      RunFablint("--all-rules " + Fixture("status_nodiscard.h"));
+  EXPECT_NE(run.output.find(
+                "status_nodiscard.h:11: [status-nodiscard] 'Save'"),
+            std::string::npos)
+      << run.output;
+}
+
+TEST(FablintTest, PerfHotAlloc) {
+  // make_unique, unreserved push_back and to_string inside the hot
+  // region; the reserved push_back, the allow-suppressed std::string and
+  // the identical patterns outside the region stay clean.
+  ExpectSingleRule("perf_hot_alloc.cc", "perf-hot-alloc", 3);
+}
+
+TEST(FablintTest, PerfHotAllocReportsExactLines) {
+  const RunResult run =
+      RunFablint("--all-rules " + Fixture("perf_hot_alloc.cc"));
+  EXPECT_NE(run.output.find("perf_hot_alloc.cc:16: [perf-hot-alloc] "
+                            "make_unique"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("perf_hot_alloc.cc:17: [perf-hot-alloc] "
+                            "push_back on 'tmp'"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("perf_hot_alloc.cc:20: [perf-hot-alloc] "
+                            "to_string"),
+            std::string::npos)
+      << run.output;
+}
+
+TEST(FablintTest, FixInsertsNodiscardAndIsIdempotent) {
+  const fs::path dir = FixScratchDir("fix_nodiscard");
+  const fs::path copy = CopyFixture(dir, "status_nodiscard.h");
+  const std::string base =
+      "--all-rules --root " + dir.string() + " --fix " + copy.string();
+
+  const RunResult first = RunFablint(base);
+  EXPECT_EQ(first.exit_code, 1) << first.output;
+  EXPECT_NE(first.output.find("applied 1 fix edit(s) in 1 file(s)"),
+            std::string::npos)
+      << first.output;
+  EXPECT_NE(ReadFile(copy).find("[[nodiscard]] Status Save(int id);"),
+            std::string::npos)
+      << ReadFile(copy);
+
+  // The fixed file is clean: the second --fix run applies nothing.
+  const RunResult second = RunFablint(base);
+  EXPECT_EQ(second.exit_code, 0) << second.output;
+  EXPECT_NE(second.output.find("applied 0 fix edit(s) in 0 file(s)"),
+            std::string::npos)
+      << second.output;
+}
+
+TEST(FablintTest, FixDeletesUsingNamespaceLine) {
+  const fs::path dir = FixScratchDir("fix_using_namespace");
+  const fs::path copy = CopyFixture(dir, "hygiene_using_namespace.h");
+  const std::string base =
+      "--all-rules --root " + dir.string() + " --fix " + copy.string();
+
+  const RunResult first = RunFablint(base);
+  EXPECT_EQ(first.exit_code, 1) << first.output;
+  const std::string fixed = ReadFile(copy);
+  EXPECT_EQ(fixed.find("using namespace"), std::string::npos) << fixed;
+
+  const RunResult second = RunFablint(base);
+  EXPECT_EQ(second.exit_code, 0) << second.output;
+}
+
+TEST(FablintTest, FixRemovesUnusedIncludeAcrossGraph) {
+  const fs::path dir = FixScratchDir("fix_unused_include");
+  const fs::path user = CopyFixture(dir, "graph/unused_user.cc");
+  CopyFixture(dir, "graph/unused_dep.h");
+  const std::string base = "--all-rules --root " + dir.string() + " --fix " +
+                           (dir / "graph").string();
+
+  const RunResult first = RunFablint(base);
+  EXPECT_EQ(first.exit_code, 1) << first.output;
+  // The include line is gone (the fixture's prose comment still names
+  // the header, so match the directive, not the file name).
+  EXPECT_EQ(ReadFile(user).find("#include"), std::string::npos)
+      << ReadFile(user);
+
+  const RunResult second = RunFablint(base);
+  EXPECT_EQ(second.exit_code, 0) << second.output;
+}
+
+TEST(FablintTest, FixDryRunPrintsDiffWithoutWriting) {
+  const fs::path dir = FixScratchDir("fix_dry_run");
+  const fs::path copy = CopyFixture(dir, "hygiene_using_namespace.h");
+  const std::string before = ReadFile(copy);
+
+  const RunResult run = RunFablint("--all-rules --root " + dir.string() +
+                                   " --fix --dry-run " + copy.string());
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("--- a/hygiene_using_namespace.h"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("+++ b/hygiene_using_namespace.h"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("-using namespace std;"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("would apply 1 fix edit(s) in 1 file(s)"),
+            std::string::npos)
+      << run.output;
+  EXPECT_EQ(ReadFile(copy), before) << "--dry-run must not write";
+}
+
 TEST(FablintTest, WalkingTheFixtureDirFindsEveryRuleOnce) {
   const RunResult run =
       RunFablint("--all-rules --root " + std::string(FABLINT_FIXTURES) + " " +
@@ -317,9 +506,12 @@ TEST(FablintTest, WalkingTheFixtureDirFindsEveryRuleOnce) {
   // contributes a second det-rand (the typo'd allow must not suppress it),
   // bench/raw_clock_exempt.cc which contributes a second obs-raw-clock and
   // src/net/raw_syscall_exempt.cc a second net-raw-syscall (--all-rules
-  // bypasses the path exemptions); clean.cc, suppressed.cc, the allow_*
-  // negatives and the diamond headers contribute nothing.
-  EXPECT_NE(run.output.find("checked 32 file(s), 21 violation(s)"),
+  // bypasses the path exemptions). status_unchecked.cc contributes two
+  // status-unchecked discards and perf_hot_alloc.cc three hot-region
+  // allocations; clean.cc, suppressed.cc, the allow_* negatives, the
+  // diamond headers and the status_conflict_* pair (the conflicting void
+  // overload un-indexes 'Ping') contribute nothing.
+  EXPECT_NE(run.output.find("checked 37 file(s), 27 violation(s)"),
             std::string::npos)
       << run.output;
   for (const char* rule :
@@ -328,7 +520,7 @@ TEST(FablintTest, WalkingTheFixtureDirFindsEveryRuleOnce) {
         "safety-float-accum", "safety-unannotated-mutex", "hygiene-guard",
         "hygiene-using-namespace", "hygiene-new-delete",
         "graph-include-cycle", "graph-unused-include", "lock-order",
-        "lint-unknown-rule"}) {
+        "lint-unknown-rule", "status-nodiscard"}) {
     EXPECT_EQ(CountOccurrences(run.output, std::string("[") + rule + "]"), 1u)
         << rule << "\n"
         << run.output;
@@ -337,6 +529,10 @@ TEST(FablintTest, WalkingTheFixtureDirFindsEveryRuleOnce) {
   EXPECT_EQ(CountOccurrences(run.output, "[obs-raw-clock]"), 2u)
       << run.output;
   EXPECT_EQ(CountOccurrences(run.output, "[net-raw-syscall]"), 2u)
+      << run.output;
+  EXPECT_EQ(CountOccurrences(run.output, "[status-unchecked]"), 2u)
+      << run.output;
+  EXPECT_EQ(CountOccurrences(run.output, "[perf-hot-alloc]"), 3u)
       << run.output;
 }
 
@@ -366,7 +562,8 @@ TEST(FablintTest, ListRulesPrintsTheFullTable) {
         "safety-float-accum", "safety-unannotated-mutex", "hygiene-guard",
         "hygiene-using-namespace", "hygiene-new-delete",
         "graph-include-cycle", "graph-unused-include", "lock-order",
-        "lint-unknown-rule", "obs-raw-clock", "net-raw-syscall"}) {
+        "lint-unknown-rule", "obs-raw-clock", "net-raw-syscall",
+        "status-unchecked", "status-nodiscard", "perf-hot-alloc"}) {
     EXPECT_NE(run.output.find(rule), std::string::npos) << rule;
   }
 }
@@ -375,6 +572,8 @@ TEST(FablintTest, UsageErrorsExitTwo) {
   EXPECT_EQ(RunFablint("--no-such-flag").exit_code, 2);
   EXPECT_EQ(RunFablint("").exit_code, 2);  // no inputs
   EXPECT_EQ(RunFablint(Fixture("does_not_exist.cc")).exit_code, 2);
+  // --dry-run is a --fix modifier, not a standalone mode.
+  EXPECT_EQ(RunFablint("--dry-run " + Fixture("clean.cc")).exit_code, 2);
 }
 
 }  // namespace

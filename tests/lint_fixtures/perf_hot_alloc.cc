@@ -1,0 +1,25 @@
+// Deliberate perf-hot-alloc violations inside the fablint:hot region:
+// a make_unique (line 16), an unreserved push_back (line 17), and a
+// to_string temporary (line 20). The reserved container, the suppressed
+// string, and everything outside the region must stay clean.
+#include <memory>
+#include <string>
+#include <vector>
+
+void Cold(std::vector<int>& out) {
+  out.push_back(1);
+}
+
+int Hot(std::vector<int>& tmp, std::vector<int>& ready, int v) {
+  ready.reserve(16);
+  // fablint:hot — fixture hot region
+  auto owned = std::make_unique<int>(v);
+  tmp.push_back(v);
+  ready.push_back(v);
+  int digits = 0;
+  for (char c : std::to_string(v)) digits += c != '-';
+  // fablint:allow(perf-hot-alloc)
+  std::string scratch(static_cast<size_t>(digits), ' ');
+  // fablint:endhot
+  return *owned + static_cast<int>(scratch.size());
+}

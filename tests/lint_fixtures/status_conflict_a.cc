@@ -1,0 +1,11 @@
+// `Ping` returns Status in this file but void in status_conflict_b.cc.
+// The cross-file signature index must drop the ambiguous name, so the
+// discarded call below stays unflagged when both files are linted
+// together (and fires when this file is linted alone).
+struct Status {};
+
+Status Ping();
+
+void Caller() {
+  Ping();
+}

@@ -1,0 +1,7 @@
+// Companion to status_conflict_a.cc: the conflicting void declaration
+// that makes `Ping` ambiguous across the fixture set.
+void Ping();
+
+void OtherCaller() {
+  Ping();
+}

@@ -1,0 +1,16 @@
+// Deliberate status-nodiscard violation: `Save` returns Status without
+// [[nodiscard]] (line 11). `Load` and `Parse` carry the attribute and
+// must stay clean, as must the void-returning declaration.
+#ifndef TESTS_LINT_FIXTURES_STATUS_NODISCARD_H_
+#define TESTS_LINT_FIXTURES_STATUS_NODISCARD_H_
+
+struct Status {};
+template <typename T>
+struct Result {};
+
+Status Save(int id);
+[[nodiscard]] Status Load(int id);
+[[nodiscard]] Result<int> Parse(const char* text);
+void Touch(int id);
+
+#endif  // TESTS_LINT_FIXTURES_STATUS_NODISCARD_H_

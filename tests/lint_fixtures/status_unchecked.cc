@@ -1,0 +1,30 @@
+// Deliberate status-unchecked violations: Status/Result-returning calls
+// whose value dies as a bare expression statement (lines 20 and 21).
+// Every recognized consumer shape is also present and must stay clean:
+// assignment, branching, argument position, explicit (void), return,
+// and a fablint:allow suppression.
+struct Status {
+  bool ok() const { return true; }
+};
+template <typename T>
+struct Result {
+  bool ok() const { return true; }
+};
+
+Status Poke();
+Result<int> Fetch();
+void Sink(Status s);
+
+Status Caller() {
+  Status kept = Poke();
+  Poke();
+  Fetch();
+  if (!kept.ok()) return kept;
+  (void)Poke();  // deliberate: fixture exercises the explicit-discard shape
+  Sink(Poke());
+  if (Fetch().ok()) {
+    // fablint:allow(status-unchecked)
+    Poke();
+  }
+  return Poke();
+}

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Fails when `fablint --list-rules` and the README rule table drift.
+
+The README's static-analysis section documents every rule in a markdown
+table whose first cell is the backticked rule id. This check compares
+that set against the ids the binary actually registers, in both
+directions, so adding a rule without documenting it (or documenting a
+rule that was renamed or removed) fails ctest (`fablint_docs_sync`).
+
+Usage: check_docs_sync.py --fablint <binary> --readme <README.md>
+"""
+
+import argparse
+import re
+import subprocess
+import sys
+
+# A rule id is lowercase words joined by hyphens (at least one hyphen),
+# alone in the first cell of a table row. The hyphen requirement keeps
+# other README tables (library targets, macros, endpoints) out.
+_ROW = re.compile(r"^\|\s*`([a-z][a-z0-9]*(?:-[a-z0-9]+)+)`\s*\|")
+
+
+def readme_rules(path):
+    rules = set()
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            match = _ROW.match(line)
+            if match:
+                rules.add(match.group(1))
+    return rules
+
+
+def linter_rules(binary):
+    out = subprocess.run(
+        [binary, "--list-rules"], check=True, capture_output=True, text=True
+    ).stdout
+    return {line.split("\t", 1)[0] for line in out.splitlines() if line.strip()}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fablint", required=True, help="fablint binary")
+    parser.add_argument("--readme", required=True, help="README.md path")
+    args = parser.parse_args()
+
+    documented = readme_rules(args.readme)
+    registered = linter_rules(args.fablint)
+
+    undocumented = sorted(registered - documented)
+    stale = sorted(documented - registered)
+    if undocumented:
+        print(
+            "rules registered in fablint but missing from the README table: "
+            + ", ".join(undocumented)
+        )
+    if stale:
+        print(
+            "rules documented in the README table but unknown to fablint: "
+            + ", ".join(stale)
+        )
+    if undocumented or stale:
+        return 1
+    print(f"docs in sync: {len(registered)} rule(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

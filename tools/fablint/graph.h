@@ -5,13 +5,14 @@
 #include <vector>
 
 #include "lint.h"
+#include "repo_graph.h"
 
 /// fablint pass 2 — cross-file analysis over the whole walked file set.
 ///
-/// Pass 1 (here, internal) builds a repo graph from every input at once:
-/// the quoted-include DAG, a per-file symbol index (exported names, word
-/// tokens, mutex members) and per-file lock-acquisition sequences. Pass 2
-/// evaluates four rules no single-file linter can express:
+/// Operates on the shared repo graph (repo_graph.h): the quoted-include
+/// DAG, a per-file symbol index (exported names, word tokens, mutex
+/// members) and per-file lock-acquisition sequences. Evaluates four
+/// rules no single-file linter can express:
 ///
 ///   graph-include-cycle      cycles in the quoted-include graph
 ///   graph-unused-include     includes whose transitive exports are never
@@ -25,15 +26,15 @@
 /// suppressions on the anchor line (or the line above) are honored.
 namespace fab::lint {
 
-/// Runs the cross-file rules over `files` (each already read into memory,
-/// rel paths root-relative with forward slashes). Returned violations are
-/// unsorted; the caller merges them with per-file findings and sorts.
-std::vector<Violation> LintRepoGraph(const std::vector<FileInput>& files,
+/// Runs the cross-file rules over `nodes` (BuildNodes output). Returned
+/// violations are unsorted; the caller merges them with per-file and
+/// semantic-pass findings and sorts.
+std::vector<Violation> LintRepoGraph(const std::vector<FileNode>& nodes,
                                      const Options& options);
 
 /// Prints the resolved quoted-include graph (one block per file, edges
 /// with the include's line number) to `out` — the `--graph-dump` view.
-void GraphDump(const std::vector<FileInput>& files, std::ostream& out);
+void GraphDump(const std::vector<FileNode>& nodes, std::ostream& out);
 
 }  // namespace fab::lint
 

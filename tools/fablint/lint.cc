@@ -101,10 +101,38 @@ bool Suppressed(const Ctx& ctx, int line, const std::string& rule) {
   return AllowsRule(ctx.comment_lines, line, rule);
 }
 
-void Add(Ctx& ctx, size_t pos, const char* rule, std::string message) {
+void Add(Ctx& ctx, size_t pos, const char* rule, std::string message,
+         std::vector<Edit> fix = {}) {
   const int line = LineOf(ctx, pos);
   if (Suppressed(ctx, line, rule)) return;
-  ctx.out.push_back(Violation{ctx.rel, line, rule, std::move(message)});
+  ctx.out.push_back(
+      Violation{ctx.rel, line, rule, std::move(message), std::move(fix)});
+}
+
+/// Deletes the statement starting at `begin` through its terminating `;`.
+/// When nothing else shares the line(s), the whole line is removed,
+/// newline included, so --fix leaves no blank scar.
+std::vector<Edit> DeleteStatementFix(const Ctx& ctx, size_t begin) {
+  const std::string& text = ctx.masked;
+  size_t end = text.find(';', begin);
+  if (end == std::string::npos) return {};
+  ++end;  // include the ';'
+  size_t line_start = begin;
+  while (line_start > 0 && text[line_start - 1] != '\n') --line_start;
+  size_t line_end = end;
+  while (line_end < text.size() && text[line_end] != '\n') ++line_end;
+  bool alone = true;
+  for (size_t i = line_start; i < begin && alone; ++i) {
+    if (!IsSpace(text[i])) alone = false;
+  }
+  for (size_t i = end; i < line_end && alone; ++i) {
+    if (!IsSpace(text[i])) alone = false;
+  }
+  if (alone) {
+    begin = line_start;
+    end = line_end < text.size() ? line_end + 1 : line_end;
+  }
+  return {Edit{begin, end, ""}};
 }
 
 // --- Determinism rules. -----------------------------------------------------
@@ -300,7 +328,8 @@ void CheckHygiene(Ctx& ctx) {
         const size_t i = SkipWs(text, pos + 5);
         if (!TokenAt(text, i, "namespace")) return;
         Add(ctx, pos, "hygiene-using-namespace",
-            "using namespace in a header leaks into every includer");
+            "using namespace in a header leaks into every includer",
+            DeleteStatementFix(ctx, pos));
       });
     }
   }
@@ -362,6 +391,130 @@ void CheckRawClock(Ctx& ctx) {
               "obs::Clock so wall-clock stays an observability-only input");
     });
   }
+}
+
+// --- Performance rules. -----------------------------------------------------
+
+/// [begin, end] in 1-based lines, both inclusive.
+struct LineRange {
+  int begin = 0;
+  int end = 0;
+};
+
+/// `// fablint:hot` ... `// fablint:endhot` comment markers delimit hot
+/// regions (the FlatForest traversal loop, the HTTP parser byte loop, the
+/// batch submit path). The marker must be the FIRST word of the comment
+/// (so prose that merely mentions a marker never opens a region); text
+/// after it is free-form annotation. An unterminated open marker extends
+/// to EOF; nested markers do not stack (the outermost pair wins).
+std::vector<LineRange> HotRanges(const std::vector<std::string>& comment_lines) {
+  const auto leads_with = [](const std::string& l, const char* marker) {
+    const size_t at = SkipWs(l, 0);
+    return l.compare(at, std::string(marker).size(), marker) == 0;
+  };
+  std::vector<LineRange> ranges;
+  int open = 0;
+  for (size_t i = 0; i < comment_lines.size(); ++i) {
+    const std::string& l = comment_lines[i];
+    if (leads_with(l, "fablint:endhot")) {
+      if (open > 0) {
+        ranges.push_back(LineRange{open, static_cast<int>(i) + 1});
+        open = 0;
+      }
+    } else if (leads_with(l, "fablint:hot")) {
+      if (open == 0) open = static_cast<int>(i) + 1;
+    }
+  }
+  if (open > 0) ranges.push_back(LineRange{open, 1 << 30});
+  return ranges;
+}
+
+/// Allocation in a marked hot region: heap allocation (new / make_unique /
+/// make_shared), container growth with no visible reserve on the same
+/// receiver anywhere in the file, and std::string temporaries (by-value
+/// construction, to_string, substr, operator+ on strings is out of lexical
+/// reach). Cold sub-paths inside a hot region (error branches) carry a
+/// justified fablint:allow(perf-hot-alloc).
+void CheckHotAlloc(Ctx& ctx) {
+  const std::vector<LineRange> ranges = HotRanges(ctx.comment_lines);
+  if (ranges.empty()) return;
+  const std::string& text = ctx.masked;
+  auto in_hot = [&](size_t pos) {
+    const int line = LineOf(ctx, pos);
+    for (const LineRange& r : ranges) {
+      if (line >= r.begin && line <= r.end) return true;
+    }
+    return false;
+  };
+
+  for (const char* call : {"new", "make_unique", "make_shared"}) {
+    ForEachToken(text, call, [&](size_t pos) {
+      if (!in_hot(pos)) return;
+      Add(ctx, pos, "perf-hot-alloc",
+          std::string(call) +
+              " allocates inside a fablint:hot region: hoist the allocation "
+              "out of the hot path (or fablint:allow(perf-hot-alloc) with a "
+              "justification for a cold branch)");
+    });
+  }
+
+  // Receivers with a visible `x.reserve(` / `x->reserve(` anywhere in the
+  // file (typically just above the hot loop) are exempt from the growth
+  // check.
+  auto receiver_of = [&text](size_t dot) -> std::string {
+    size_t i = dot;
+    if (i >= 2 && text[i - 1] == '>' && text[i - 2] == '-') {
+      i -= 2;
+    } else if (i >= 1 && text[i - 1] == '.') {
+      i -= 1;
+    } else {
+      return std::string();
+    }
+    size_t j = i;
+    while (j > 0 && IsWordChar(text[j - 1])) --j;
+    return text.substr(j, i - j);
+  };
+  std::set<std::string> reserved;
+  ForEachToken(text, "reserve", [&](size_t pos) {
+    const std::string recv = receiver_of(pos);
+    if (!recv.empty()) reserved.insert(recv);
+  });
+  for (const char* grow : {"push_back", "emplace_back"}) {
+    ForEachToken(text, grow, [&](size_t pos) {
+      if (!in_hot(pos)) return;
+      const std::string recv = receiver_of(pos);
+      if (recv.empty() || reserved.count(recv) > 0) return;
+      Add(ctx, pos, "perf-hot-alloc",
+          std::string(grow) + " on '" + recv +
+              "' inside a fablint:hot region with no " + recv +
+              ".reserve(...) in this file: reserve capacity before the hot "
+              "loop");
+    });
+  }
+
+  for (const char* strfn : {"to_string", "substr"}) {
+    ForEachCall(text, strfn, [&](size_t pos) {
+      if (!in_hot(pos)) return;
+      Add(ctx, pos, "perf-hot-alloc",
+          std::string(strfn) +
+              " builds a std::string temporary inside a fablint:hot region: "
+              "format outside the hot path or reuse a buffer");
+    });
+  }
+  ForEachToken(text, "string", [&](size_t pos) {
+    if (!in_hot(pos)) return;
+    // Only std::-qualified uses that construct a value: `std::string x` or
+    // `std::string(...)`. References/pointers (`const std::string&`) and
+    // unqualified words do not allocate here.
+    if (pos < 2 || text[pos - 1] != ':' || text[pos - 2] != ':') return;
+    size_t i = SkipWs(text, pos + 6);
+    const bool ctor_call = i < text.size() && text[i] == '(';
+    const bool value_decl = i < text.size() && IsWordChar(text[i]);
+    if (!ctor_call && !value_decl) return;
+    Add(ctx, pos, "perf-hot-alloc",
+        "std::string constructed by value inside a fablint:hot region: "
+        "allocate outside the hot path or reuse a buffer");
+  });
 }
 
 // --- Network rules. ---------------------------------------------------------
@@ -461,6 +614,15 @@ const std::vector<RuleInfo>& AllRules() {
       {"net-raw-syscall",
        "raw ::socket/::bind/::epoll_*/... banned outside src/net/; "
        "use net::HttpClient / net::HttpServer"},
+      {"status-unchecked",
+       "Status/Result return values must be consumed (FAB_CHECK_OK, "
+       "assign, branch, return, or explicit (void))"},
+      {"status-nodiscard",
+       "Status/Result-returning declarations in src/ headers need "
+       "[[nodiscard]]"},
+      {"perf-hot-alloc",
+       "no heap allocation, unreserved growth, or string temporaries "
+       "inside fablint:hot regions"},
   };
   return kRules;
 }
@@ -664,6 +826,7 @@ std::vector<Violation> LintSource(const std::string& rel_path,
   CheckUnorderedIteration(ctx);
   CheckSafety(ctx);
   CheckHygiene(ctx);
+  CheckHotAlloc(ctx);
   CheckRawClock(ctx);
   CheckRawSyscalls(ctx);
   CheckUnknownRules(ctx);

@@ -21,12 +21,27 @@
 /// what `// fablint:allow(<rule>)` suppressions are for.
 namespace fab::lint {
 
+/// One machine-applicable fix: replace bytes [begin, end) of the file the
+/// owning Violation names with `replacement`. Offsets index the ORIGINAL
+/// file contents (MaskSource preserves layout, so offsets computed on the
+/// masked view are valid here). Applied by the --fix engine (fix.h),
+/// which sorts, dedupes and overlap-checks edits per file.
+struct Edit {
+  size_t begin = 0;
+  size_t end = 0;
+  std::string replacement;
+};
+
 /// One diagnostic: where, which rule, and a human-readable explanation.
+/// `fix` is empty for rules with no mechanical remedy; otherwise it holds
+/// the span edits `--fix` would apply (guaranteed idempotent: the fixed
+/// source no longer triggers the rule).
 struct Violation {
   std::string path;  // as supplied (relative to --root when walking)
   int line = 0;      // 1-based
   std::string rule;
   std::string message;
+  std::vector<Edit> fix;
 };
 
 /// One source file handed to the cross-file (repo-graph) pass: the

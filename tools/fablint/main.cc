@@ -2,12 +2,16 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "fix.h"
 #include "graph.h"
 #include "lint.h"
+#include "repo_graph.h"
+#include "semantic.h"
 
 namespace fs = std::filesystem;
 
@@ -15,11 +19,14 @@ namespace {
 
 constexpr const char* kUsage =
     "usage: fablint [--root <dir>] [--all-rules] [--exclude <substr>]...\n"
-    "               [--list-rules] [--graph-dump] <file-or-dir>...\n"
+    "               [--fix [--dry-run]] [--list-rules] [--graph-dump]\n"
+    "               <file-or-dir>...\n"
     "\n"
     "Lints fab C++ sources for determinism, safety and hygiene violations,\n"
     "then runs cross-file rules (include cycles, unused includes, lock\n"
-    "ordering, mutex annotation coverage) over the whole walked set.\n"
+    "ordering, mutex annotation coverage) and the Status-discipline pass\n"
+    "(discarded Status/Result values, missing [[nodiscard]]) over the\n"
+    "whole walked set.\n"
     "Diagnostics: <path>:<line>: [<rule-id>] <message>\n"
     "Suppress a finding with '// fablint:allow(<rule-id>)' on the same or\n"
     "the preceding line.\n"
@@ -28,6 +35,9 @@ constexpr const char* kUsage =
     "                  scoping are relative to it (default: cwd)\n"
     "  --all-rules     disable path-based rule scoping (fixture mode)\n"
     "  --exclude <s>   skip files whose root-relative path contains <s>\n"
+    "  --fix           apply machine-safe fixes in place (idempotent:\n"
+    "                  rerun until '0 fix edit(s)')\n"
+    "  --dry-run       with --fix: print the diff instead of writing\n"
     "  --list-rules    print the rule table and exit\n"
     "  --graph-dump    print the resolved include graph and exit\n"
     "\n"
@@ -55,6 +65,8 @@ int main(int argc, char** argv) {
   fs::path root = fs::current_path();
   bool all_rules = false;
   bool graph_dump = false;
+  bool fix_mode = false;
+  bool dry_run = false;
   std::vector<std::string> excludes;
   std::vector<fs::path> inputs;
 
@@ -72,6 +84,10 @@ int main(int argc, char** argv) {
       all_rules = true;
     } else if (arg == "--graph-dump") {
       graph_dump = true;
+    } else if (arg == "--fix") {
+      fix_mode = true;
+    } else if (arg == "--dry-run") {
+      dry_run = true;
     } else if (arg == "--root") {
       if (i + 1 >= argc) {
         std::cerr << "fablint: --root needs a value\n" << kUsage;
@@ -93,6 +109,10 @@ int main(int argc, char** argv) {
   }
   if (inputs.empty()) {
     std::cerr << "fablint: no inputs\n" << kUsage;
+    return 2;
+  }
+  if (dry_run && !fix_mode) {
+    std::cerr << "fablint: --dry-run requires --fix\n" << kUsage;
     return 2;
   }
 
@@ -129,7 +149,8 @@ int main(int argc, char** argv) {
 
   size_t checked = 0;
   std::vector<fab::lint::Violation> violations;
-  std::vector<fab::lint::FileInput> graph_inputs;
+  std::vector<fab::lint::FileInput> walked;
+  std::map<std::string, fs::path> rel_to_path;
   for (const fs::path& file : files) {
     const std::string rel = RelPath(file, root);
     bool skip = false;
@@ -149,23 +170,28 @@ int main(int argc, char** argv) {
     std::ostringstream buffer;
     buffer << in.rdbuf();
     ++checked;
-    graph_inputs.push_back(fab::lint::FileInput{rel, buffer.str()});
+    walked.push_back(fab::lint::FileInput{rel, buffer.str()});
+    rel_to_path[rel] = file;
     std::vector<fab::lint::Violation> found =
-        fab::lint::LintSource(rel, graph_inputs.back().src, options);
+        fab::lint::LintSource(rel, walked.back().src, options);
     violations.insert(violations.end(), found.begin(), found.end());
   }
 
+  // Passes 2 and 3 share one node build: every file is masked and
+  // tokenized exactly once per run.
+  const std::vector<fab::lint::FileNode> nodes = fab::lint::BuildNodes(walked);
+
   if (graph_dump) {
-    fab::lint::GraphDump(graph_inputs, std::cout);
+    fab::lint::GraphDump(nodes, std::cout);
     return 0;
   }
 
-  // Pass 2: cross-file rules over the whole walked set, then one global
-  // (path, line, rule) order so per-file and graph findings interleave
-  // deterministically.
-  std::vector<fab::lint::Violation> graph_found =
-      fab::lint::LintRepoGraph(graph_inputs, options);
-  violations.insert(violations.end(), graph_found.begin(), graph_found.end());
+  for (auto* pass : {&fab::lint::LintRepoGraph, &fab::lint::LintSemantic}) {
+    std::vector<fab::lint::Violation> found = (*pass)(nodes, options);
+    violations.insert(violations.end(), found.begin(), found.end());
+  }
+  // One global (path, line, rule) order so per-file, graph and semantic
+  // findings interleave deterministically.
   std::sort(violations.begin(), violations.end(),
             [](const fab::lint::Violation& a, const fab::lint::Violation& b) {
               if (a.path != b.path) return a.path < b.path;
@@ -177,6 +203,46 @@ int main(int argc, char** argv) {
     std::cout << v.path << ":" << v.line << ": [" << v.rule << "] "
               << v.message << "\n";
   }
+
+  if (fix_mode) {
+    std::map<std::string, std::vector<fab::lint::Edit>> edits_by_file;
+    for (const fab::lint::Violation& v : violations) {
+      for (const fab::lint::Edit& e : v.fix) edits_by_file[v.path].push_back(e);
+    }
+    size_t applied = 0;
+    size_t dropped = 0;
+    size_t touched = 0;
+    for (const fab::lint::FileInput& file : walked) {
+      const auto it = edits_by_file.find(file.rel);
+      if (it == edits_by_file.end()) continue;
+      const fab::lint::FixResult result =
+          fab::lint::ApplyEdits(file.src, it->second);
+      applied += result.applied;
+      dropped += result.dropped;
+      if (result.applied == 0) continue;
+      ++touched;
+      if (dry_run) {
+        fab::lint::RenderDiff(file.rel, file.src, result.fixed, std::cout);
+      } else {
+        std::ofstream out(rel_to_path[file.rel],
+                          std::ios::binary | std::ios::trunc);
+        if (!out) {
+          std::cerr << "fablint: cannot write " << rel_to_path[file.rel]
+                    << "\n";
+          return 2;
+        }
+        out << result.fixed;
+      }
+    }
+    std::cout << "fablint: " << (dry_run ? "would apply " : "applied ")
+              << applied << " fix edit(s) in " << touched << " file(s)";
+    if (dropped > 0) {
+      std::cout << " (" << dropped
+                << " overlapping edit(s) deferred to the next run)";
+    }
+    std::cout << "\n";
+  }
+
   std::cout << "fablint: checked " << checked << " file(s), "
             << violations.size() << " violation(s)\n";
   return violations.empty() ? 0 : 1;

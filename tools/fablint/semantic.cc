@@ -1,0 +1,261 @@
+#include "semantic.h"
+
+#include <cctype>
+#include <set>
+#include <string>
+
+namespace fab::lint {
+
+namespace {
+
+constexpr size_t kNpos = static_cast<size_t>(-1);
+
+bool IsFunctionName(const std::string& name) {
+  // Project style: functions are PascalCase. Lowercase words are
+  // variables/keywords; SHOUTY words are macros. Both are excluded so a
+  // constructor-style variable declaration (`Status status(code)`) or a
+  // macro invocation never looks like a function declaration.
+  if (name.empty() || std::isupper(static_cast<unsigned char>(name[0])) == 0) {
+    return false;
+  }
+  if (Keywords().count(name) > 0) return false;
+  for (char c : name) {
+    if (std::islower(static_cast<unsigned char>(c)) != 0) return true;
+  }
+  return false;  // ALL_CAPS: a macro, not a function
+}
+
+/// Control-flow / declaration-structure keywords: a word that can
+/// legitimately precede a call expression or class-head name, never a
+/// return type in a declaration.
+bool IsControlWord(const std::string& w) {
+  static const std::set<std::string> kControl = {
+      "if",      "while",    "for",     "switch",    "return",  "case",
+      "else",    "do",       "goto",    "throw",     "new",     "delete",
+      "sizeof",  "co_return", "co_await", "co_yield", "operator", "using",
+      "typedef", "break",    "continue", "try",      "catch",   "namespace",
+      "class",   "struct",   "union",   "enum",      "public",  "private",
+      "protected", "template", "typename", "this",   "requires", "concept",
+      "static_assert", "alignof", "decltype", "not",  "and",     "or",
+  };
+  return kControl.count(w) > 0;
+}
+
+/// toks[open] must be "<". Returns the index just past the matching ">",
+/// or 0 when the bracket never closes in this statement (a less-than
+/// operator, not template arguments).
+size_t MatchTemplateArgs(const std::vector<Tok>& toks, size_t open) {
+  int depth = 0;
+  for (size_t j = open; j < toks.size(); ++j) {
+    const std::string& t = toks[j].text;
+    if (t == "<") {
+      ++depth;
+    } else if (t == ">") {
+      if (--depth == 0) return j + 1;
+    } else if (t == ";" || t == "{" || t == "}") {
+      break;
+    }
+  }
+  return 0;
+}
+
+/// When toks[i] starts a `Status` / `Result<...>` return type of a
+/// function declaration or definition, returns the index of the declared
+/// name token; kNpos otherwise.
+size_t DeclNameIndex(const std::vector<Tok>& toks, size_t i) {
+  if (!toks[i].word) return kNpos;
+  size_t j;
+  if (toks[i].text == "Status") {
+    j = i + 1;
+  } else if (toks[i].text == "Result") {
+    if (i + 1 >= toks.size() || toks[i + 1].text != "<") return kNpos;
+    j = MatchTemplateArgs(toks, i + 1);
+    if (j == 0) return kNpos;
+  } else {
+    return kNpos;
+  }
+  if (j + 1 >= toks.size()) return kNpos;
+  if (!toks[j].word || !IsFunctionName(toks[j].text)) return kNpos;
+  if (toks[j + 1].text != "(") return kNpos;
+  return j;
+}
+
+/// The cross-file signature index: function names only ever declared with
+/// a Status/Result return type. Names also seen with any other return
+/// type are ambiguous at the lexical level and are dropped.
+std::set<std::string> BuildStatusIndex(const std::vector<FileNode>& nodes) {
+  std::set<std::string> status_fns;
+  std::set<std::string> other_fns;
+  for (const FileNode& node : nodes) {
+    const std::vector<Tok>& toks = node.toks;
+    for (size_t i = 0; i < toks.size(); ++i) {
+      if (!toks[i].word) continue;
+      const size_t name = DeclNameIndex(toks, i);
+      if (name != kNpos) {
+        status_fns.insert(toks[name].text);
+        continue;
+      }
+      // Conflict evidence: `T Name (`, `T & Name (`, `T * Name (` with T
+      // a word other than Status/Result. Control-flow keywords before a
+      // call (`return Foo(`, `else Bar(`) are not declarations; type-ish
+      // keywords (void, bool, int, auto, ...) are the most common
+      // non-Status returns and absolutely count.
+      if (i + 2 >= toks.size()) continue;
+      const std::string& t = toks[i].text;
+      if (t == "Status" || t == "Result") continue;
+      if (IsControlWord(t)) continue;
+      size_t fn = i + 1;
+      if (!toks[fn].word && (toks[fn].text == "&" || toks[fn].text == "*") &&
+          fn + 1 < toks.size()) {
+        ++fn;
+      }
+      if (fn + 1 >= toks.size()) continue;
+      if (!toks[fn].word || !IsFunctionName(toks[fn].text)) continue;
+      if (toks[fn + 1].text != "(") continue;
+      other_fns.insert(toks[fn].text);
+    }
+  }
+  for (const std::string& name : other_fns) status_fns.erase(name);
+  return status_fns;
+}
+
+/// Walks backward from the call-name token over its object chain
+/// (`obj.`, `ptr->`, `ns::` — `->` and `::` are two tokens each in the
+/// masked stream) and returns the index of the chain's first token.
+size_t ChainStart(const std::vector<Tok>& toks, size_t i) {
+  size_t s = i;
+  while (s > 0) {
+    const std::string& prev = toks[s - 1].text;
+    if (prev == "." && s >= 2 && toks[s - 2].word) {
+      s -= 2;
+    } else if (prev == ">" && s >= 3 && toks[s - 2].text == "-" &&
+               toks[s - 3].word) {
+      s -= 3;
+    } else if (prev == ":" && s >= 3 && toks[s - 2].text == ":" &&
+               toks[s - 3].word) {
+      s -= 3;
+    } else {
+      break;
+    }
+  }
+  return s;
+}
+
+/// True when the chain beginning at toks[s] opens an expression
+/// statement: the previous token ends a statement or opens a block /
+/// control clause. An explicit `(void)` cast before the chain counts as
+/// consuming the value, not discarding it.
+bool StartsStatement(const std::vector<Tok>& toks, size_t s) {
+  if (s == 0) return true;
+  const Tok& b = toks[s - 1];
+  if (b.word) return b.text == "else" || b.text == "do";
+  // `:` is deliberately NOT a statement boundary: a ternary's second arm
+  // (`x = c ? A() : B();`) consumes the value, and that shape is far more
+  // common than a discard as the first statement after a label.
+  if (b.text == ";" || b.text == "{" || b.text == "}") return true;
+  if (b.text == ")") {
+    // `(void) Foo();` — deliberate discard, recognized as checked.
+    const bool void_cast = s >= 3 && toks[s - 2].text == "void" &&
+                           toks[s - 3].text == "(";
+    return !void_cast;  // `if (...) Foo();` / `for (...) Foo();` discard
+  }
+  return false;  // =, (, ',', return-expression operators: consumed
+}
+
+void CheckUnchecked(const FileNode& node,
+                    const std::set<std::string>& status_fns,
+                    std::vector<Violation>& out) {
+  const std::vector<Tok>& toks = node.toks;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (!toks[i].word || status_fns.count(toks[i].text) == 0) continue;
+    if (i + 1 >= toks.size() || toks[i + 1].text != "(") continue;
+    // The declaration itself (`Status Foo(`): chain-preceding token is the
+    // return type word, which StartsStatement rejects. Find the call's
+    // closing paren; the statement must end right there.
+    int depth = 0;
+    size_t close = kNpos;
+    for (size_t j = i + 1; j < toks.size(); ++j) {
+      if (toks[j].text == "(") ++depth;
+      if (toks[j].text == ")" && --depth == 0) {
+        close = j;
+        break;
+      }
+    }
+    if (close == kNpos || close + 1 >= toks.size()) continue;
+    if (toks[close + 1].text != ";") continue;  // chained / braced: consumed
+    if (!StartsStatement(toks, ChainStart(toks, i))) continue;
+    const int line = toks[i].line;
+    if (AllowsRule(node.comment_lines, line, "status-unchecked")) continue;
+    out.push_back(Violation{
+        node.rel, line, "status-unchecked",
+        "return value of '" + toks[i].text +
+            "' (Status/Result) is silently discarded: FAB_CHECK_OK it, "
+            "branch on it, return it, or cast to (void) with a comment "
+            "saying why failure is ignorable"});
+  }
+}
+
+void CheckNodiscard(const FileNode& node, std::vector<Violation>& out) {
+  const std::vector<Tok>& toks = node.toks;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (DeclNameIndex(toks, i) == kNpos) continue;
+    // Walk to the declaration's front: over leading qualifiers and over
+    // the type's own namespace qualification (`fab::Status`).
+    size_t front = i;
+    while (front > 0) {
+      const Tok& p = toks[front - 1];
+      if (p.word && (p.text == "virtual" || p.text == "static" ||
+                     p.text == "inline" || p.text == "constexpr" ||
+                     p.text == "explicit" || p.text == "friend" ||
+                     p.text == "extern")) {
+        --front;
+      } else if (p.text == ":" && front >= 3 &&
+                 toks[front - 2].text == ":" && toks[front - 3].word) {
+        front -= 3;
+      } else {
+        break;
+      }
+    }
+    // `[[...nodiscard...]]` immediately before the front?
+    bool annotated = false;
+    if (front >= 2 && toks[front - 1].text == "]" &&
+        toks[front - 2].text == "]") {
+      for (size_t j = front - 2; j > 0; --j) {
+        const std::string& t = toks[j - 1].text;
+        if (t == "[") break;
+        if (toks[j - 1].word && t == "nodiscard") {
+          annotated = true;
+          break;
+        }
+      }
+    }
+    if (annotated) continue;
+    const int line = toks[i].line;
+    if (AllowsRule(node.comment_lines, line, "status-nodiscard")) continue;
+    const size_t name = DeclNameIndex(toks, i);
+    out.push_back(Violation{
+        node.rel, line, "status-nodiscard",
+        "'" + toks[name].text +
+            "' returns Status/Result but is not [[nodiscard]]: annotate "
+            "the declaration so the compiler rejects silent discards",
+        {Edit{toks[front].off, toks[front].off, "[[nodiscard]] "}}});
+  }
+}
+
+}  // namespace
+
+std::vector<Violation> LintSemantic(const std::vector<FileNode>& nodes,
+                                    const Options& options) {
+  std::vector<Violation> out;
+  const std::set<std::string> status_fns = BuildStatusIndex(nodes);
+  for (const FileNode& node : nodes) {
+    CheckUnchecked(node, status_fns, out);
+    if (node.is_header &&
+        (options.all_rules || StartsWith(node.rel, "src/"))) {
+      CheckNodiscard(node, out);
+    }
+  }
+  return out;
+}
+
+}  // namespace fab::lint

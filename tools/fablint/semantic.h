@@ -1,0 +1,46 @@
+#ifndef FAB_TOOLS_FABLINT_SEMANTIC_H_
+#define FAB_TOOLS_FABLINT_SEMANTIC_H_
+
+#include <vector>
+
+#include "lint.h"
+#include "repo_graph.h"
+
+/// fablint pass 3 — Status-discipline analysis over a cross-file
+/// function-signature index.
+///
+/// BuildNodes() gives every pass the same masked, position-annotated
+/// token streams. This pass first indexes every function declared (or
+/// defined) with a `Status` / `Result<...>` return type anywhere in the
+/// walked set, then evaluates two rules:
+///
+///   status-unchecked   a call to an indexed function whose result forms
+///                      an expression statement by itself — the Status is
+///                      silently destroyed. Recognized consumers: passing
+///                      to a macro/function (FAB_CHECK_OK, FAB_RETURN_IF_
+///                      ERROR, ...), assignment, branching, `return`, an
+///                      explicit `(void)` cast, and fablint:allow.
+///   status-nodiscard   a Status/Result-returning declaration in a src/
+///                      header without [[nodiscard]] — the compiler can
+///                      only enforce discard-checking when the attribute
+///                      is present (class-level [[nodiscard]] on the
+///                      types covers by-value returns; the per-function
+///                      attribute keeps the contract visible and covers
+///                      future non-fab wrappers). Carries a --fix edit
+///                      inserting `[[nodiscard]] ` at the declaration.
+///
+/// Like every fablint pass this is lexical, not a C++ front end: the
+/// index keys on bare function names, so a name declared with BOTH a
+/// Status-ish and a non-Status return type anywhere in the repo is
+/// dropped from the index (ambiguous), and names must be PascalCase
+/// (project style for functions) so constructor-style variable
+/// declarations (`Status status(...)`) never enter the index.
+namespace fab::lint {
+
+/// Runs the Status-discipline rules over `nodes` (BuildNodes output).
+std::vector<Violation> LintSemantic(const std::vector<FileNode>& nodes,
+                                    const Options& options);
+
+}  // namespace fab::lint
+
+#endif  // FAB_TOOLS_FABLINT_SEMANTIC_H_
