@@ -210,6 +210,7 @@ CellOutcome EvaluateCell(const SweepOptions& options, const RegimeSpec& regime,
             out.status = fra.status();
             return out;
           }
+          // det audit: lookup-only map; every read is keyed, never iterated.
           std::unordered_map<std::string, sim::DataCategory> cat_of;
           for (size_t i = 0; i < ds.data.feature_names.size(); ++i) {
             cat_of.emplace(ds.data.feature_names[i], ds.categories[i]);
@@ -241,6 +242,7 @@ CellOutcome EvaluateCell(const SweepOptions& options, const RegimeSpec& regime,
           out.status = scored.status();
           return out;
         }
+        // det audit: lookup-only map; every read is keyed, never iterated.
         std::unordered_map<std::string, sim::DataCategory> cat_of;
         for (size_t i = 0; i < ds.data.feature_names.size(); ++i) {
           cat_of.emplace(ds.data.feature_names[i], ds.categories[i]);
@@ -373,6 +375,7 @@ Result<RegimeSpec> RegimeByName(const std::string& name) {
   return Status::InvalidArgument("unknown stress regime: " + name);
 }
 
+// fablint:det-root — sweep reports are compared across seeds/regimes.
 Result<SweepReport> RunSweep(const SweepOptions& options) {
   if (options.seeds.empty()) {
     return Status::InvalidArgument("sweep needs at least one seed");

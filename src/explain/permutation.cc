@@ -7,6 +7,7 @@
 
 namespace fab::explain {
 
+// fablint:det-root — PFI rankings feed the paper's Table 4 goldens.
 Result<std::vector<double>> PermutationImportance(
     const ml::Regressor& model, const ml::Dataset& data,
     const PermutationOptions& options) {

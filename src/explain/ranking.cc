@@ -38,6 +38,7 @@ std::vector<bool> BottomFractionMask(const std::vector<double>& scores,
 
 size_t OverlapCount(const std::vector<std::string>& a,
                     const std::vector<std::string>& b) {
+  // det audit: membership tests only; iteration order stays in `b`.
   std::unordered_set<std::string> set_a(a.begin(), a.end());
   std::unordered_set<std::string> seen;
   size_t count = 0;

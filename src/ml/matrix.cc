@@ -72,6 +72,7 @@ Result<Dataset> Dataset::SelectFeatures(const std::vector<int>& cols) const {
 
 Result<std::vector<int>> Dataset::FeaturePositions(
     const std::vector<std::string>& names) const {
+  // det audit: lookup-only index; results come out in `names` order.
   std::unordered_map<std::string, int> pos;
   for (size_t i = 0; i < feature_names.size(); ++i) {
     pos[feature_names[i]] = static_cast<int>(i);

@@ -116,6 +116,8 @@ Status HttpServer::Start() {
     return Status::FailedPrecondition("server already started");
   }
   stopping_.store(false);
+  // DoStart only binds/listens; the blocking 'Create' the call graph sees
+  // is an unrelated same-named function. fablint:allow(conc-blocking-under-lock)
   const Status started = DoStart();
   if (!started.ok()) {
     // Unwind partial setup so a failed Start neither leaks descriptors

@@ -52,6 +52,8 @@ void BatchServer::Start() {
   const int threads = util::ResolveThreads(options_.num_threads);
   workers_.reserve(static_cast<size_t>(threads));
   for (int i = 0; i < threads; ++i) {
+    // WorkerLoop runs on the spawned thread, not under lifecycle_mu_; the
+    // lock only covers the spawn. fablint:allow(conc-blocking-under-lock)
     workers_.emplace_back([this] { WorkerLoop(); });
   }
 }

@@ -69,6 +69,7 @@ class MetricCatalog {
 
  private:
   std::vector<MetricInfo> metrics_;
+  // det audit: lookup-only index into metrics_, which owns the order.
   std::unordered_map<std::string, size_t> by_name_;
 };
 

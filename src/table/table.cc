@@ -48,6 +48,8 @@ Status Table::DropColumn(const std::string& name) {
   names_.erase(names_.begin() + static_cast<std::ptrdiff_t>(pos));
   columns_.erase(columns_.begin() + static_cast<std::ptrdiff_t>(pos));
   name_to_pos_.erase(it);
+  // Per-entry decrement; no cross-entry state, so visit order cannot
+  // change the result. fablint:allow(det-unordered-iteration)
   for (auto& [n, p] : name_to_pos_) {
     if (p > pos) --p;
   }

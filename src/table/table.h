@@ -83,6 +83,8 @@ class Table {
   std::vector<Date> index_;
   std::vector<std::string> names_;
   std::vector<Column> columns_;
+  // det audit: keyed lookups plus one order-independent per-entry fixup
+  // in DropColumn; column order lives in names_/columns_, never here.
   std::unordered_map<std::string, size_t> name_to_pos_;
 };
 

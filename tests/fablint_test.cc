@@ -419,6 +419,169 @@ TEST(FablintTest, PerfHotAllocReportsExactLines) {
       << run.output;
 }
 
+TEST(FablintTest, DetUnorderedIterationReachedThroughCallGraph) {
+  // The rooted entry point never touches the map; the helper it calls
+  // does. Only the pass-4 call-graph closure can connect the two.
+  ExpectSingleRule("det_reach_positive.cc", "det-unordered-iteration");
+}
+
+TEST(FablintTest, DetUnorderedIterationReportsLineAndEnclosingFunction) {
+  const RunResult run =
+      RunFablint("--all-rules " + Fixture("det_reach_positive.cc"));
+  EXPECT_NE(run.output.find("det_reach_positive.cc:15: "
+                            "[det-unordered-iteration]"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("inside det-reachable 'SumCategoryWeights'"),
+            std::string::npos)
+      << run.output;
+}
+
+TEST(FablintTest, DetRulesNeedADetRootToFire) {
+  // The identical accumulating loop with no fablint:det-root in the
+  // file: nothing is det-reachable, so pass 4 stays quiet.
+  const RunResult run =
+      RunFablint("--all-rules " + Fixture("det_reach_negative.cc"));
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_EQ(CountOccurrences(run.output, "["), 0u) << run.output;
+}
+
+TEST(FablintTest, DetSortedCopyRemediationIsClean) {
+  // The shape the diagnostic recommends — bulk-copy into std::map, then
+  // reduce over the sorted copy — produces zero findings.
+  const RunResult run =
+      RunFablint("--all-rules " + Fixture("det_sorted_copy.cc"));
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_EQ(CountOccurrences(run.output, "["), 0u) << run.output;
+}
+
+TEST(FablintTest, DetPointerKey) {
+  // The pointer-keyed map and the pointer-value sort comparator; the
+  // pointer-typed member (a value, not a key) stays clean.
+  ExpectSingleRule("det_pointer_key.cc", "det-pointer-key", 2);
+}
+
+TEST(FablintTest, DetPointerKeyReportsExactLines) {
+  const RunResult run =
+      RunFablint("--all-rules " + Fixture("det_pointer_key.cc"));
+  EXPECT_NE(run.output.find("det_pointer_key.cc:20: [det-pointer-key] "
+                            "'map' keyed by a pointer"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("det_pointer_key.cc:22: [det-pointer-key] "
+                            "sort comparator orders by raw pointer value "
+                            "('a < b')"),
+            std::string::npos)
+      << run.output;
+}
+
+TEST(FablintTest, DetRawRng) {
+  ExpectSingleRule("det_raw_rng.cc", "det-raw-rng", 2);
+}
+
+TEST(FablintTest, DetRawRngReportsExactLines) {
+  const RunResult run = RunFablint("--all-rules " + Fixture("det_raw_rng.cc"));
+  EXPECT_NE(run.output.find("det_raw_rng.cc:10: [det-raw-rng] 'srand'"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("det_raw_rng.cc:11: [det-raw-rng] 'drand48'"),
+            std::string::npos)
+      << run.output;
+}
+
+TEST(FablintTest, DetRootMarkerPlacementAndWordBoundary) {
+  // Marker with trailing rationale and marker two lines above the name
+  // both mark; `fablint:det-rootish` does not, so NotRooted's srand is
+  // clean and exactly two det-raw-rng findings remain.
+  ExpectSingleRule("det_root_annotation.cc", "det-raw-rng", 2);
+  const RunResult run =
+      RunFablint("--all-rules " + Fixture("det_root_annotation.cc"));
+  EXPECT_NE(run.output.find("'RootedWithRationale'"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("'RootedTwoAbove'"), std::string::npos)
+      << run.output;
+  EXPECT_EQ(run.output.find("'NotRooted'"), std::string::npos) << run.output;
+}
+
+TEST(FablintTest, ConcBlockingUnderLock) {
+  // Direct sleep, future wait, and a two-hop transitive call into file
+  // IO under Cache::mu_; cv.wait(lock) and the post-scope sleep stay
+  // clean.
+  ExpectSingleRule("conc_blocking_under_lock.cc", "conc-blocking-under-lock",
+                   3);
+}
+
+TEST(FablintTest, ConcBlockingUnderLockReportsExactLinesAndPath) {
+  const RunResult run =
+      RunFablint("--all-rules " + Fixture("conc_blocking_under_lock.cc"));
+  EXPECT_NE(run.output.find("conc_blocking_under_lock.cc:26: "
+                            "[conc-blocking-under-lock] a sleep while mutex "
+                            "'Cache::mu_' is held"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("conc_blocking_under_lock.cc:27: "
+                            "[conc-blocking-under-lock] a future wait"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(
+      run.output.find("conc_blocking_under_lock.cc:28: "
+                      "[conc-blocking-under-lock] call to 'ReloadAll' "
+                      "performs file-stream IO (reached via "
+                      "'LoadSnapshotFromDisk')"),
+      std::string::npos)
+      << run.output;
+}
+
+TEST(FablintTest, Pass4ScopedToSrcWithoutAllRules) {
+  // Without --all-rules the pass-4 rules only apply under src/; the
+  // fixture lives at the fixture root, so the det-reachable loop is
+  // quiet in scoped mode.
+  const RunResult run =
+      RunFablint("--root " + std::string(FABLINT_FIXTURES) + " " +
+                 Fixture("det_reach_positive.cc"));
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_EQ(CountOccurrences(run.output, "["), 0u) << run.output;
+}
+
+TEST(FablintTest, CallGraphDumpMatchesGolden) {
+  // The dump is pinned byte-for-byte: definition order, display names,
+  // [root]/[det] tags, sorted callees, and the `??` undefined marker.
+  const RunResult run =
+      RunFablint("--callgraph-dump --root " + std::string(FABLINT_FIXTURES) +
+                 " " + Fixture("callgraph/sample.cc"));
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_EQ(run.output, ReadFile(Fixture("callgraph/expected_dump.txt")));
+}
+
+TEST(FablintTest, StatsPrintsWalkRuleAndPassLines) {
+  const RunResult run =
+      RunFablint("--all-rules --stats " + Fixture("det_rand.cc"));
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("fablint stats: 1 file(s) walked"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("fablint stats:   rule det-rand: 1 violation(s)"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("pass 4 callgraph-det:"), std::string::npos)
+      << run.output;
+}
+
+TEST(FablintTest, SarifExportNamesEveryResultAndValidatesShape) {
+  const fs::path dir = FixScratchDir("sarif_export");
+  const fs::path sarif = dir / "out.sarif";
+  const RunResult run = RunFablint("--all-rules --sarif " + sarif.string() +
+                                   " " + Fixture("det_rand.cc"));
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("wrote 1 SARIF result(s)"), std::string::npos)
+      << run.output;
+  const std::string doc = ReadFile(sarif);
+  EXPECT_NE(doc.find("\"version\": \"2.1.0\""), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"ruleId\": \"det-rand\""), std::string::npos) << doc;
+  EXPECT_NE(doc.find("det_rand.cc"), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"startLine\": 5"), std::string::npos) << doc;
+}
+
 TEST(FablintTest, FixInsertsNodiscardAndIsIdempotent) {
   const fs::path dir = FixScratchDir("fix_nodiscard");
   const fs::path copy = CopyFixture(dir, "status_nodiscard.h");
@@ -510,8 +673,12 @@ TEST(FablintTest, WalkingTheFixtureDirFindsEveryRuleOnce) {
   // status-unchecked discards and perf_hot_alloc.cc three hot-region
   // allocations; clean.cc, suppressed.cc, the allow_* negatives, the
   // diamond headers and the status_conflict_* pair (the conflicting void
-  // overload un-indexes 'Ping') contribute nothing.
-  EXPECT_NE(run.output.find("checked 37 file(s), 27 violation(s)"),
+  // overload un-indexes 'Ping') contribute nothing. The pass-4 fixtures
+  // add one det-unordered-iteration, two det-pointer-key, four
+  // det-raw-rng (two of them from the marker-placement fixture) and
+  // three conc-blocking-under-lock; their negatives (det_reach_negative,
+  // det_sorted_copy, callgraph/sample) contribute nothing.
+  EXPECT_NE(run.output.find("checked 45 file(s), 37 violation(s)"),
             std::string::npos)
       << run.output;
   for (const char* rule :
@@ -533,6 +700,13 @@ TEST(FablintTest, WalkingTheFixtureDirFindsEveryRuleOnce) {
   EXPECT_EQ(CountOccurrences(run.output, "[status-unchecked]"), 2u)
       << run.output;
   EXPECT_EQ(CountOccurrences(run.output, "[perf-hot-alloc]"), 3u)
+      << run.output;
+  EXPECT_EQ(CountOccurrences(run.output, "[det-unordered-iteration]"), 1u)
+      << run.output;
+  EXPECT_EQ(CountOccurrences(run.output, "[det-pointer-key]"), 2u)
+      << run.output;
+  EXPECT_EQ(CountOccurrences(run.output, "[det-raw-rng]"), 4u) << run.output;
+  EXPECT_EQ(CountOccurrences(run.output, "[conc-blocking-under-lock]"), 3u)
       << run.output;
 }
 
@@ -563,7 +737,9 @@ TEST(FablintTest, ListRulesPrintsTheFullTable) {
         "hygiene-using-namespace", "hygiene-new-delete",
         "graph-include-cycle", "graph-unused-include", "lock-order",
         "lint-unknown-rule", "obs-raw-clock", "net-raw-syscall",
-        "status-unchecked", "status-nodiscard", "perf-hot-alloc"}) {
+        "status-unchecked", "status-nodiscard", "perf-hot-alloc",
+        "det-unordered-iteration", "det-pointer-key", "det-raw-rng",
+        "conc-blocking-under-lock"}) {
     EXPECT_NE(run.output.find(rule), std::string::npos) << rule;
   }
 }

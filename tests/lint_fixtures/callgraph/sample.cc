@@ -1,0 +1,19 @@
+// Fixture: --callgraph-dump golden input. A free helper, an inline
+// member (displayed Widget::Grow), a rooted entry point, and one
+// undefined callee (flagged "??" in the dump). Never compiled.
+
+namespace dumpfix {
+
+int HelperDepth(int v) { return v + 1; }
+
+class Widget {
+ public:
+  int Grow(int v) { return HelperDepth(v); }
+};
+
+// fablint:det-root — dump fixture root.
+int DumpRootEntry(Widget& w) {
+  return w.Grow(ExternalSeed());
+}
+
+}  // namespace dumpfix

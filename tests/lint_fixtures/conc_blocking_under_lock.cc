@@ -1,0 +1,49 @@
+// Fixture: three conc-blocking-under-lock violations inside one critical
+// section — a direct sleep, a future wait, and a two-hop transitive call
+// into file-stream IO — plus the deliberate negatives: cv.wait(lock)
+// releases the mutex while sleeping, and the identical sleep after the
+// guard's scope closes is clean. Never compiled.
+#include <chrono>
+#include <condition_variable>
+#include <fstream>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace blockfix {
+
+void LoadSnapshotFromDisk(const std::string& path) {
+  std::ifstream in(path);  // file-stream IO: clean here, no lock held
+}
+
+void ReloadAll(const std::string& path) { LoadSnapshotFromDisk(path); }
+
+class Cache {
+ public:
+  void RefreshUnderLock(std::future<int> pending, const std::string& path) {
+    std::lock_guard<std::mutex> hold(mu_);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    last_ = pending.get();
+    ReloadAll(path);
+  }
+
+  void WaitForSignal(std::condition_variable& cv) {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv.wait(lk);  // clean: wait(lock) releases the mutex while sleeping
+  }
+
+  void SleepOutsideLock() {
+    {
+      std::lock_guard<std::mutex> hold(mu_);
+      last_ = 0;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));  // clean
+  }
+
+ private:
+  std::mutex mu_;  // fablint:allow(safety-unannotated-mutex)
+  int last_ = 0;
+};
+
+}  // namespace blockfix

@@ -1,0 +1,25 @@
+// Fixture: zero violations — the identical accumulating loop as
+// det_reach_positive.cc, but no fablint:det-root anywhere in the file,
+// so no definition is det-reachable and pass 4 stays quiet. The v1
+// per-file rule still sees the range-for and is allowed away.
+// Never compiled.
+#include <string>
+#include <unordered_map>
+
+namespace noreachfix {
+
+double NegSumWeights(
+    const std::unordered_map<std::string, double>& weights) {
+  double total = 0.0;
+  // fablint:allow(det-unordered-iter)
+  for (const auto& entry : weights) {
+    total += entry.second;
+  }
+  return total;
+}
+
+double NegEntry(const std::unordered_map<std::string, double>& weights) {
+  return NegSumWeights(weights);
+}
+
+}  // namespace noreachfix

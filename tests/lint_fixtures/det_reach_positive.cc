@@ -1,0 +1,27 @@
+// Fixture: one det-unordered-iteration violation, reached THROUGH the
+// call graph — the rooted entry point never touches the map itself; the
+// helper it calls accumulates over one. The v1 per-file rule also sees
+// the range-for, so it is allowed away to isolate the pass-4 finding.
+// Never compiled.
+#include <string>
+#include <unordered_map>
+
+namespace reachfix {
+
+double SumCategoryWeights(
+    const std::unordered_map<std::string, double>& weights) {
+  double total = 0.0;
+  // fablint:allow(det-unordered-iter)
+  for (const auto& entry : weights) {
+    total += entry.second;
+  }
+  return total;
+}
+
+// fablint:det-root — fixture entry point.
+double ReachRootEntry(
+    const std::unordered_map<std::string, double>& weights) {
+  return SumCategoryWeights(weights);
+}
+
+}  // namespace reachfix

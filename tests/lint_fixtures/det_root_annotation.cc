@@ -1,0 +1,26 @@
+// Fixture: det-root marker placement. A marker leads a comment on the
+// definition-name line or up to two lines above it, and annotation text
+// may follow after a word boundary. "det-rootish" is NOT the marker, so
+// the last function stays unreachable and its srand is clean. Two
+// det-raw-rng violations total. Never compiled.
+#include <cstdlib>
+
+namespace rootfix {
+
+// fablint:det-root: rationale text after the marker still marks.
+void RootedWithRationale() {
+  srand(1u);
+}
+
+// fablint:det-root — two lines above the name line is still in range
+// (this continuation line sits between the marker and the signature).
+void RootedTwoAbove() {
+  srand(2u);
+}
+
+// fablint:det-rootish
+void NotRooted() {
+  srand(3u);
+}
+
+}  // namespace rootfix

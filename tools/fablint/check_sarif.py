@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Validates fablint's --sarif export against the checked-in schema.
+
+Runs the binary over the lint fixtures (deliberate violations, so the
+results array is non-empty), parses the emitted SARIF, and validates it
+against sarif_schema.json with a small built-in validator (required
+properties, primitive types, const values, minItems/minimum). On top of
+the schema it cross-checks the semantic invariants GitHub code scanning
+relies on: every result's ruleId is declared in the driver rules table
+and every ruleIndex points at the matching entry.
+
+Usage: check_sarif.py --fablint <binary> --fixtures <dir>
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "integer": int,
+    "number": (int, float),
+    "boolean": bool,
+}
+
+
+def validate(value, schema, path, errors):
+    if "const" in schema and value != schema["const"]:
+        errors.append(f"{path}: expected {schema['const']!r}, got {value!r}")
+        return
+    expected = schema.get("type")
+    if expected is not None:
+        py_type = _TYPES[expected]
+        if not isinstance(value, py_type) or (
+            expected == "integer" and isinstance(value, bool)
+        ):
+            errors.append(f"{path}: expected {expected}, got {type(value).__name__}")
+            return
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{path}: missing required property {key!r}")
+        for key, sub in schema.get("properties", {}).items():
+            if key in value:
+                validate(value[key], sub, f"{path}.{key}", errors)
+    elif isinstance(value, list):
+        if len(value) < schema.get("minItems", 0):
+            errors.append(f"{path}: fewer than {schema['minItems']} item(s)")
+        item_schema = schema.get("items")
+        if item_schema is not None:
+            for i, item in enumerate(value):
+                validate(item, item_schema, f"{path}[{i}]", errors)
+    elif isinstance(value, int) and not isinstance(value, bool):
+        if "minimum" in schema and value < schema["minimum"]:
+            errors.append(f"{path}: {value} below minimum {schema['minimum']}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fablint", required=True, help="fablint binary")
+    parser.add_argument("--fixtures", required=True, help="lint fixtures dir")
+    args = parser.parse_args()
+
+    schema_path = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                               "sarif_schema.json")
+    with open(schema_path, encoding="utf-8") as fh:
+        schema = json.load(fh)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        sarif_path = os.path.join(tmp, "fablint.sarif")
+        proc = subprocess.run(
+            [args.fablint, "--all-rules", "--root", args.fixtures,
+             "--sarif", sarif_path, args.fixtures],
+            capture_output=True, text=True,
+        )
+        # Exit 1 (violations found) is the expected outcome on fixtures;
+        # 2 is a usage/IO failure.
+        if proc.returncode not in (0, 1):
+            print(proc.stdout)
+            print(proc.stderr, file=sys.stderr)
+            print(f"fablint exited {proc.returncode}")
+            return 1
+        with open(sarif_path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+
+    errors = []
+    validate(doc, schema, "$", errors)
+
+    runs = doc.get("runs") or [{}]
+    driver = runs[0].get("tool", {}).get("driver", {})
+    rules = driver.get("rules", [])
+    ids = [rule.get("id") for rule in rules]
+    results = runs[0].get("results", [])
+    if not results:
+        errors.append("results: empty - fixtures should always violate rules")
+    for i, result in enumerate(results):
+        rule_id = result.get("ruleId")
+        if rule_id not in ids:
+            errors.append(f"results[{i}]: ruleId {rule_id!r} not in driver rules")
+        index = result.get("ruleIndex")
+        if index is not None and (
+            not 0 <= index < len(ids) or ids[index] != rule_id
+        ):
+            errors.append(
+                f"results[{i}]: ruleIndex {index} does not match {rule_id!r}"
+            )
+
+    if errors:
+        for error in errors:
+            print(error)
+        return 1
+    print(f"sarif valid: {len(results)} result(s), {len(rules)} rule(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

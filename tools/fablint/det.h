@@ -1,0 +1,44 @@
+#ifndef FAB_TOOLS_FABLINT_DET_H_
+#define FAB_TOOLS_FABLINT_DET_H_
+
+#include <vector>
+
+#include "callgraph.h"
+#include "lint.h"
+#include "repo_graph.h"
+
+/// fablint pass 4 — determinism taint over the call graph, plus
+/// blocking-under-lock detection. Four rules:
+///
+///   det-unordered-iteration  range-for / iterator loops over unordered
+///                            containers whose body accumulates, appends
+///                            or emits, inside a det-reachable function
+///                            (sorted-copy-before-iterate is naturally
+///                            safe: the loop then ranges over the copy)
+///   det-pointer-key          pointer-keyed map/set declarations and
+///                            pointer-comparison sorts in files that
+///                            define det-reachable functions (iteration
+///                            and tie-break order = allocation order)
+///   det-raw-rng              raw RNG entry points the per-file rules
+///                            do not cover (srand, drand48, rand_r,
+///                            random_shuffle, default_random_engine),
+///                            scoped to det-reachable bodies
+///   conc-blocking-under-lock known-blocking operations (future waits,
+///                            HttpClient round-trips, sleeps, file IO) —
+///                            or calls to functions that transitively
+///                            perform them — while a mutex is held per
+///                            the pass-2 lock-region walker
+///
+/// The det-* rules apply only where the call graph says a determinism
+/// root (`fablint:det-root`) can reach — reachability IS the scope.
+/// Like every other pass: lexical, `fablint:allow` honored, and when
+/// `--all-rules` is off the rules are further scoped to src/.
+namespace fab::lint {
+
+std::vector<Violation> LintDet(const std::vector<FileNode>& nodes,
+                               const CallGraph& graph,
+                               const Options& options);
+
+}  // namespace fab::lint
+
+#endif  // FAB_TOOLS_FABLINT_DET_H_

@@ -31,28 +31,36 @@ bool SiteLess(const LockSite& a, const LockSite& b) {
 /// An ordered pair "A was held when B was acquired" -> earliest site.
 using LockPairs = std::map<std::pair<std::string, std::string>, LockSite>;
 
-/// Scans one file's token stream for nested mutex acquisitions.
-///
-/// Recognized acquisitions: RAII guard declarations (util::MutexLock,
-/// std::lock_guard / unique_lock / scoped_lock) whose argument list is a
-/// SINGLE bare identifier, and manual `m.Lock()` / `m.lock()` calls
-/// (released by `.Unlock()`/`.unlock()` or at scope exit). Guards with
-/// multi-argument or member-expression arguments (adopt_lock tricks,
-/// `obj.mu`) are skipped: a lexical tool cannot name those mutexes
-/// reliably, and false lock-order pairs would be worse than missed ones.
-///
+/// Records every nested acquisition into `pairs` via WalkLockRegions —
+/// the lock-order rule's per-file collection step.
+void ScanLocks(const FileNode& node, LockPairs& pairs) {
+  LockWalkHooks hooks;
+  hooks.on_acquire = [&node, &pairs](const std::string& qual, int line,
+                                     const std::vector<HeldLock>& held) {
+    for (const HeldLock& h : held) {
+      if (h.qual == qual) continue;
+      const auto key = std::make_pair(h.qual, qual);
+      const LockSite site{node.rel, line};
+      auto it = pairs.find(key);
+      if (it == pairs.end()) {
+        pairs.emplace(key, site);
+      } else if (SiteLess(site, it->second)) {
+        it->second = site;  // keep the (path, line)-smallest site
+      }
+    }
+  };
+  WalkLockRegions(node, hooks);
+}
+
+}  // namespace
+
 /// Mutex names are qualified "Class::member" inside (out-of-line or
 /// inline) member functions, else "file.cc::name" — so internal-linkage
 /// file-scope mutexes in different TUs stay distinct.
-void ScanLocks(const FileNode& node, LockPairs& pairs) {
+void WalkLockRegions(const FileNode& node, const LockWalkHooks& hooks) {
   const std::vector<Tok>& toks = node.toks;
 
-  struct Held {
-    std::string qual;
-    int depth = 0;
-    bool manual = false;
-  };
-  std::vector<Held> held;
+  std::vector<HeldLock> held;
   int depth = 0;
 
   // Class context: inline member bodies via the class-scope stack, out-of-
@@ -84,22 +92,13 @@ void ScanLocks(const FileNode& node, LockPairs& pairs) {
   };
   const auto acquire = [&](const std::string& name, int line, bool manual) {
     const std::string qual = qualify(name);
-    for (const Held& h : held) {
-      if (h.qual == qual) continue;
-      const auto key = std::make_pair(h.qual, qual);
-      const LockSite site{node.rel, line};
-      auto it = pairs.find(key);
-      if (it == pairs.end()) {
-        pairs.emplace(key, site);
-      } else if (SiteLess(site, it->second)) {
-        it->second = site;  // keep the (path, line)-smallest site
-      }
-    }
-    held.push_back(Held{qual, depth, manual});
+    if (hooks.on_acquire) hooks.on_acquire(qual, line, held);
+    held.push_back(HeldLock{qual, depth, manual});
   };
 
   for (size_t i = 0; i < toks.size(); ++i) {
     const Tok& t = toks[i];
+    if (hooks.on_token) hooks.on_token(i, held);
     if (!t.word) {
       if (t.text == "{") {
         char tag = pending == 'n' ? 'n' : pending == 'c' ? 'c' : 'o';
@@ -229,6 +228,8 @@ void ScanLocks(const FileNode& node, LockPairs& pairs) {
     }
   }
 }
+
+namespace {
 
 // --- The four rules. --------------------------------------------------------
 

@@ -1,7 +1,9 @@
 #ifndef FAB_TOOLS_FABLINT_GRAPH_H_
 #define FAB_TOOLS_FABLINT_GRAPH_H_
 
+#include <functional>
 #include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "lint.h"
@@ -25,6 +27,43 @@
 /// diagnostics carry file:line anchors, and `fablint:allow(<rule-id>)`
 /// suppressions on the anchor line (or the line above) are honored.
 namespace fab::lint {
+
+/// One mutex currently held at a point in the lock-region walk.
+/// `qual` is the qualified name ("Class::member" inside member
+/// functions, else "file.cc::name"); `manual` marks `.Lock()`-style
+/// acquisitions that a matching `.Unlock()` releases early.
+struct HeldLock {
+  std::string qual;
+  int depth = 0;   // brace depth at acquisition (scope-exit release)
+  bool manual = false;
+};
+
+/// Callbacks for WalkLockRegions. Either hook may be empty.
+struct LockWalkHooks {
+  /// Fired when a mutex is acquired; `held_before` is the stack of locks
+  /// already held at that point (the lock-order rule's input).
+  std::function<void(const std::string& qual, int line,
+                     const std::vector<HeldLock>& held_before)>
+      on_acquire;
+  /// Fired for EVERY token, with the locks held while it executes. Lets
+  /// pass 4's conc-blocking-under-lock rule test arbitrary token
+  /// patterns against the live lock set without re-deriving regions.
+  std::function<void(size_t tok_index, const std::vector<HeldLock>& held)>
+      on_token;
+};
+
+/// Walks one file's token stream tracking mutex-held regions.
+///
+/// Recognized acquisitions: RAII guard declarations (util::MutexLock,
+/// std::lock_guard / unique_lock / scoped_lock) whose argument list is a
+/// SINGLE bare identifier, and manual `m.Lock()` / `m.lock()` calls
+/// (released by `.Unlock()`/`.unlock()` or at scope exit). Guards with
+/// multi-argument or member-expression arguments (adopt_lock tricks,
+/// `obj.mu`) are skipped: a lexical tool cannot name those mutexes
+/// reliably, and false lock regions would be worse than missed ones.
+/// Shared by pass 2 (lock-order) and pass 4 (conc-blocking-under-lock)
+/// so "a lock is held here" means exactly one thing.
+void WalkLockRegions(const FileNode& node, const LockWalkHooks& hooks);
 
 /// Runs the cross-file rules over `nodes` (BuildNodes output). Returned
 /// violations are unsorted; the caller merges them with per-file and

@@ -623,6 +623,18 @@ const std::vector<RuleInfo>& AllRules() {
       {"perf-hot-alloc",
        "no heap allocation, unreserved growth, or string temporaries "
        "inside fablint:hot regions"},
+      {"det-unordered-iteration",
+       "no accumulating/emitting loops over unordered containers in "
+       "det-reachable functions (fablint:det-root closure)"},
+      {"det-pointer-key",
+       "no pointer-keyed maps/sets or pointer-comparison sorts in files "
+       "defining det-reachable functions"},
+      {"det-raw-rng",
+       "no srand/drand48/rand_r/random_shuffle/default_random_engine in "
+       "det-reachable functions"},
+      {"conc-blocking-under-lock",
+       "no blocking calls (future/pool waits, HTTP round-trips, sleeps, "
+       "file IO) while a mutex is held"},
   };
   return kRules;
 }

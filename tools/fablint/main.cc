@@ -1,4 +1,5 @@
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -7,10 +8,13 @@
 #include <string>
 #include <vector>
 
+#include "callgraph.h"
+#include "det.h"
 #include "fix.h"
 #include "graph.h"
 #include "lint.h"
 #include "repo_graph.h"
+#include "sarif.h"
 #include "semantic.h"
 
 namespace fs = std::filesystem;
@@ -20,13 +24,16 @@ namespace {
 constexpr const char* kUsage =
     "usage: fablint [--root <dir>] [--all-rules] [--exclude <substr>]...\n"
     "               [--fix [--dry-run]] [--list-rules] [--graph-dump]\n"
+    "               [--callgraph-dump] [--sarif <path>] [--stats]\n"
     "               <file-or-dir>...\n"
     "\n"
     "Lints fab C++ sources for determinism, safety and hygiene violations,\n"
     "then runs cross-file rules (include cycles, unused includes, lock\n"
-    "ordering, mutex annotation coverage) and the Status-discipline pass\n"
-    "(discarded Status/Result values, missing [[nodiscard]]) over the\n"
-    "whole walked set.\n"
+    "ordering, mutex annotation coverage), the Status-discipline pass\n"
+    "(discarded Status/Result values, missing [[nodiscard]]) and the\n"
+    "call-graph determinism pass (unordered iteration / pointer keys /\n"
+    "raw RNG reachable from fablint:det-root entry points, plus blocking\n"
+    "calls under a held mutex) over the whole walked set.\n"
     "Diagnostics: <path>:<line>: [<rule-id>] <message>\n"
     "Suppress a finding with '// fablint:allow(<rule-id>)' on the same or\n"
     "the preceding line.\n"
@@ -40,6 +47,11 @@ constexpr const char* kUsage =
     "  --dry-run       with --fix: print the diff instead of writing\n"
     "  --list-rules    print the rule table and exit\n"
     "  --graph-dump    print the resolved include graph and exit\n"
+    "  --callgraph-dump  print the function call graph (definitions,\n"
+    "                  edges, det-root/det-reachable marks) and exit\n"
+    "  --sarif <path>  also write violations as SARIF 2.1.0 to <path>\n"
+    "  --stats         print files walked, per-rule violation counts and\n"
+    "                  per-pass timings after the run\n"
     "\n"
     "exit status: 0 clean, 1 violations found, 2 usage or I/O error\n";
 
@@ -65,8 +77,11 @@ int main(int argc, char** argv) {
   fs::path root = fs::current_path();
   bool all_rules = false;
   bool graph_dump = false;
+  bool callgraph_dump = false;
   bool fix_mode = false;
   bool dry_run = false;
+  bool stats = false;
+  std::string sarif_path;
   std::vector<std::string> excludes;
   std::vector<fs::path> inputs;
 
@@ -84,6 +99,16 @@ int main(int argc, char** argv) {
       all_rules = true;
     } else if (arg == "--graph-dump") {
       graph_dump = true;
+    } else if (arg == "--callgraph-dump") {
+      callgraph_dump = true;
+    } else if (arg == "--stats") {
+      stats = true;
+    } else if (arg == "--sarif") {
+      if (i + 1 >= argc) {
+        std::cerr << "fablint: --sarif needs a value\n" << kUsage;
+        return 2;
+      }
+      sarif_path = argv[++i];
     } else if (arg == "--fix") {
       fix_mode = true;
     } else if (arg == "--dry-run") {
@@ -147,6 +172,20 @@ int main(int argc, char** argv) {
   fab::lint::Options options;
   options.all_rules = all_rules;
 
+  // Wall-duration pass timings for --stats. Never fed into computation —
+  // the obs-raw-clock contract is about clock values reaching results.
+  using StatsClock = std::chrono::steady_clock;
+  const auto now = [] {
+    return StatsClock::now();  // fablint:allow(obs-raw-clock)
+  };
+  std::map<std::string, double> pass_ms;
+  const auto record = [&pass_ms](const char* pass,
+                                 StatsClock::time_point begin,
+                                 StatsClock::time_point end) {
+    pass_ms[pass] +=
+        std::chrono::duration<double, std::milli>(end - begin).count();
+  };
+
   size_t checked = 0;
   std::vector<fab::lint::Violation> violations;
   std::vector<fab::lint::FileInput> walked;
@@ -172,26 +211,51 @@ int main(int argc, char** argv) {
     ++checked;
     walked.push_back(fab::lint::FileInput{rel, buffer.str()});
     rel_to_path[rel] = file;
+    const auto t0 = now();
     std::vector<fab::lint::Violation> found =
         fab::lint::LintSource(rel, walked.back().src, options);
+    record("1 per-file", t0, now());
     violations.insert(violations.end(), found.begin(), found.end());
   }
 
-  // Passes 2 and 3 share one node build: every file is masked and
-  // tokenized exactly once per run.
+  // Passes 2-4 share one node build: every file is masked and tokenized
+  // exactly once per run.
+  const auto t_nodes = now();
   const std::vector<fab::lint::FileNode> nodes = fab::lint::BuildNodes(walked);
+  record("tokenize", t_nodes, now());
 
   if (graph_dump) {
     fab::lint::GraphDump(nodes, std::cout);
     return 0;
   }
+  if (callgraph_dump) {
+    const fab::lint::CallGraph cg = fab::lint::BuildCallGraph(nodes);
+    fab::lint::CallGraphDump(cg, nodes, std::cout);
+    return 0;
+  }
 
-  for (auto* pass : {&fab::lint::LintRepoGraph, &fab::lint::LintSemantic}) {
-    std::vector<fab::lint::Violation> found = (*pass)(nodes, options);
+  const struct {
+    const char* name;
+    std::vector<fab::lint::Violation> (*run)(
+        const std::vector<fab::lint::FileNode>&, const fab::lint::Options&);
+  } passes[] = {{"2 graph", &fab::lint::LintRepoGraph},
+                {"3 semantic", &fab::lint::LintSemantic}};
+  for (const auto& pass : passes) {
+    const auto t0 = now();
+    std::vector<fab::lint::Violation> found = pass.run(nodes, options);
+    record(pass.name, t0, now());
     violations.insert(violations.end(), found.begin(), found.end());
   }
-  // One global (path, line, rule) order so per-file, graph and semantic
-  // findings interleave deterministically.
+  {
+    const auto t0 = now();
+    const fab::lint::CallGraph cg = fab::lint::BuildCallGraph(nodes);
+    std::vector<fab::lint::Violation> found =
+        fab::lint::LintDet(nodes, cg, options);
+    record("4 callgraph-det", t0, now());
+    violations.insert(violations.end(), found.begin(), found.end());
+  }
+  // One global (path, line, rule) order so per-file, graph, semantic and
+  // det findings interleave deterministically.
   std::sort(violations.begin(), violations.end(),
             [](const fab::lint::Violation& a, const fab::lint::Violation& b) {
               if (a.path != b.path) return a.path < b.path;
@@ -202,6 +266,17 @@ int main(int argc, char** argv) {
   for (const fab::lint::Violation& v : violations) {
     std::cout << v.path << ":" << v.line << ": [" << v.rule << "] "
               << v.message << "\n";
+  }
+
+  if (!sarif_path.empty()) {
+    std::ofstream sarif(sarif_path, std::ios::binary | std::ios::trunc);
+    if (!sarif) {
+      std::cerr << "fablint: cannot write " << sarif_path << "\n";
+      return 2;
+    }
+    fab::lint::WriteSarif(violations, sarif);
+    std::cout << "fablint: wrote " << violations.size()
+              << " SARIF result(s) to " << sarif_path << "\n";
   }
 
   if (fix_mode) {
@@ -241,6 +316,20 @@ int main(int argc, char** argv) {
                 << " overlapping edit(s) deferred to the next run)";
     }
     std::cout << "\n";
+  }
+
+  if (stats) {
+    std::cout << "fablint stats: " << checked << " file(s) walked\n";
+    std::map<std::string, size_t> by_rule;
+    for (const fab::lint::Violation& v : violations) ++by_rule[v.rule];
+    for (const auto& [rule, count] : by_rule) {
+      std::cout << "fablint stats:   rule " << rule << ": " << count
+                << " violation(s)\n";
+    }
+    for (const auto& [pass, ms] : pass_ms) {
+      std::cout << "fablint stats:   pass " << pass << ": "
+                << static_cast<long long>(ms * 1000.0) << " us\n";
+    }
   }
 
   std::cout << "fablint: checked " << checked << " file(s), "

@@ -219,6 +219,50 @@ const std::set<std::string>& Keywords() {
   return kWords;
 }
 
+bool IsFunctionName(const std::string& name) {
+  if (name.empty() || !(name[0] >= 'A' && name[0] <= 'Z')) return false;
+  if (Keywords().count(name) > 0) return false;
+  for (char c : name) {
+    if (c >= 'a' && c <= 'z') return true;
+  }
+  return false;  // ALL_CAPS: a macro, not a function
+}
+
+size_t MatchTemplateArgs(const std::vector<Tok>& toks, size_t open) {
+  int depth = 0;
+  for (size_t j = open; j < toks.size(); ++j) {
+    const std::string& t = toks[j].text;
+    if (t == "<") {
+      ++depth;
+    } else if (t == ">") {
+      if (--depth == 0) return j + 1;
+    } else if (t == ";" || t == "{" || t == "}") {
+      break;
+    }
+  }
+  return 0;
+}
+
+size_t MatchParen(const std::vector<Tok>& toks, size_t open) {
+  int depth = 0;
+  for (size_t j = open; j < toks.size(); ++j) {
+    if (toks[j].word) continue;
+    if (toks[j].text == "(") ++depth;
+    if (toks[j].text == ")" && --depth == 0) return j;
+  }
+  return static_cast<size_t>(-1);
+}
+
+size_t MatchBrace(const std::vector<Tok>& toks, size_t open) {
+  int depth = 0;
+  for (size_t j = open; j < toks.size(); ++j) {
+    if (toks[j].word) continue;
+    if (toks[j].text == "{") ++depth;
+    if (toks[j].text == "}" && --depth == 0) return j;
+  }
+  return static_cast<size_t>(-1);
+}
+
 std::vector<FileNode> BuildNodes(const std::vector<FileInput>& files) {
   std::vector<FileNode> nodes;
   nodes.reserve(files.size());

@@ -62,6 +62,24 @@ struct FileNode {
 /// C++ keywords and common type names excluded from export extraction.
 const std::set<std::string>& Keywords();
 
+/// Project style: functions are PascalCase. Lowercase words are
+/// variables/keywords; SHOUTY words are macros. Shared by the semantic
+/// and call-graph passes so "looks like a function" means one thing.
+bool IsFunctionName(const std::string& name);
+
+/// toks[open] must be "<". Returns the index just past the matching ">",
+/// or 0 when the bracket never closes in this statement (a less-than
+/// operator, not template arguments).
+size_t MatchTemplateArgs(const std::vector<Tok>& toks, size_t open);
+
+/// Index of the ')' matching the '(' at toks[open], or SIZE_MAX when the
+/// file ends unbalanced (preprocessor arms — the caller gives up rather
+/// than swallow the rest of the file).
+size_t MatchParen(const std::vector<Tok>& toks, size_t open);
+
+/// Index of the '}' matching the '{' at toks[open]; SIZE_MAX if unbalanced.
+size_t MatchBrace(const std::vector<Tok>& toks, size_t open);
+
 /// Masks, tokenizes and indexes every input, resolves quoted includes
 /// against the walked set, and returns the nodes sorted by rel path.
 std::vector<FileNode> BuildNodes(const std::vector<FileInput>& files);

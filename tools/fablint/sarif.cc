@@ -1,0 +1,97 @@
+#include "sarif.h"
+
+#include <map>
+#include <ostream>
+#include <string>
+
+namespace fab::lint {
+
+namespace {
+
+/// Minimal JSON string escaping: quotes, backslashes and control bytes.
+/// Diagnostic text is ASCII by construction, so no UTF-16 pair handling.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* kHex = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xF];
+          out += kHex[c & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void WriteSarif(const std::vector<Violation>& violations, std::ostream& out) {
+  const std::vector<RuleInfo>& rules = AllRules();
+  std::map<std::string, size_t> rule_index;
+  for (size_t i = 0; i < rules.size(); ++i) rule_index[rules[i].id] = i;
+
+  out << "{\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"$schema\": "
+         "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      << "  \"runs\": [\n"
+      << "    {\n"
+      << "      \"tool\": {\n"
+      << "        \"driver\": {\n"
+      << "          \"name\": \"fablint\",\n"
+      << "          \"informationUri\": "
+         "\"https://example.invalid/fablint\",\n"
+      << "          \"rules\": [\n";
+  for (size_t i = 0; i < rules.size(); ++i) {
+    out << "            {\"id\": \"" << JsonEscape(rules[i].id)
+        << "\", \"shortDescription\": {\"text\": \""
+        << JsonEscape(rules[i].summary) << "\"}}"
+        << (i + 1 < rules.size() ? "," : "") << "\n";
+  }
+  out << "          ]\n"
+      << "        }\n"
+      << "      },\n"
+      << "      \"results\": [\n";
+  for (size_t i = 0; i < violations.size(); ++i) {
+    const Violation& v = violations[i];
+    out << "        {\"ruleId\": \"" << JsonEscape(v.rule) << "\"";
+    const auto it = rule_index.find(v.rule);
+    if (it != rule_index.end()) {
+      out << ", \"ruleIndex\": " << it->second;
+    }
+    out << ", \"level\": \"error\""
+        << ", \"message\": {\"text\": \"" << JsonEscape(v.message) << "\"}"
+        << ", \"locations\": [{\"physicalLocation\": {\"artifactLocation\": "
+           "{\"uri\": \""
+        << JsonEscape(v.path) << "\"}, \"region\": {\"startLine\": "
+        << (v.line > 0 ? v.line : 1) << "}}}]}"
+        << (i + 1 < violations.size() ? "," : "") << "\n";
+  }
+  out << "      ]\n"
+      << "    }\n"
+      << "  ]\n"
+      << "}\n";
+}
+
+}  // namespace fab::lint

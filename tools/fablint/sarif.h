@@ -1,0 +1,25 @@
+#ifndef FAB_TOOLS_FABLINT_SARIF_H_
+#define FAB_TOOLS_FABLINT_SARIF_H_
+
+#include <iosfwd>
+#include <vector>
+
+#include "lint.h"
+
+/// SARIF 2.1.0 export — the `--sarif <path>` flag.
+///
+/// Emits one run with the full AllRules() table as the tool's rule
+/// metadata and one result per violation, each anchored to a
+/// physicalLocation (uri + startLine). GitHub code scanning ingests the
+/// file via codeql-action/upload-sarif and annotates PR diffs inline.
+/// Hand-rolled serialization (one JSON escaper, no dependencies), same
+/// spirit as the rest of the tool.
+namespace fab::lint {
+
+/// Writes the SARIF document for `violations` to `out`. Violations are
+/// expected pre-sorted (path, line, rule) — the writer preserves order.
+void WriteSarif(const std::vector<Violation>& violations, std::ostream& out);
+
+}  // namespace fab::lint
+
+#endif  // FAB_TOOLS_FABLINT_SARIF_H_

@@ -10,21 +10,6 @@ namespace {
 
 constexpr size_t kNpos = static_cast<size_t>(-1);
 
-bool IsFunctionName(const std::string& name) {
-  // Project style: functions are PascalCase. Lowercase words are
-  // variables/keywords; SHOUTY words are macros. Both are excluded so a
-  // constructor-style variable declaration (`Status status(code)`) or a
-  // macro invocation never looks like a function declaration.
-  if (name.empty() || std::isupper(static_cast<unsigned char>(name[0])) == 0) {
-    return false;
-  }
-  if (Keywords().count(name) > 0) return false;
-  for (char c : name) {
-    if (std::islower(static_cast<unsigned char>(c)) != 0) return true;
-  }
-  return false;  // ALL_CAPS: a macro, not a function
-}
-
 /// Control-flow / declaration-structure keywords: a word that can
 /// legitimately precede a call expression or class-head name, never a
 /// return type in a declaration.
@@ -39,24 +24,6 @@ bool IsControlWord(const std::string& w) {
       "static_assert", "alignof", "decltype", "not",  "and",     "or",
   };
   return kControl.count(w) > 0;
-}
-
-/// toks[open] must be "<". Returns the index just past the matching ">",
-/// or 0 when the bracket never closes in this statement (a less-than
-/// operator, not template arguments).
-size_t MatchTemplateArgs(const std::vector<Tok>& toks, size_t open) {
-  int depth = 0;
-  for (size_t j = open; j < toks.size(); ++j) {
-    const std::string& t = toks[j].text;
-    if (t == "<") {
-      ++depth;
-    } else if (t == ">") {
-      if (--depth == 0) return j + 1;
-    } else if (t == ";" || t == "{" || t == "}") {
-      break;
-    }
-  }
-  return 0;
 }
 
 /// When toks[i] starts a `Status` / `Result<...>` return type of a
