@@ -1,14 +1,20 @@
 // Forecast client: a command-line front door for a running fab::net
 // forecast server (see forecast_server --serve).
 //
-//   ./forecast_client <port> healthz
-//   ./forecast_client <port> statusz
-//   ./forecast_client <port> predict <period> <window> <model> [rows=4]
+//   ./forecast_client [--trace] <port> healthz
+//   ./forecast_client [--trace] <port> statusz
+//   ./forecast_client [--trace] <port> predict <period> <window> <model> [rows=4]
 //
 // Talks HTTP/1.1 over a keep-alive net::HttpClient — the sanctioned
 // client-side socket door (fablint's net-raw-syscall rule keeps raw
 // sockets confined to src/net/). Random feature rows are generated
 // locally; a real deployment would feed the live feature pipeline here.
+//
+// --trace mints a trace id, installs it for the request (HttpClient
+// attaches it as x-fab-trace, the server adopts it), and prints it —
+// paste it into GET /tracez?trace=<id> on the server to pull up the
+// request's span tree across the IO thread, handler pool, and shard
+// batch threads.
 
 #include <cstdio>
 #include <cstdlib>
@@ -18,6 +24,7 @@
 
 #include "net/http_client.h"
 #include "net/json.h"
+#include "util/obs/trace_context.h"
 #include "util/random.h"
 
 namespace {
@@ -26,9 +33,10 @@ constexpr size_t kFeatures = 12;
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s <port> healthz\n"
-               "       %s <port> statusz\n"
-               "       %s <port> predict <period> <window> <model> [rows]\n",
+               "usage: %s [--trace] <port> healthz\n"
+               "       %s [--trace] <port> statusz\n"
+               "       %s [--trace] <port> predict <period> <window> <model> "
+               "[rows]\n",
                argv0, argv0, argv0);
   return 2;
 }
@@ -54,10 +62,26 @@ std::string PredictBody(const std::string& period, int window,
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) return Usage(argv[0]);
-  const int port = std::atoi(argv[1]);
+  bool trace = false;
+  int arg = 1;
+  if (arg < argc && std::strcmp(argv[arg], "--trace") == 0) {
+    trace = true;
+    ++arg;
+  }
+  if (argc - arg < 2) return Usage(argv[0]);
+  const int port = std::atoi(argv[arg]);
   if (port <= 0 || port > 65535) return Usage(argv[0]);
-  const std::string command = argv[2];
+  const std::string command = argv[arg + 1];
+  argv += arg - 1;  // commands index argv[3..] as before the flag
+  argc -= arg - 1;
+
+  // Install the trace context before the round trip: HttpClient sees it
+  // and tags the request, the server adopts the id end to end.
+  const uint64_t trace_id = trace ? fab::obs::MintTraceId() : 0;
+  const fab::obs::ScopedTraceId trace_scope(trace_id);
+  if (trace) {
+    std::printf("trace id: %s\n", fab::obs::FormatTraceId(trace_id).c_str());
+  }
 
   fab::net::HttpClient client("127.0.0.1", static_cast<uint16_t>(port));
 

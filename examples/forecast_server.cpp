@@ -7,7 +7,11 @@
 //      BatchServer shards) + ForecastService + HttpServer on an ephemeral
 //      port — and exercise /healthz, /predict and /statusz through the
 //      sanctioned HttpClient.
-//   4. Retrain, republish the snapshot, hot-reload: the router resolves
+//   4. Drive a trace-tagged request and read it back through the live
+//      debug surfaces: /tracez (its span tree out of the flight
+//      recorder), /rpcz (per-endpoint + per-shard stats), /metricsz
+//      (Prometheus exposition).
+//   5. Retrain, republish the snapshot, hot-reload: the router resolves
 //      the servable per request, so the very next /predict serves the new
 //      model with zero downtime and no server restart.
 //
@@ -35,6 +39,7 @@
 #include "net/shard_router.h"
 #include "serve/registry.h"
 #include "serve/snapshot.h"
+#include "util/obs/trace_context.h"
 #include "util/random.h"
 
 namespace {
@@ -227,7 +232,61 @@ int main(int argc, char** argv) {
               statusz->status_code, static_cast<size_t>(*num_shards),
               statusz->body.size());
 
-  // --- 5. Hot-reload: retrain, republish, swap — no downtime. --------------
+  // --- 5. Debug surfaces: /tracez, /rpcz, /metricsz. -----------------------
+  // Tag one request with a minted trace id (HttpClient attaches it as
+  // x-fab-trace; the server adopts it), then pull exactly that request's
+  // span tree back out of the flight recorder via /tracez.
+  const uint64_t trace_id = obs::MintTraceId();
+  {
+    const obs::ScopedTraceId trace_scope(trace_id);
+    Predict(client, kRfKey, 2, 21);
+  }
+  const std::string trace_hex = obs::FormatTraceId(trace_id);
+  auto tracez = client.Get("/tracez?trace=" + trace_hex);
+  Die(tracez.status(), "GET /tracez");
+  DieIf(tracez->status_code != 200, "/tracez did not return 200");
+  auto tracez_doc = net::ParseJson(tracez->body);
+  Die(tracez_doc.status(), "parse /tracez");
+  const net::JsonValue* traces = tracez_doc->Find("traces");
+  DieIf(traces == nullptr || !traces->is_array() || traces->array().empty(),
+        "/tracez has no trace for the tagged request");
+  DieIf(tracez->body.find(trace_hex) == std::string::npos,
+        "/tracez trace id mismatch");
+  DieIf(tracez->body.find("net/request") == std::string::npos,
+        "/tracez trace missing the net/request root span");
+  DieIf(tracez->body.find("serve/request") == std::string::npos,
+        "/tracez trace missing the shard batch leg");
+  std::printf("GET /tracez?trace=%s -> %d (%zu bytes, spans IO->shard)\n",
+              trace_hex.c_str(), tracez->status_code, tracez->body.size());
+
+  auto rpcz = client.Get("/rpcz");
+  Die(rpcz.status(), "GET /rpcz");
+  DieIf(rpcz->status_code != 200, "/rpcz did not return 200");
+  auto rpcz_doc = net::ParseJson(rpcz->body);
+  Die(rpcz_doc.status(), "parse /rpcz");
+  const net::JsonValue* endpoints_json = rpcz_doc->Find("server");
+  DieIf(endpoints_json == nullptr || endpoints_json->Find("endpoints") == nullptr,
+        "/rpcz missing server endpoints");
+  const net::JsonValue* shards_json = rpcz_doc->Find("shards");
+  DieIf(shards_json == nullptr || shards_json->Find("shards") == nullptr,
+        "/rpcz missing shard section");
+  DieIf(rpcz->body.find("/predict") == std::string::npos,
+        "/rpcz has no /predict endpoint stats");
+  std::printf("GET /rpcz -> %d (%zu bytes)\n", rpcz->status_code,
+              rpcz->body.size());
+
+  auto metricsz = client.Get("/metricsz");
+  Die(metricsz.status(), "GET /metricsz");
+  DieIf(metricsz->status_code != 200, "/metricsz did not return 200");
+  DieIf(metricsz->body.find("# TYPE fab_net_http_requests_total counter") ==
+            std::string::npos,
+        "/metricsz missing the http requests counter");
+  DieIf(metricsz->body.find("_bucket{le=") == std::string::npos,
+        "/metricsz missing histogram buckets");
+  std::printf("GET /metricsz -> %d (%zu bytes of Prometheus text)\n",
+              metricsz->status_code, metricsz->body.size());
+
+  // --- 6. Hot-reload: retrain, republish, swap — no downtime. --------------
   // The router resolves the registry servable on every submit, so the
   // republished snapshot serves the moment Reload() swaps it in. The
   // server never restarts; the client keeps its connection.
@@ -242,7 +301,7 @@ int main(int argc, char** argv) {
   std::printf("hot-reload: forecast %.4f -> %.4f over one live connection\n",
               before, after);
 
-  // --- 6. Clean shutdown. --------------------------------------------------
+  // --- 7. Clean shutdown. --------------------------------------------------
   server.Shutdown();
   (*router)->Shutdown();
   std::filesystem::remove_all(dir);

@@ -1,0 +1,64 @@
+#ifndef FAB_NET_DEBUGZ_H_
+#define FAB_NET_DEBUGZ_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/http_server.h"
+#include "net/shard_router.h"
+#include "util/obs/flight.h"
+
+namespace fab::net {
+
+/// Live debug surfaces in the /varz-/statsz tradition, registered on an
+/// existing HttpServer:
+///
+///   GET /tracez    span trees of the slowest recent requests, rebuilt
+///                  from the flight-recorder ring. Query params:
+///                    min_us=N   only traces at least N µs long (default 0)
+///                    trace=HEX  only the named trace id
+///                    limit=N    at most N traces (default 32)
+///   GET /rpcz      per-endpoint request/error counts and latency
+///                  histograms with max-bucket trace exemplars, plus the
+///                  per-shard admission counters and BatchServer statsz
+///   GET /metricsz  Prometheus text exposition of the whole metrics
+///                  registry, histogram buckets included
+///
+/// All three read lock-free telemetry (the flight ring, per-route
+/// instruments, the registry snapshot), so scraping them never stalls
+/// the serving path. Stateless apart from two borrowed pointers;
+/// thread-safe.
+class DebugService {
+ public:
+  /// Both pointers are borrowed and must outlive the service; either may
+  /// be null (that section of /rpcz is then omitted). `server` is
+  /// typically also the server the routes are registered on.
+  DebugService(const HttpServer* server, const ShardedRouter* router)
+      : server_(server), router_(router) {}
+
+  /// Registers /tracez, /rpcz and /metricsz. Call before
+  /// HttpServer::Start.
+  void RegisterRoutes(HttpServer* server);
+
+  void HandleTracez(const HttpRequest& request, Responder responder);
+  void HandleRpcz(const HttpRequest& request, Responder responder);
+  void HandleMetricsz(const HttpRequest& request, Responder responder);
+
+  /// Pure tree-building core of /tracez, exposed for tests: groups
+  /// `spans` by trace id (dropping untraced spans), nests each trace's
+  /// spans by interval containment, keeps traces at least `min_us` long
+  /// (or exactly `only_trace` when nonzero), sorts longest-first and
+  /// returns at most `max_traces` of them as JSON.
+  static std::string TracezJson(const std::vector<obs::FlightSpan>& spans,
+                                double min_us, uint64_t only_trace,
+                                size_t max_traces);
+
+ private:
+  const HttpServer* const server_;
+  const ShardedRouter* const router_;
+};
+
+}  // namespace fab::net
+
+#endif  // FAB_NET_DEBUGZ_H_

@@ -110,6 +110,8 @@ void ForecastService::RegisterRoutes(HttpServer* server) {
                  [this](const HttpRequest& request, Responder responder) {
                    HandleHealthz(request, std::move(responder));
                  });
+  debug_ = std::make_unique<DebugService>(server, router_);
+  debug_->RegisterRoutes(server);
 }
 
 void ForecastService::HandlePredict(const HttpRequest& request,

@@ -1,8 +1,10 @@
 #ifndef FAB_NET_FORECAST_SERVICE_H_
 #define FAB_NET_FORECAST_SERVICE_H_
 
+#include <memory>
 #include <string>
 
+#include "net/debugz.h"
 #include "net/http_server.h"
 #include "net/shard_router.h"
 #include "util/status.h"
@@ -23,6 +25,10 @@ int HttpStatusFor(const Status& status);
 ///   GET  /statusz   router shard statsz + full obs metrics export
 ///   GET  /healthz   200 {"status":"ok"}
 ///
+/// RegisterRoutes also mounts the DebugService surfaces (/tracez, /rpcz,
+/// /metricsz) on the same server, so every forecast front-end is
+/// debuggable out of the box.
+///
 /// Handlers are non-blocking: /predict fans each row into the shard's
 /// BatchServer via SubmitWithCallback and the LAST completion serializes
 /// and sends the response — no handler thread ever parks on a forecast,
@@ -33,7 +39,8 @@ class ForecastService {
   /// `router` is borrowed and must outlive the service.
   explicit ForecastService(ShardedRouter* router) : router_(router) {}
 
-  /// Registers /predict, /statusz and /healthz on `server`. Call before
+  /// Registers /predict, /statusz and /healthz on `server`, plus the
+  /// DebugService routes (/tracez, /rpcz, /metricsz). Call before
   /// HttpServer::Start.
   void RegisterRoutes(HttpServer* server);
 
@@ -43,6 +50,9 @@ class ForecastService {
 
  private:
   ShardedRouter* const router_;
+  /// Created lazily by RegisterRoutes (it needs the server pointer);
+  /// owns nothing beyond its borrowed pointers.
+  std::unique_ptr<DebugService> debug_;
 };
 
 }  // namespace fab::net

@@ -10,6 +10,8 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include "util/obs/trace_context.h"
+
 namespace fab::net {
 
 namespace {
@@ -83,6 +85,14 @@ Result<HttpResponse> HttpClient::RoundTrip(const HttpRequest& request) {
   wire += "Host: " + host_ + ":" + std::to_string(port_) + "\r\n";
   for (const auto& [key, value] : request.headers) {
     wire += key + ": " + value + "\r\n";
+  }
+  // Trace-context propagation: a caller with an installed trace context
+  // (obs::ScopedTraceId) tags the outbound request so the server adopts
+  // the same id and the trace spans both processes. An explicit
+  // x-fab-trace header in `request` wins.
+  const uint64_t trace_id = obs::CurrentTraceId();
+  if (trace_id != 0 && request.Header("x-fab-trace") == nullptr) {
+    wire += "x-fab-trace: " + obs::FormatTraceId(trace_id) + "\r\n";
   }
   wire += "Content-Length: " + std::to_string(request.body.size()) + "\r\n";
   wire += "Connection: keep-alive\r\n\r\n";

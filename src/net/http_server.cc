@@ -14,7 +14,9 @@
 #include <unistd.h>
 
 #include "net/json.h"
+#include "util/obs/flight.h"
 #include "util/obs/trace.h"
+#include "util/obs/trace_context.h"
 
 namespace fab::net {
 
@@ -81,6 +83,10 @@ void IgnoreSigpipeOnce() {
 }  // namespace
 
 void Responder::Send(HttpResponse response) const {
+  // Re-install the request's trace context: Send may run on an async
+  // completion thread (batch worker, timer) that doesn't carry it.
+  obs::ScopedTraceId scope(trace_id_);
+  FAB_TRACE_SCOPE("net/send", {{"status", response.status_code}});
   // Holding the shared_ptr across the whole call keeps the pipe's write
   // end open even if the server is torn down concurrently.
   std::shared_ptr<internal::ServerCore> core = core_.lock();
@@ -107,7 +113,27 @@ HttpServer::~HttpServer() { Shutdown(); }
 
 void HttpServer::Handle(std::string method, std::string path,
                         Handler handler) {
+  route_stats_.try_emplace({method, path});  // node-stable; see RouteStats
   routes_[{std::move(method), std::move(path)}] = std::move(handler);
+}
+
+std::string HttpServer::RpczJson() const {
+  std::string out;
+  out.reserve(128 + 320 * route_stats_.size());
+  out += "{\"endpoints\":[";
+  bool first = true;
+  for (const auto& [key, stats] : route_stats_) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"method\":" + EscapeJson(key.first);
+    out += ",\"path\":" + EscapeJson(key.second);
+    out += ",\"requests\":" + std::to_string(stats.requests.Value());
+    out += ",\"errors\":" + std::to_string(stats.errors.Value());
+    out += ",\"latency_us\":" + stats.latency_us.ToJson();
+    out += "}";
+  }
+  out += "]}";
+  return out;
 }
 
 Status HttpServer::Start() {
@@ -353,13 +379,25 @@ void HttpServer::DispatchIfReady(EventLoop* loop, int fd) {
   if (it == connections_.end()) return;
   Connection& conn = it->second;
   if (!conn.parser.done() || conn.handling) return;
-  FAB_TRACE_SCOPE("net/dispatch");
   requests_.Increment();
   HttpRequest request = conn.parser.request();  // copy: parser re-arms later
   conn.keep_alive = request.KeepAlive();
   conn.handling = true;
   ++conn.exchange;
   conn.responded = false;
+  // Trace context: adopt the client's x-fab-trace id (so a trace spans
+  // client and server) or mint a fresh one. The scoped install covers
+  // route lookup and pool Submit — ThreadPool::Enqueue captures it onto
+  // the handler thread, which is how every span and histogram sample
+  // under this request stitches to one id.
+  const std::string* inbound = request.Header("x-fab-trace");
+  uint64_t trace_id = inbound != nullptr ? obs::ParseTraceId(*inbound) : 0;
+  if (trace_id == 0) trace_id = obs::MintTraceId();
+  conn.trace_id = trace_id;
+  conn.dispatched = obs::Clock::Now();
+  conn.route_stats = nullptr;
+  obs::ScopedTraceId scope(trace_id);
+  FAB_TRACE_SCOPE("net/dispatch");
   // One-in-one-out: no reads while the handler owns the exchange.
   (void)loop->Mod(fd, /*want_read=*/false, /*want_write=*/false);
 
@@ -379,7 +417,12 @@ void HttpServer::DispatchIfReady(EventLoop* loop, int fd) {
                                 "\"}"));
     return;
   }
-  Responder responder(core_, fd, conn.conn_id, conn.exchange);
+  auto stats = route_stats_.find({request.method, path});
+  if (stats != route_stats_.end()) {
+    conn.route_stats = &stats->second;
+    conn.route_stats->requests.Increment();
+  }
+  Responder responder(core_, fd, conn.conn_id, conn.exchange, trace_id);
   const Handler handler = route->second;  // copy: stable across threads
   (void)workers_->Submit(
       [handler, request = std::move(request), responder]() {
@@ -402,7 +445,21 @@ void HttpServer::QueueResponse(EventLoop* loop, int fd, uint64_t conn_id,
     return;
   }
   conn.responded = true;
+  obs::ScopedTraceId scope(conn.trace_id);
   FAB_TRACE_SCOPE("net/respond", {{"status", response.status_code}});
+  // The exchange is decided: close out the request's telemetry. The
+  // "net/request" flight span (dispatch → response queued) is the root
+  // of the /tracez span tree; the per-route sample carries the trace id
+  // as its max-bucket exemplar; the echoed header lets the client log
+  // the id it should quote in a slow-request report.
+  const obs::Clock::time_point now = obs::Clock::Now();
+  if (conn.route_stats != nullptr) {
+    conn.route_stats->latency_us.Record(
+        obs::Clock::MicrosBetween(conn.dispatched, now), conn.trace_id);
+    if (response.status_code >= 400) conn.route_stats->errors.Increment();
+  }
+  obs::FlightRecordSpan("net/request", conn.trace_id, conn.dispatched, now);
+  response.headers.push_back({"x-fab-trace", obs::FormatTraceId(conn.trace_id)});
   const bool keep_alive = conn.keep_alive && !stopping_.load();
   conn.write_buffer += response.Serialize(keep_alive);
   if (!keep_alive) conn.close_after_write = true;

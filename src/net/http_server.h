@@ -13,6 +13,7 @@
 #include "net/event_loop.h"
 #include "net/http.h"
 #include "util/mutex.h"
+#include "util/obs/clock.h"
 #include "util/obs/metrics.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
@@ -58,20 +59,27 @@ class Responder {
  public:
   void Send(HttpResponse response) const;
 
+  /// The request's trace id (minted or adopted at dispatch) — carried so
+  /// async completion paths keep their attribution even when Send runs
+  /// on a thread with no trace context installed.
+  uint64_t trace_id() const { return trace_id_; }
+
  private:
   friend class HttpServer;
 
   Responder(std::weak_ptr<internal::ServerCore> core, int fd,
-            uint64_t conn_id, uint64_t exchange)
+            uint64_t conn_id, uint64_t exchange, uint64_t trace_id)
       : core_(std::move(core)),
         fd_(fd),
         conn_id_(conn_id),
-        exchange_(exchange) {}
+        exchange_(exchange),
+        trace_id_(trace_id) {}
 
   std::weak_ptr<internal::ServerCore> core_;
   int fd_ = -1;
   uint64_t conn_id_ = 0;
   uint64_t exchange_ = 0;
+  uint64_t trace_id_ = 0;
 };
 
 /// Minimal non-blocking HTTP/1.1 server.
@@ -116,7 +124,24 @@ class HttpServer {
   /// The bound port (resolves option port 0); valid after Start().
   uint16_t port() const { return port_.load(); }
 
+  /// Per-endpoint serving stats as one JSON object (the endpoint section
+  /// of GET /rpcz):
+  ///   {"endpoints":[{"method":...,"path":...,"requests":N,"errors":N,
+  ///                  "latency_us":{...,"max_trace":"<hex>"}}]}
+  /// Safe from any thread while serving: the stats map is immutable
+  /// after Start() and the instruments are lock-free.
+  std::string RpczJson() const;
+
  private:
+  /// Per-route counters and latency histogram (dispatch → response
+  /// queued) with a max-bucket trace-id exemplar. One node per route,
+  /// created in Handle(); node addresses are stable, so the IO thread
+  /// caches a pointer per dispatched exchange.
+  struct RouteStats {
+    obs::Counter requests;
+    obs::Counter errors;  ///< responses with status >= 400
+    obs::Histogram latency_us;
+  };
   /// Per-connection state, owned exclusively by the IO thread.
   struct Connection {
     uint64_t conn_id = 0;
@@ -133,6 +158,15 @@ class HttpServer {
     bool responded = false;
     /// Close once write_buffer flushes.
     bool close_after_write = false;
+    /// Trace context of the in-flight exchange: adopted from the
+    /// client's x-fab-trace header or minted at dispatch. Echoed on the
+    /// response and attributed to every span/sample under the request.
+    uint64_t trace_id = 0;
+    /// Dispatch instant — start of the request's /tracez root span and
+    /// of the per-route latency sample.
+    obs::Clock::time_point dispatched{};
+    /// Stats node for the dispatched route (null for 404/405).
+    RouteStats* route_stats = nullptr;
 
     Connection(uint64_t id, const HttpParser::Limits& limits)
         : conn_id(id), parser(HttpParser::Mode::kRequest, limits) {}
@@ -153,6 +187,9 @@ class HttpServer {
 
   const HttpServerOptions options_;
   std::map<std::pair<std::string, std::string>, Handler> routes_;
+  /// Keyed like routes_; populated alongside it in Handle() and
+  /// structurally immutable while serving (values are lock-free).
+  std::map<std::pair<std::string, std::string>, RouteStats> route_stats_;
 
   std::shared_ptr<internal::ServerCore> core_;
   std::atomic<uint16_t> port_{0};

@@ -6,7 +6,9 @@
 #include <cstdio>
 #include <utility>
 
+#include "util/obs/flight.h"
 #include "util/obs/trace.h"
+#include "util/obs/trace_context.h"
 #include "util/thread_pool.h"
 
 namespace fab::serve {
@@ -106,6 +108,10 @@ void BatchServer::Shutdown() {
 }
 
 void BatchServer::Complete(Request request, Result<double> result) {
+  // Re-install the request's trace context: callbacks (PredictState
+  // completion, Responder::Send) run on a batch worker or the shutdown
+  // thread, neither of which carries it naturally.
+  obs::ScopedTraceId scope(request.trace_id);
   if (request.callback) {
     request.callback(std::move(result));
   } else {
@@ -157,6 +163,7 @@ Result<std::future<Result<double>>> BatchServer::Submit(
   Request request;
   request.features = std::move(features);
   request.enqueued = obs::Clock::Now();
+  request.trace_id = obs::CurrentTraceId();
   std::future<Result<double>> future = request.promise.get_future();
   FAB_RETURN_IF_ERROR(Enqueue(std::move(request)));
   return future;
@@ -177,6 +184,7 @@ Result<std::future<Result<double>>> BatchServer::SubmitTo(
   request.features = std::move(features);
   request.model = std::move(model);
   request.enqueued = obs::Clock::Now();
+  request.trace_id = obs::CurrentTraceId();
   std::future<Result<double>> future = request.promise.get_future();
   FAB_RETURN_IF_ERROR(Enqueue(std::move(request)));
   return future;
@@ -204,6 +212,7 @@ Status BatchServer::SubmitWithCallback(std::shared_ptr<const Servable> model,
   request.model = std::move(model);
   request.callback = std::move(done);
   request.enqueued = obs::Clock::Now();
+  request.trace_id = obs::CurrentTraceId();
   return Enqueue(std::move(request));
 }
 
@@ -296,8 +305,11 @@ void BatchServer::RunBatch(std::vector<Request> batch,
   // Queue wait ends here: the requests just left the queue for a batch.
   const obs::Clock::time_point batch_start = obs::Clock::Now();
   for (const Request& request : batch) {
+    // Explicit trace id: the batch thread has no request context of its
+    // own, but each row remembers who submitted it.
     queue_wait_us_hist_.Record(
-        obs::Clock::MicrosBetween(request.enqueued, batch_start));
+        obs::Clock::MicrosBetween(request.enqueued, batch_start),
+        request.trace_id);
   }
   batch_size_hist_.Record(static_cast<double>(rows));
   const size_t expected =
@@ -319,9 +331,14 @@ void BatchServer::RunBatch(std::vector<Request> batch,
                 static_cast<double>(rows),
             /*alpha=*/0.25);
   // End-to-end latency lands in the bounded histogram — no sample cap,
-  // no unbounded vector, O(1) memory for any request volume.
+  // no unbounded vector, O(1) memory for any request volume. Each row
+  // also drops a per-request span into the flight ring: the shard-batch
+  // leg of the request's /tracez span tree (enqueue → completion).
   for (const Request& request : batch) {
-    latency_us_hist_.Record(obs::Clock::MicrosBetween(request.enqueued, done));
+    latency_us_hist_.Record(obs::Clock::MicrosBetween(request.enqueued, done),
+                            request.trace_id);
+    obs::FlightRecordSpan("serve/request", request.trace_id, request.enqueued,
+                          done);
   }
   {
     // Record stats before fulfilling the promises: once a caller's future
@@ -369,8 +386,9 @@ BatchServerStats BatchServer::Stats() const {
 
 std::string BatchServer::StatszJson() const {
   const BatchServerStats stats = Stats();
-  std::string out = "{";
-  out += "\"requests_completed\":" + std::to_string(stats.requests_completed);
+  std::string out;
+  out.reserve(1024);
+  out += "{\"requests_completed\":" + std::to_string(stats.requests_completed);
   out += ",\"requests_rejected\":" + std::to_string(stats.requests_rejected);
   out += ",\"requests_abandoned\":" + std::to_string(stats.requests_abandoned);
   out += ",\"batches_run\":" + std::to_string(stats.batches_run);

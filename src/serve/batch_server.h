@@ -191,6 +191,11 @@ class BatchServer {
     std::promise<Result<double>> promise;  ///< used when callback empty
     Callback callback;
     obs::Clock::time_point enqueued;
+    /// Trace context captured at submit time (obs::CurrentTraceId; 0 when
+    /// untraced). Batch workers re-install it around completion callbacks
+    /// and attribute this request's latency samples to it, so a request's
+    /// spans stitch across the submitting thread and the batch thread.
+    uint64_t trace_id = 0;
   };
 
   /// Fulfils a request exactly once, via callback or promise.

@@ -8,9 +8,12 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include <unistd.h>
 
+#include "util/obs/trace_context.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
@@ -28,12 +31,17 @@ void AtomicMin(std::atomic<double>& a, double v, bool first) {
   }
 }
 
-void AtomicMax(std::atomic<double>& a, double v, bool first) {
+/// Returns true when `v` became (or tied) the tracked max — the signal
+/// the caller uses to refresh the max-bucket exemplar.
+bool AtomicMax(std::atomic<double>& a, double v, bool first) {
   double cur = a.load(std::memory_order_relaxed);
-  while ((first || v > cur) &&
-         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  while (first || v > cur) {
+    if (a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+      return true;
+    }
     first = false;
   }
+  return v == cur;
 }
 
 void AtomicAdd(std::atomic<double>& a, double delta) {
@@ -113,28 +121,62 @@ class Registry {
     return *slot;
   }
 
-  std::string Export() FAB_EXCLUDES(mu_) {
+  /// Pointer snapshot of every registered instrument. Map nodes are
+  /// process-lifetime (instruments are never deleted), so the name and
+  /// instrument pointers stay valid after the lock is released — which
+  /// is what lets Export/ExportPrometheus serialize lock-free.
+  struct Snapshot {
+    std::vector<std::pair<const std::string*, const Counter*>> counters;
+    std::vector<std::pair<const std::string*, const Gauge*>> gauges;
+    std::vector<std::pair<const std::string*, const Histogram*>> histograms;
+  };
+
+  Snapshot Snap() FAB_EXCLUDES(mu_) {
+    Snapshot snap;
     util::MutexLock lock(mu_);
-    std::string out = "{\"counters\":{";
-    bool first = true;
+    // fablint:hot -- registry lock held: pointer copies into reserved
+    // vectors only; every byte of serialization happens off-lock.
+    snap.counters.reserve(counters_.size());
+    snap.gauges.reserve(gauges_.size());
+    snap.histograms.reserve(histograms_.size());
     for (const auto& [name, counter] : counters_) {
+      snap.counters.push_back({&name, counter.get()});
+    }
+    for (const auto& [name, gauge] : gauges_) {
+      snap.gauges.push_back({&name, gauge.get()});
+    }
+    for (const auto& [name, histogram] : histograms_) {
+      snap.histograms.push_back({&name, histogram.get()});
+    }
+    // fablint:endhot
+    return snap;
+  }
+
+  std::string Export() FAB_EXCLUDES(mu_) {
+    const Snapshot snap = Snap();
+    std::string out;
+    out.reserve(64 + 48 * snap.counters.size() + 48 * snap.gauges.size() +
+                224 * snap.histograms.size());
+    out += "{\"counters\":{";
+    bool first = true;
+    for (const auto& [name, counter] : snap.counters) {
       if (!first) out += ",";
       first = false;
-      out += JsonString(name) + ":" + std::to_string(counter->Value());
+      out += JsonString(*name) + ":" + std::to_string(counter->Value());
     }
     out += "},\"gauges\":{";
     first = true;
-    for (const auto& [name, gauge] : gauges_) {
+    for (const auto& [name, gauge] : snap.gauges) {
       if (!first) out += ",";
       first = false;
-      out += JsonString(name) + ":" + JsonNumber(gauge->Value());
+      out += JsonString(*name) + ":" + JsonNumber(gauge->Value());
     }
     out += "},\"histograms\":{";
     first = true;
-    for (const auto& [name, histogram] : histograms_) {
+    for (const auto& [name, histogram] : snap.histograms) {
       if (!first) out += ",";
       first = false;
-      out += JsonString(name) + ":" + histogram->ToJson();
+      out += JsonString(*name) + ":" + histogram->ToJson();
     }
     out += "}}";
     return out;
@@ -174,13 +216,24 @@ class Registry {
 
 }  // namespace
 
-void Histogram::Record(double v) {
+void Histogram::Record(double v) { Record(v, CurrentTraceId()); }
+
+void Histogram::Record(double v, uint64_t trace_id) {
   buckets_[static_cast<size_t>(BucketIndex(v))].fetch_add(
       1, std::memory_order_relaxed);
   const uint64_t prior = count_.fetch_add(1, std::memory_order_relaxed);
   AtomicAdd(sum_, v);
   AtomicMin(min_, v, /*first=*/prior == 0);
-  AtomicMax(max_, v, /*first=*/prior == 0);
+  // One relaxed store when this sample leads: the exemplar may lag the
+  // exact max by one racing sample, never blocks, never locks. Untraced
+  // samples (trace_id 0) leave the previous exemplar in place.
+  if (AtomicMax(max_, v, /*first=*/prior == 0) && trace_id != 0) {
+    max_trace_.store(trace_id, std::memory_order_relaxed);
+  }
+}
+
+double Histogram::BucketUpperEdge(int i) {
+  return kLowest * std::exp2(static_cast<double>(i + 1) / kBucketsPerDoubling);
 }
 
 double Histogram::Min() const {
@@ -213,14 +266,19 @@ double Histogram::Percentile(double q) const {
 }
 
 std::string Histogram::ToJson() const {
-  std::string out = "{";
-  out += "\"count\":" + std::to_string(Count());
+  std::string out;
+  out.reserve(224);
+  out += "{\"count\":" + std::to_string(Count());
   out += ",\"sum\":" + JsonNumber(Sum());
   out += ",\"min\":" + JsonNumber(Min());
   out += ",\"max\":" + JsonNumber(Max());
   out += ",\"p50\":" + JsonNumber(Percentile(0.50));
   out += ",\"p95\":" + JsonNumber(Percentile(0.95));
   out += ",\"p99\":" + JsonNumber(Percentile(0.99));
+  const uint64_t exemplar = MaxExemplarTraceId();
+  if (exemplar != 0) {
+    out += ",\"max_trace\":\"" + FormatTraceId(exemplar) + "\"";
+  }
   out += "}";
   return out;
 }
@@ -238,6 +296,73 @@ Histogram& GetHistogram(const std::string& name) {
 }
 
 std::string ExportMetrics() { return Registry::Get().Export(); }
+
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; our instrument names use
+/// '/' and '-' as separators. "serve/latency_us" -> "fab_serve_latency_us".
+std::string PromName(const std::string& name) {
+  std::string out = "fab_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+/// Prometheus sample values: plain decimal, with +Inf/-Inf/NaN spelled
+/// the way the exposition format expects.
+std::string PromNumber(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string ExportPrometheus() {
+  const Registry::Snapshot snap = Registry::Get().Snap();
+  std::string out;
+  out.reserve(128 + 96 * snap.counters.size() + 96 * snap.gauges.size() +
+              768 * snap.histograms.size());
+  for (const auto& [name, counter] : snap.counters) {
+    const std::string prom = PromName(*name);
+    out += "# TYPE " + prom + "_total counter\n";
+    out += prom + "_total " + std::to_string(counter->Value()) + "\n";
+  }
+  for (const auto& [name, gauge] : snap.gauges) {
+    const std::string prom = PromName(*name);
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + " " + PromNumber(gauge->Value()) + "\n";
+  }
+  for (const auto& [name, histogram] : snap.histograms) {
+    const std::string prom = PromName(*name);
+    out += "# TYPE " + prom + " histogram\n";
+    // Cumulative le-buckets, non-empty buckets only: bucket edges are
+    // strictly increasing by construction, which keeps the exposition
+    // valid, and 512 mostly-zero lines per histogram would bury it.
+    uint64_t cumulative = 0;
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      const uint64_t n = histogram->BucketCount(i);
+      if (n == 0) continue;
+      cumulative += n;
+      out += prom + "_bucket{le=\"" +
+             PromNumber(Histogram::BucketUpperEdge(i)) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += prom + "_bucket{le=\"+Inf\"} " + std::to_string(cumulative) + "\n";
+    out += prom + "_sum " + PromNumber(histogram->Sum()) + "\n";
+    // _count mirrors the +Inf bucket (not count_) so the exposition is
+    // internally consistent even when a concurrent Record() has bumped
+    // count_ but not yet its bucket.
+    out += prom + "_count " + std::to_string(cumulative) + "\n";
+  }
+  return out;
+}
 
 Status WriteMetrics(const std::string& path) {
   const std::string tmp = path + ".tmp." + std::to_string(::getpid());

@@ -83,7 +83,14 @@ class Histogram {
   static constexpr int kBucketsPerDoubling = 8;
   static constexpr double kLowest = 1e-3;
 
+  /// Records `v`, attributed to the calling thread's trace context
+  /// (obs::CurrentTraceId) for the max-bucket exemplar.
   void Record(double v);
+
+  /// Records `v` with an explicit trace id — for values measured on a
+  /// thread other than the one that owns the request context (e.g.
+  /// BatchServer batch threads recording per-request queue wait).
+  void Record(double v, uint64_t trace_id);
 
   uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
   double Sum() const { return sum_.load(std::memory_order_relaxed); }
@@ -99,7 +106,27 @@ class Histogram {
   /// ≤ 5% relative error bound. Returns 0 when empty.
   double Percentile(double q) const;
 
-  /// {"count":N,"sum":S,"min":m,"max":M,"p50":...,"p95":...,"p99":...}
+  /// Trace id of the most recent sample that set (or tied) Max() while
+  /// a trace context was installed — the "what was the worst request"
+  /// exemplar surfaced by /rpcz. 0 when no traced sample has led yet.
+  /// Maintained with a single relaxed atomic store on the record path:
+  /// under a race the exemplar may lag the exact max by one sample,
+  /// which is fine for telemetry.
+  uint64_t MaxExemplarTraceId() const {
+    return max_trace_.load(std::memory_order_relaxed);
+  }
+
+  /// Raw per-bucket count (i in [0, kBuckets)) — the Prometheus
+  /// exposition reads these to emit cumulative `le` buckets.
+  uint64_t BucketCount(int i) const {
+    return buckets_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+  }
+
+  /// Upper edge of bucket i: kLowest * 2^((i+1)/8).
+  static double BucketUpperEdge(int i);
+
+  /// {"count":N,"sum":S,"min":m,"max":M,"p50":...,"p95":...,"p99":...,
+  ///  "max_trace":"<hex16>"} (max_trace only when an exemplar exists).
   std::string ToJson() const;
 
  private:
@@ -108,6 +135,7 @@ class Histogram {
   std::atomic<double> sum_{0.0};
   std::atomic<double> min_{0.0};  ///< valid only when count_ > 0
   std::atomic<double> max_{0.0};  ///< valid only when count_ > 0
+  std::atomic<uint64_t> max_trace_{0};  ///< exemplar for the max bucket
 };
 
 /// Process-wide instruments by name. The returned reference stays valid
@@ -120,7 +148,16 @@ Histogram& GetHistogram(const std::string& name);
 
 /// One JSON object covering every registered instrument:
 ///   {"counters":{...},"gauges":{...},"histograms":{name:{...}}}
+/// The registry lock is held only to snapshot instrument pointers;
+/// serialization runs outside it.
 std::string ExportMetrics();
+
+/// Prometheus text exposition (version 0.0.4) of the whole registry —
+/// what GET /metricsz serves. Names are sanitized ("serve/latency_us"
+/// -> "fab_serve_latency_us"), counters gain the conventional `_total`
+/// suffix, and histograms emit cumulative `_bucket{le="..."}` lines
+/// (non-empty buckets plus `+Inf`), `_sum`, and `_count`.
+std::string ExportPrometheus();
 
 /// Writes ExportMetrics() to `path` atomically (temp file + rename).
 [[nodiscard]] Status WriteMetrics(const std::string& path);

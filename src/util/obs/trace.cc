@@ -13,6 +13,8 @@
 #include <unistd.h>
 
 #include "util/obs/clock.h"
+#include "util/obs/flight.h"
+#include "util/obs/trace_context.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
@@ -240,8 +242,15 @@ ThreadBuffer& LocalBuffer() {
   return *t_buffer;
 }
 
-int64_t NowNs() {
-  return Clock::NanosBetween(Tracer::Get().origin(), Clock::Now());
+int64_t NsAt(Clock::time_point tp) {
+  return Clock::NanosBetween(Tracer::Get().origin(), tp);
+}
+
+/// Pre-rendered `"trace":"<hex16>"` arg pair, or empty when no request
+/// context is installed.
+std::string TraceIdArg(uint64_t trace_id) {
+  if (trace_id == 0) return {};
+  return "\"trace\":\"" + FormatTraceId(trace_id) + "\"";
 }
 
 }  // namespace
@@ -265,29 +274,47 @@ void StartTracing() {
   g_trace_enabled.store(true, std::memory_order_relaxed);
 }
 
+void StopTracing() {
+  g_trace_enabled.store(false, std::memory_order_relaxed);
+}
+
 Status WriteTrace(const std::string& path) { return Tracer::Get().Write(path); }
 
 TraceSpan::TraceSpan(const char* name) : name_(name) {
-  if (!TraceEnabled()) return;
+  flight_ = FlightEnabled();
+  const bool tracing = TraceEnabled();
+  if (!flight_ && !tracing) return;
+  trace_id_ = CurrentTraceId();
+  start_ = Clock::Now();
+  if (!tracing) return;
   active_ = true;
-  LocalBuffer().Append(TraceEvent{name_, 'B', NowNs(), {}});
+  LocalBuffer().Append(TraceEvent{name_, 'B', NsAt(start_), TraceIdArg(trace_id_)});
 }
 
 TraceSpan::TraceSpan(const char* name, std::initializer_list<TraceArg> args)
     : name_(name) {
-  if (!TraceEnabled()) return;
+  flight_ = FlightEnabled();
+  const bool tracing = TraceEnabled();
+  if (!flight_ && !tracing) return;
+  trace_id_ = CurrentTraceId();
+  start_ = Clock::Now();
+  if (!tracing) return;
   active_ = true;
-  std::string rendered;
+  std::string rendered = TraceIdArg(trace_id_);
   for (const TraceArg& arg : args) {
     if (!rendered.empty()) rendered += ",";
     rendered += JsonString(arg.key) + ":" + arg.value.json();
   }
-  LocalBuffer().Append(TraceEvent{name_, 'B', NowNs(), std::move(rendered)});
+  LocalBuffer().Append(TraceEvent{name_, 'B', NsAt(start_), std::move(rendered)});
 }
 
 TraceSpan::~TraceSpan() {
-  if (!active_) return;
-  LocalBuffer().Append(TraceEvent{name_, 'E', NowNs(), std::move(end_args_)});
+  if (!active_ && !flight_) return;
+  const Clock::time_point end = Clock::Now();
+  if (active_) {
+    LocalBuffer().Append(TraceEvent{name_, 'E', NsAt(end), std::move(end_args_)});
+  }
+  if (flight_) FlightRecordSpan(name_, trace_id_, start_, end);
 }
 
 void TraceSpan::AddArg(const char* key, const TraceValue& value) {

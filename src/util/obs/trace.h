@@ -1,9 +1,11 @@
 #ifndef FAB_UTIL_OBS_TRACE_H_
 #define FAB_UTIL_OBS_TRACE_H_
 
+#include <cstdint>
 #include <initializer_list>
 #include <string>
 
+#include "util/obs/clock.h"
 #include "util/status.h"
 
 /// fab::obs scoped-span tracing.
@@ -65,6 +67,11 @@ bool TraceEnabled();
 /// WriteTrace explicitly). Idempotent.
 void StartTracing();
 
+/// Turns collection back off (tests and benches only — production
+/// tracing stays on for the process lifetime). Already-buffered events
+/// are kept and still export. Idempotent.
+void StopTracing();
+
 /// Merges every thread's buffered events and writes one Chrome
 /// trace_event JSON file. Written atomically (temp file + rename), so a
 /// reader never sees a partial trace even when concurrent processes
@@ -75,6 +82,13 @@ void StartTracing();
 /// RAII span: records a "B" event at construction and the matching "E"
 /// event at destruction, on the constructing thread's buffer. Construct
 /// and destroy on the same thread (scoped locals always do).
+///
+/// Each span also captures the calling thread's trace context
+/// (obs::CurrentTraceId) at construction — so spans under a request
+/// carry the request's id in their "trace" arg — and, on destruction,
+/// records itself into the always-on flight recorder ring (flight.h).
+/// `name` must be a string literal (fablint's obs-span-literal rule):
+/// the flight ring stores the pointer, not the bytes.
 class TraceSpan {
  public:
   explicit TraceSpan(const char* name);
@@ -90,7 +104,10 @@ class TraceSpan {
 
  private:
   const char* name_ = nullptr;
-  bool active_ = false;
+  bool active_ = false;  ///< tracer collection (FAB_TRACE) is recording
+  bool flight_ = false;  ///< flight ring will record at destruction
+  uint64_t trace_id_ = 0;
+  Clock::time_point start_{};
   std::string end_args_;  ///< accumulated `"key":value` pairs for the E event
 };
 
@@ -108,6 +125,7 @@ struct TraceArg {
 
 inline bool TraceEnabled() { return false; }
 inline void StartTracing() {}
+inline void StopTracing() {}
 [[nodiscard]] Status WriteTrace(const std::string& path);  // writes an empty valid trace
 
 class TraceSpan {

@@ -1,0 +1,72 @@
+#include "util/obs/trace_context.h"
+
+#include <atomic>
+#include <cstdio>
+
+#include <unistd.h>
+
+namespace fab::obs {
+
+namespace {
+
+thread_local uint64_t t_trace_id = 0;
+
+/// SplitMix64 finalizer: bijective, so distinct (salt + counter) inputs
+/// can never collide, and the avalanche makes ids look uniform even
+/// though the inputs are sequential.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+int HexDigit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+uint64_t CurrentTraceId() { return t_trace_id; }
+
+ScopedTraceId::ScopedTraceId(uint64_t id) : saved_(t_trace_id) {
+  if (id != 0) t_trace_id = id;
+}
+
+ScopedTraceId::~ScopedTraceId() { t_trace_id = saved_; }
+
+uint64_t MintTraceId() {
+  // The pid salt distinguishes processes that fork from the same image;
+  // the counter distinguishes requests within one. No wall clock: ids
+  // must not introduce a timing dependence anywhere (see header).
+  static const uint64_t salt = Mix64(static_cast<uint64_t>(::getpid()));
+  static std::atomic<uint64_t> counter{0};
+  uint64_t id = 0;
+  while (id == 0) {  // 0 is the "no context" sentinel; skip it
+    id = Mix64(salt ^ counter.fetch_add(1, std::memory_order_relaxed));
+  }
+  return id;
+}
+
+std::string FormatTraceId(uint64_t id) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
+uint64_t ParseTraceId(const std::string& text) {
+  if (text.empty() || text.size() > 16) return 0;
+  uint64_t id = 0;
+  for (char c : text) {
+    const int d = HexDigit(c);
+    if (d < 0) return 0;
+    id = (id << 4) | static_cast<uint64_t>(d);
+  }
+  return id;
+}
+
+}  // namespace fab::obs

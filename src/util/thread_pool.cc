@@ -6,6 +6,7 @@
 #include "util/obs/clock.h"
 #include "util/obs/metrics.h"
 #include "util/obs/trace.h"
+#include "util/obs/trace_context.h"
 
 namespace fab::util {
 
@@ -74,6 +75,17 @@ ThreadPool::~ThreadPool() {
 bool ThreadPool::InWorker() { return t_in_pool_worker; }
 
 void ThreadPool::Enqueue(std::function<void()> task) {
+  // Trace-context propagation: a task submitted while a request context
+  // is installed (HttpServer dispatch, nested Submit chains) carries the
+  // request's trace id onto whichever worker runs it, so its spans and
+  // histogram exemplars stitch to the request. Free when untraced.
+  const uint64_t trace_id = obs::CurrentTraceId();
+  if (trace_id != 0) {
+    task = [trace_id, inner = std::move(task)] {
+      obs::ScopedTraceId scope(trace_id);
+      inner();
+    };
+  }
   {
     MutexLock lock(mu_);
     queue_.push_back(std::move(task));

@@ -162,6 +162,18 @@ TEST(FablintTest, ObsRawClockAppliesOutsideExemptDirsInScopedMode) {
       << scoped.output;
 }
 
+TEST(FablintTest, ObsSpanLiteral) {
+  ExpectSingleRule("obs_span_literal.cc", "obs-span-literal");
+}
+
+TEST(FablintTest, ObsSpanLiteralReportsExactLine) {
+  const RunResult run =
+      RunFablint("--all-rules " + Fixture("obs_span_literal.cc"));
+  EXPECT_NE(run.output.find("obs_span_literal.cc:14: [obs-span-literal]"),
+            std::string::npos)
+      << run.output;
+}
+
 TEST(FablintTest, ObsRawClockExemptsBenchByPath) {
   // bench/ reports wall time by design: the identical ::now() call under
   // a bench/ prefix is clean in scoped mode (and only resurfaces under
@@ -678,7 +690,7 @@ TEST(FablintTest, WalkingTheFixtureDirFindsEveryRuleOnce) {
   // det-raw-rng (two of them from the marker-placement fixture) and
   // three conc-blocking-under-lock; their negatives (det_reach_negative,
   // det_sorted_copy, callgraph/sample) contribute nothing.
-  EXPECT_NE(run.output.find("checked 45 file(s), 37 violation(s)"),
+  EXPECT_NE(run.output.find("checked 46 file(s), 38 violation(s)"),
             std::string::npos)
       << run.output;
   for (const char* rule :

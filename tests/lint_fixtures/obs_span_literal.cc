@@ -1,0 +1,17 @@
+// Fixture: exactly one violation — a FAB_TRACE_SCOPE whose name is
+// computed (here a c_str() call) must trip obs-span-literal; literal
+// names, with or without the structured-args list, stay clean. Never
+// compiled.
+#include <string>
+
+#include "util/obs/trace.h"
+
+namespace fab_fixture {
+
+inline void Handle(const std::string& endpoint) {
+  FAB_TRACE_SCOPE("net/handle");                  // literal: clean
+  FAB_TRACE_SCOPE("net/handle", {{"shard", 3}});  // literal + args: clean
+  FAB_TRACE_SCOPE(endpoint.c_str());              // the one violation
+}
+
+}  // namespace fab_fixture

@@ -1,7 +1,8 @@
 // fab::obs metrics registry: counter/gauge semantics, log-bucket
 // histogram percentiles against exact sorted-sample percentiles within
 // the documented <5% relative error, registry identity, JSON export
-// shape, and exact accounting under concurrent ThreadPool load.
+// shape, max-bucket trace exemplars, the Prometheus text exposition,
+// and exact accounting under concurrent ThreadPool load.
 //
 // A TSan twin (obs_metrics_test_tsan) recompiles this file with
 // -fsanitize=thread to prove the lock-free Record/Read paths and the
@@ -14,9 +15,11 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "util/obs/trace_context.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
 
@@ -183,6 +186,107 @@ TEST(ObsMetricsTest, ConcurrentRecordingIsExactlyAccounted) {
     GetCounter("test/concurrent_lookup").Increment();
   });
   EXPECT_EQ(GetCounter("test/concurrent_lookup").Value(), 64u);
+}
+
+TEST(ObsMetricsTest, MaxExemplarFollowsLeadingTracedSample) {
+  Histogram hist;
+  EXPECT_EQ(hist.MaxExemplarTraceId(), 0u);
+  hist.Record(5.0, 0xabcu);  // first sample leads by definition
+  EXPECT_EQ(hist.MaxExemplarTraceId(), 0xabcu);
+  hist.Record(3.0, 0xdefu);  // not a new max: exemplar unchanged
+  EXPECT_EQ(hist.MaxExemplarTraceId(), 0xabcu);
+  hist.Record(10.0, 0x123u);  // new max with a trace: exemplar moves
+  EXPECT_EQ(hist.MaxExemplarTraceId(), 0x123u);
+  hist.Record(20.0, 0u);  // untraced sample leads: keep the last exemplar
+  EXPECT_EQ(hist.Max(), 20.0);
+  EXPECT_EQ(hist.MaxExemplarTraceId(), 0x123u);
+}
+
+TEST(ObsMetricsTest, RecordPicksUpAmbientTraceContext) {
+  Histogram hist;
+  {
+    const ScopedTraceId scope(0x77u);
+    hist.Record(1.0);  // single-arg overload reads CurrentTraceId()
+  }
+  EXPECT_EQ(hist.MaxExemplarTraceId(), 0x77u);
+  hist.Record(2.0);  // context restored to 0: exemplar survives the max
+  EXPECT_EQ(hist.MaxExemplarTraceId(), 0x77u);
+}
+
+TEST(ObsMetricsTest, ToJsonEmitsMaxTraceOnlyWhenExemplarExists) {
+  Histogram hist;
+  EXPECT_EQ(hist.ToJson().find("max_trace"), std::string::npos);
+  hist.Record(4.0);  // untraced: still no exemplar field
+  EXPECT_EQ(hist.ToJson().find("max_trace"), std::string::npos);
+  hist.Record(8.0, 0xbeefu);
+  const std::string json = hist.ToJson();
+  EXPECT_NE(json.find("\"max_trace\":\"" + FormatTraceId(0xbeefu) + "\""),
+            std::string::npos);
+}
+
+TEST(ObsMetricsTest, ConcurrentTracedRecordingKeepsExemplarValid) {
+  Histogram& hist = GetHistogram("test/exemplar_concurrent_hist");
+  constexpr size_t kItems = 2000;
+  util::ThreadPool pool(8);
+  pool.ParallelFor(0, kItems, [&](size_t i) {
+    hist.Record(1.0 + static_cast<double>(i % 100), 0x1000u + (i % 100));
+  });
+  // The exemplar may lag the exact max by one racing sample, but it must
+  // always be one of the ids actually recorded (never torn or invented).
+  const uint64_t exemplar = hist.MaxExemplarTraceId();
+  EXPECT_GE(exemplar, 0x1000u);
+  EXPECT_LT(exemplar, 0x1000u + 100u);
+  EXPECT_EQ(hist.Max(), 100.0);
+}
+
+TEST(ObsMetricsTest, ExportPrometheusShapesAndSanitizesNames) {
+  GetCounter("promtest/req-count").Increment(7);
+  GetGauge("promtest/depth").Set(2.5);
+  Histogram& hist = GetHistogram("promtest/latency_us");
+  const uint64_t before = hist.Count();
+  hist.Record(1.0);
+  hist.Record(2.0);
+  const std::string text = ExportPrometheus();
+  // '/' and '-' sanitize to '_' and counters gain the _total suffix.
+  EXPECT_NE(text.find("# TYPE fab_promtest_req_count_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("fab_promtest_req_count_total 7\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE fab_promtest_depth gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("fab_promtest_depth 2.5\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE fab_promtest_latency_us histogram\n"),
+            std::string::npos);
+  // Two samples in distinct buckets: cumulative le-buckets end at the
+  // total, +Inf mirrors it, and _count mirrors +Inf.
+  const std::string total = std::to_string(before + 2);
+  EXPECT_NE(text.find("fab_promtest_latency_us_bucket{le=\"+Inf\"} " + total +
+                      "\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("fab_promtest_latency_us_count " + total + "\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("fab_promtest_latency_us_sum "), std::string::npos);
+}
+
+TEST(ObsMetricsTest, ExportPrometheusBucketsAreCumulativeNonDecreasing) {
+  Histogram& hist = GetHistogram("promtest/cumulative_hist");
+  for (int i = 0; i < 50; ++i) {
+    hist.Record(0.001 * (1 << (i % 10)));
+  }
+  const std::string text = ExportPrometheus();
+  const std::string prefix = "fab_promtest_cumulative_hist_bucket{le=\"";
+  uint64_t prev = 0;
+  size_t pos = 0;
+  int buckets_seen = 0;
+  while ((pos = text.find(prefix, pos)) != std::string::npos) {
+    const size_t space = text.find("} ", pos);
+    ASSERT_NE(space, std::string::npos);
+    const uint64_t n = std::strtoull(text.c_str() + space + 2, nullptr, 10);
+    EXPECT_GE(n, prev);
+    prev = n;
+    ++buckets_seen;
+    pos = space;
+  }
+  EXPECT_GE(buckets_seen, 2);
+  EXPECT_EQ(prev, hist.Count());  // the +Inf bucket covers everything
 }
 
 }  // namespace

@@ -1,0 +1,242 @@
+#!/usr/bin/env python3
+"""Validates a Prometheus text-exposition (0.0.4) document.
+
+Used by the CI trace-smoke job to gate what GET /metricsz serves, and
+registered as a ctest (`check_prom_selftest`) so the checker itself
+cannot rot. Checks, per the exposition format spec plus the invariants
+fab::obs::ExportPrometheus promises:
+
+  * every non-comment line parses as `name{labels} value`
+  * metric names match [a-zA-Z_:][a-zA-Z0-9_:]*
+  * every sample's family has a preceding `# TYPE` line, and the
+    sample's suffix agrees with the declared type (histogram samples
+    come only as _bucket/_sum/_count)
+  * values parse as floats (NaN/+Inf/-Inf spellings included)
+  * counter values are finite and non-negative
+  * per histogram: `le` bucket values are cumulative non-decreasing,
+    a `+Inf` bucket is present, and `_count` equals the `+Inf` bucket
+    (the exporter guarantees internal consistency by construction)
+
+Usage: check_prom.py <file>        validate a scraped document
+       check_prom.py --self-test   run the embedded good/bad fixtures
+       check_prom.py --require N   additionally require family N exists
+"""
+
+import argparse
+import math
+import re
+import sys
+
+_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+# name{labels} value  — labels optional; values include NaN/+Inf/-Inf.
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)$"
+)
+_LABEL = re.compile(r'^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$')
+
+
+def _parse_value(text):
+    if text in ("NaN", "nan"):
+        return math.nan
+    if text in ("+Inf", "Inf", "inf"):
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    return float(text)
+
+
+def _family_of(name, types):
+    """The TYPE family a sample name belongs to (histograms expose
+    _bucket/_sum/_count under the family's bare name)."""
+    if name in types:
+        return name
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix) and name[: -len(suffix)] in types:
+            return name[: -len(suffix)]
+    return None
+
+
+def check(text):
+    """Returns a list of error strings; empty means valid."""
+    errors = []
+    types = {}  # family -> counter|gauge|histogram
+    samples = []  # (name, labels dict, value, line_no)
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                errors.append(f"line {line_no}: malformed TYPE line")
+                continue
+            _, _, family, kind = parts
+            if not _NAME.match(family):
+                errors.append(f"line {line_no}: bad family name {family!r}")
+            if kind not in ("counter", "gauge", "histogram", "summary",
+                            "untyped"):
+                errors.append(f"line {line_no}: unknown type {kind!r}")
+            if family in types:
+                errors.append(f"line {line_no}: duplicate TYPE for {family}")
+            types[family] = kind
+            continue
+        if line.startswith("#"):
+            continue  # HELP or free comment
+        match = _SAMPLE.match(line)
+        if not match:
+            errors.append(f"line {line_no}: unparseable sample {line!r}")
+            continue
+        name = match.group("name")
+        labels = {}
+        label_text = match.group("labels")
+        if label_text:
+            for part in label_text.split(","):
+                pair = _LABEL.match(part.strip())
+                if not pair:
+                    errors.append(
+                        f"line {line_no}: malformed label {part!r}")
+                    continue
+                labels[pair.group(1)] = pair.group(2)
+        try:
+            value = _parse_value(match.group("value"))
+        except ValueError:
+            errors.append(
+                f"line {line_no}: bad value {match.group('value')!r}")
+            continue
+        family = _family_of(name, types)
+        if family is None:
+            errors.append(f"line {line_no}: sample {name} has no TYPE line")
+            continue
+        kind = types[family]
+        if kind == "histogram" and name == family:
+            errors.append(
+                f"line {line_no}: histogram {family} exposes a bare sample "
+                "(expected _bucket/_sum/_count)")
+        if kind == "counter" and not (value >= 0 and math.isfinite(value)):
+            errors.append(
+                f"line {line_no}: counter {name} = {value} "
+                "(must be finite and non-negative)")
+        samples.append((name, labels, value, line_no))
+
+    for family, kind in types.items():
+        if kind != "histogram":
+            continue
+        buckets = [
+            (labels.get("le"), value, line_no)
+            for name, labels, value, line_no in samples
+            if name == family + "_bucket"
+        ]
+        counts = [v for name, _, v, _ in samples if name == family + "_count"]
+        if not buckets:
+            errors.append(f"histogram {family}: no _bucket samples")
+            continue
+        if not any(le == "+Inf" for le, _, _ in buckets):
+            errors.append(f"histogram {family}: missing le=\"+Inf\" bucket")
+        prev = -math.inf
+        inf_value = None
+        for le, value, line_no in buckets:
+            if le is None:
+                errors.append(
+                    f"line {line_no}: {family}_bucket without an le label")
+                continue
+            if value < prev:
+                errors.append(
+                    f"line {line_no}: {family}_bucket le={le} not "
+                    f"cumulative ({value} < {prev})")
+            prev = value
+            if le == "+Inf":
+                inf_value = value
+        if not counts:
+            errors.append(f"histogram {family}: missing _count sample")
+        elif inf_value is not None and counts[0] != inf_value:
+            errors.append(
+                f"histogram {family}: _count {counts[0]} != +Inf bucket "
+                f"{inf_value}")
+    return errors
+
+
+_GOOD = """\
+# TYPE fab_net_http_requests_total counter
+fab_net_http_requests_total 42
+# TYPE fab_serve_queue_depth gauge
+fab_serve_queue_depth -3
+# TYPE fab_serve_latency_us histogram
+fab_serve_latency_us_bucket{le="0.001"} 1
+fab_serve_latency_us_bucket{le="1024"} 7
+fab_serve_latency_us_bucket{le="+Inf"} 9
+fab_serve_latency_us_sum 1234.5
+fab_serve_latency_us_count 9
+"""
+
+_BAD = [
+    # No TYPE line for the sample.
+    "fab_orphan_total 1\n",
+    # Negative counter.
+    "# TYPE fab_c_total counter\nfab_c_total -1\n",
+    # Buckets not cumulative.
+    "# TYPE fab_h histogram\n"
+    'fab_h_bucket{le="1"} 5\nfab_h_bucket{le="2"} 3\n'
+    'fab_h_bucket{le="+Inf"} 5\nfab_h_sum 1\nfab_h_count 5\n',
+    # Missing +Inf bucket.
+    "# TYPE fab_h histogram\n"
+    'fab_h_bucket{le="1"} 5\nfab_h_sum 1\nfab_h_count 5\n',
+    # _count disagrees with +Inf.
+    "# TYPE fab_h histogram\n"
+    'fab_h_bucket{le="+Inf"} 5\nfab_h_sum 1\nfab_h_count 6\n',
+    # Unparseable sample line.
+    "# TYPE fab_g gauge\nfab_g one\n",
+]
+
+
+def self_test():
+    good_errors = check(_GOOD)
+    if good_errors:
+        print("self-test: good document rejected:", file=sys.stderr)
+        for error in good_errors:
+            print("  " + error, file=sys.stderr)
+        return 1
+    for i, bad in enumerate(_BAD):
+        if not check(bad):
+            print(f"self-test: bad document #{i} accepted", file=sys.stderr)
+            return 1
+    print("check_prom self-test: ok")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("path", nargs="?", help="exposition file to validate")
+    parser.add_argument("--self-test", action="store_true")
+    parser.add_argument(
+        "--require", action="append", default=[],
+        help="fail unless this metric family is present (repeatable)")
+    args = parser.parse_args()
+    if args.self_test:
+        return self_test()
+    if not args.path:
+        parser.error("need a file to validate (or --self-test)")
+    with open(args.path, encoding="utf-8") as fh:
+        text = fh.read()
+    errors = check(text)
+    families = {
+        line.split()[2]
+        for line in text.splitlines()
+        if line.startswith("# TYPE ") and len(line.split()) == 4
+    }
+    for name in args.require:
+        if name not in families:
+            errors.append(f"required metric family {name!r} not exposed")
+    if errors:
+        for error in errors:
+            print(error, file=sys.stderr)
+        print(f"check_prom: {len(errors)} error(s) in {args.path}",
+              file=sys.stderr)
+        return 1
+    print(f"check_prom: {args.path} ok ({len(families)} families)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -393,6 +393,39 @@ void CheckRawClock(Ctx& ctx) {
   }
 }
 
+/// FAB_TRACE_SCOPE's span name must be a string literal: TraceSpan and
+/// the flight recorder store the `const char*` unowned — the ring keeps
+/// it until the slot recycles and the signal-handler dump dereferences
+/// it long after the scope ended, so a std::string::c_str() or stack
+/// buffer there is a use-after-free in the crash path. Detection works
+/// on masked text: a literal first argument (quotes included) masks to
+/// pure whitespace, so ANY visible character before the argument's
+/// closing ',' or ')' means a computed name. src/util/obs/ (the macro's
+/// own definition and span internals) is exempt.
+void CheckSpanLiteral(Ctx& ctx) {
+  if (!ctx.all_rules && StartsWith(ctx.rel, "src/util/obs/")) return;
+  const std::string& text = ctx.masked;
+  ForEachToken(text, "FAB_TRACE_SCOPE", [&](size_t pos) {
+    const size_t open =
+        SkipWs(text, pos + std::string("FAB_TRACE_SCOPE").size());
+    if (open >= text.size() || text[open] != '(') return;  // mention, not call
+    bool visible = false;
+    int depth = 1;
+    for (size_t k = open + 1; k < text.size(); ++k) {
+      const char c = text[k];
+      if (depth == 1 && (c == ',' || c == ')')) break;
+      if (c == '(' || c == '{' || c == '[') ++depth;
+      if (c == ')' || c == '}' || c == ']') --depth;
+      if (!IsSpace(c)) visible = true;
+    }
+    if (!visible) return;
+    Add(ctx, pos, "obs-span-literal",
+        "FAB_TRACE_SCOPE name must be a string literal: the span/flight "
+        "ring stores the char* unowned and the crash dump reads it after "
+        "the scope dies");
+  });
+}
+
 // --- Performance rules. -----------------------------------------------------
 
 /// [begin, end] in 1-based lines, both inclusive.
@@ -611,6 +644,9 @@ const std::vector<RuleInfo>& AllRules() {
       {"obs-raw-clock",
        "raw *_clock::now() banned outside src/util/obs/ and bench/; "
        "use obs::Clock"},
+      {"obs-span-literal",
+       "FAB_TRACE_SCOPE name must be a string literal (the span/flight "
+       "ring stores the char* unowned)"},
       {"net-raw-syscall",
        "raw ::socket/::bind/::epoll_*/... banned outside src/net/; "
        "use net::HttpClient / net::HttpServer"},
@@ -840,6 +876,7 @@ std::vector<Violation> LintSource(const std::string& rel_path,
   CheckHygiene(ctx);
   CheckHotAlloc(ctx);
   CheckRawClock(ctx);
+  CheckSpanLiteral(ctx);
   CheckRawSyscalls(ctx);
   CheckUnknownRules(ctx);
 
